@@ -1,0 +1,32 @@
+"""Shared infrastructure for the reproduction benchmarks.
+
+Each benchmark module regenerates one table/figure of the paper.  The
+rendered output is printed (visible with ``pytest -s``) and saved under
+``benchmarks/output/`` so the artefacts survive the run.
+"""
+
+from __future__ import annotations
+
+import pathlib
+
+import pytest
+
+OUTPUT_DIR = pathlib.Path(__file__).parent / "output"
+
+
+@pytest.fixture(scope="session")
+def output_dir() -> pathlib.Path:
+    OUTPUT_DIR.mkdir(exist_ok=True)
+    return OUTPUT_DIR
+
+
+@pytest.fixture(scope="session")
+def save_artifact(output_dir):
+    """Write a rendered table/figure to benchmarks/output/<name>.txt."""
+
+    def _save(name: str, text: str) -> None:
+        path = output_dir / f"{name}.txt"
+        path.write_text(text + "\n")
+        print(f"\n{text}\n[saved to {path}]")
+
+    return _save

@@ -1,0 +1,20 @@
+"""E2 — regenerate the paper's Figure 7 (cycles/packet by component)."""
+
+import pytest
+
+from repro.analysis import run_figure7
+from repro.modes import ALL_MODES, Mode
+
+
+@pytest.mark.benchmark(group="figure7")
+def test_figure7(benchmark, save_artifact):
+    result = benchmark.pedantic(
+        lambda: run_figure7(packets=600, warmup=150), rounds=1, iterations=1
+    )
+    save_artifact("figure7", result.render())
+    # The paper's bar labels relative to C_none: strict ~9.4x, none 1.0x.
+    assert result.relative(Mode.STRICT) == pytest.approx(9.4, abs=0.5)
+    assert result.relative(Mode.RIOMMU) == pytest.approx(1.30, abs=0.07)
+    assert result.relative(Mode.RIOMMU_NC) == pytest.approx(1.91, abs=0.12)
+    totals = [result.total(m) for m in ALL_MODES]
+    assert totals == sorted(totals, reverse=True)

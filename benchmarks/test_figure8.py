@@ -1,0 +1,31 @@
+"""E3 — regenerate the paper's Figure 8 (throughput vs cycles/packet)."""
+
+import pytest
+
+from repro.analysis import run_figure8
+
+
+@pytest.mark.benchmark(group="figure8")
+def test_figure8(benchmark, save_artifact):
+    result = benchmark.pedantic(
+        lambda: run_figure8(
+            busywait_sweep=(0, 500, 1000, 2000, 4000, 8000, 16000),
+            packets=400,
+            warmup=100,
+        ),
+        rounds=1,
+        iterations=1,
+    )
+    save_artifact("figure8", result.render())
+    # The validated model coincides with the busy-wait-lengthened system.
+    assert result.max_model_error() < 0.02
+    # The mode points also fall on the curve (they are cycle-driven too).
+    for _mode, (cycles, gbps) in result.mode_points.items():
+        from repro.perf import gbps_from_cycles
+        from repro.sim import MLX_SETUP
+
+        predicted = min(
+            gbps_from_cycles(cycles, MLX_SETUP.clock_hz),
+            MLX_SETUP.nic_profile.line_rate_gbps,
+        )
+        assert gbps == pytest.approx(predicted, rel=0.02)

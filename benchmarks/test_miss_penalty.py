@@ -1,0 +1,18 @@
+"""E7 — regenerate the §5.3 IOTLB miss-penalty experiment."""
+
+import pytest
+
+from repro.analysis import run_miss_penalty
+
+
+@pytest.mark.benchmark(group="miss-penalty")
+def test_miss_penalty(benchmark, save_artifact):
+    result = benchmark.pedantic(
+        lambda: run_miss_penalty(pool_size=512, sends=4000), rounds=1, iterations=1
+    )
+    save_artifact("miss_penalty", result.render())
+    # Paper: ~1,532 cycles, ~0.5 us.
+    assert 1200 <= result.miss_penalty_cycles <= 1600
+    assert 0.38 <= result.miss_penalty_us <= 0.55
+    assert result.single_hit_rate > 0.999
+    assert result.pool_hit_rate < 0.2

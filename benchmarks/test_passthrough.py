@@ -1,0 +1,23 @@
+"""E10 — §5.1's pass-through revalidation (HWpt vs SWpt vs none)."""
+
+import pytest
+
+from repro.analysis import run_passthrough
+
+
+@pytest.mark.benchmark(group="passthrough")
+def test_passthrough(benchmark, save_artifact):
+    result = benchmark.pedantic(
+        lambda: run_passthrough(packets=300, warmup=60), rounds=1, iterations=1
+    )
+    save_artifact("passthrough", result.render())
+    # HWpt and SWpt identical despite SWpt's IOTLB misses.
+    assert result.stream_gbps["HWpt"] == pytest.approx(result.stream_gbps["SWpt"])
+    assert result.rr_rtt_us["HWpt"] == pytest.approx(result.rr_rtt_us["SWpt"])
+    # Stream ~10% below no-IOMMU (paper §5.1).
+    ratio = result.stream_gbps["HWpt"] / result.stream_gbps["none"]
+    assert ratio == pytest.approx(0.90, abs=0.02)
+    # RR effectively identical to no-IOMMU (sub-2% at 13.4 us).
+    assert result.rr_rtt_us["HWpt"] == pytest.approx(result.rr_rtt_us["none"], rel=0.02)
+    # And the functional SWpt really did miss the IOTLB a lot.
+    assert result.swpt_iotlb_miss_rate > 0.3

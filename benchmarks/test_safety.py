@@ -1,0 +1,21 @@
+"""A6 — quantifying the stale-DMA window per mode (safety trade-off)."""
+
+import pytest
+
+from repro.analysis import run_safety
+
+
+@pytest.mark.benchmark(group="safety")
+def test_safety_windows(benchmark, save_artifact):
+    result = benchmark.pedantic(
+        lambda: run_safety(packets=200, flush_threshold=64), rounds=1, iterations=1
+    )
+    save_artifact("safety", result.render())
+    # strict: no exposure at all.
+    assert result.exposed_fraction["strict"] == 0.0
+    # defer: nearly everything exposed, for ~batch/2 unmaps.
+    assert result.exposed_fraction["defer"] > 0.9
+    assert result.mean_window_unmaps["defer"] > 10
+    # riommu: exposure bounded to the single cached entry, window ~1.
+    assert result.mean_window_unmaps["riommu"] < 2.0
+    assert result.mean_window_unmaps["riommu"] < result.mean_window_unmaps["defer"] / 10

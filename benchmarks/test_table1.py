@@ -1,0 +1,18 @@
+"""E1 — regenerate the paper's Table 1 (map/unmap cycle breakdown)."""
+
+import pytest
+
+from repro.analysis import run_table1
+from repro.modes import BASELINE_MODES
+from repro.perf import TABLE1_CYCLES
+
+
+@pytest.mark.benchmark(group="table1")
+def test_table1(benchmark, save_artifact):
+    result = benchmark.pedantic(
+        lambda: run_table1(packets=600, warmup=150), rounds=1, iterations=1
+    )
+    save_artifact("table1", result.render())
+    for mode in BASELINE_MODES:
+        for component, paper in TABLE1_CYCLES[mode].items():
+            assert result.averages[mode][component] == pytest.approx(paper, rel=0.02)

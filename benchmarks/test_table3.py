@@ -1,0 +1,24 @@
+"""E6 — regenerate the paper's Table 3 (Netperf RR round-trip times)."""
+
+import pytest
+
+from repro.analysis import run_table3
+from repro.modes import ALL_MODES, Mode
+from repro.perf import TABLE3_RTT_US
+
+
+@pytest.mark.benchmark(group="table3")
+def test_table3(benchmark, save_artifact):
+    result = benchmark.pedantic(
+        lambda: run_table3(transactions=200, warmup=40), rounds=1, iterations=1
+    )
+    save_artifact("table3", result.render())
+    for setup_name in ("mlx", "brcm"):
+        for mode in ALL_MODES:
+            measured = result.rtt_us[setup_name][mode]
+            paper = TABLE3_RTT_US[setup_name][mode]
+            assert measured == pytest.approx(paper, rel=0.08), (setup_name, mode.label)
+        # RTT ordering: none fastest, strict slowest.
+        rtts = result.rtt_us[setup_name]
+        assert rtts[Mode.NONE] == min(rtts.values())
+        assert rtts[Mode.STRICT] == max(rtts.values())

@@ -1,0 +1,58 @@
+#!/usr/bin/env python
+"""Multi-queue NICs and the rIOMMU's per-ring translation state.
+
+The paper notes NICs use multiple Rx/Tx rings per port "as different
+rings can be handled concurrently by different cores" (§2.3), and the
+rIOMMU's design gives each ring its own flat table and its own single
+rIOTLB entry — so queues never interfere with each other's cached
+translation.  This example runs 64 flows RSS-hashed across 1..8 queues
+and shows that the rIOTLB prefetch-hit behaviour stays ideal no matter
+how many queues are active (while the baseline's shared IOTLB has to
+fit every queue's pages).
+
+Run:  python examples/multiqueue_scaling.py
+"""
+
+from repro import Machine, Mode
+from repro.devices import MLX_PROFILE, MultiQueueNic
+from repro.kernel import MultiQueueNetDriver
+
+BDF = 0x0300
+FLOWS = 64
+FRAMES_PER_FLOW = 20
+
+
+def run(num_queues: int) -> None:
+    machine = Machine(Mode.RIOMMU)
+    nic = MultiQueueNic(machine.bus, BDF, MLX_PROFILE, num_queues=num_queues)
+    driver = MultiQueueNetDriver(machine, nic, coalesce_threshold=64)
+    driver.fill_rx()
+    for _round in range(FRAMES_PER_FLOW):
+        for flow in range(FLOWS):
+            driver.deliver(flow, bytes([flow]) * 1200)
+            while not driver.transmit(flow, bytes([255 - flow]) * 1200):
+                driver.pump_and_flush()  # tx ring pressure: drain first
+    driver.pump_and_flush()
+
+    stats = machine.riommu.riotlb.stats
+    served = 1.0 - stats.walks / stats.translations
+    print(
+        f"{num_queues:2d} queues: rx={driver.packets_received:5d} "
+        f"tx={driver.packets_transmitted:5d}  "
+        f"rIOTLB entries={len(machine.riommu.riotlb):3d} "
+        f"(2 rings/queue/direction)  served w/o DRAM fetch={served:.3f}"
+    )
+
+
+def main() -> None:
+    print(f"{FLOWS} flows x {FRAMES_PER_FLOW} frames each way, RSS-hashed\n")
+    for num_queues in (1, 2, 4, 8):
+        run(num_queues)
+    print(
+        "\nPer-ring rIOTLB state means adding queues never evicts another"
+        "\nqueue's translation — the design scales sideways for free."
+    )
+
+
+if __name__ == "__main__":
+    main()

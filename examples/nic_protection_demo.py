@@ -1,0 +1,106 @@
+#!/usr/bin/env python
+"""Protection demo: what each design actually protects against.
+
+Recreates, on a full simulated NIC stack, the three security scenarios
+the paper discusses:
+
+1. a rogue/errant device DMA to an address the OS never mapped;
+2. the deferred mode's vulnerability window — a device reaching a
+   buffer *after* the OS unmapped it, through a stale IOTLB entry;
+3. the baseline IOMMU's page-granularity weakness vs. the rIOMMU's
+   byte-granular bounds when two buffers share a page.
+
+Run:  python examples/nic_protection_demo.py
+"""
+
+from repro import DmaDirection, IoPageFault, Machine, Mode, NetDriver
+from repro.devices import MLX_PROFILE, SimulatedNic
+
+BDF = 0x0300
+
+
+def scenario_rogue_device() -> None:
+    print("\n--- 1. rogue DMA to an unmapped address ---")
+    for mode in (Mode.NONE, Mode.STRICT):
+        machine = Machine(mode)
+        machine.dma_api(BDF)
+        target = machine.mem.alloc_dma_buffer(4096)  # e.g. kernel memory
+        machine.mem.ram.write(target, b"precious kernel state")
+        try:
+            machine.bus.dma_write(BDF, target, b"0wned by the device!!")
+            print(f"{mode.label:8s}: device overwrote kernel memory -> "
+                  f"{machine.mem.ram.read(target, 21)!r}")
+        except IoPageFault:
+            print(f"{mode.label:8s}: DMA blocked with an I/O page fault")
+
+
+def scenario_deferred_window() -> None:
+    print("\n--- 2. the deferred mode's stale-IOTLB window ---")
+    machine = Machine(Mode.DEFER, flush_threshold=250)
+    api = machine.dma_api(BDF)
+    phys = machine.mem.alloc_dma_buffer(4096)
+    handle = api.map(phys, 1500, DmaDirection.BIDIRECTIONAL)
+    machine.bus.dma_write(BDF, handle, b"legitimate packet")  # warms the IOTLB
+    api.unmap(handle)
+    print("buffer unmapped and handed back to the kernel ...")
+    machine.bus.dma_write(BDF, handle, b"late DMA wins race")
+    print(f"... yet the device wrote: {machine.mem.ram.read(phys, 18)!r}")
+    print(f"window stays open for up to {machine.flush_threshold} unmaps "
+          f"(currently {api.driver.pending_invalidations()} queued)")
+
+
+def scenario_fine_grained() -> None:
+    print("\n--- 3. sub-page protection: baseline vs rIOMMU ---")
+    # Baseline: two 128-byte buffers share a page; while either is mapped
+    # the device can reach the WHOLE page.
+    machine = Machine(Mode.STRICT)
+    api = machine.dma_api(BDF)
+    page = machine.mem.alloc_dma_buffer(4096)
+    a = api.map(page, 128, DmaDirection.BIDIRECTIONAL)
+    b = api.map(page + 2048, 128, DmaDirection.BIDIRECTIONAL)
+    api.unmap(a)  # a is gone — but its bytes are still device-reachable,
+    # because b's IOVA page maps the whole shared physical page.
+    machine.bus.dma_write(BDF, (b & ~0xFFF), b"A overwritten via B's page")
+    print(f"baseline: unmapped buffer clobbered -> {machine.mem.ram.read(page, 26)!r}")
+
+    machine2 = Machine(Mode.RIOMMU)
+    api2 = machine2.dma_api(BDF)
+    ring = api2.create_ring(8)
+    page2 = machine2.mem.alloc_dma_buffer(4096)
+    a2 = api2.map(page2, 128, DmaDirection.BIDIRECTIONAL, ring=ring)
+    b2 = api2.map(page2 + 2048, 128, DmaDirection.BIDIRECTIONAL, ring=ring)
+    api2.unmap(a2, end_of_burst=True)
+    try:
+        machine2.bus.dma_write(BDF, b2 + 128, b"x")
+    except IoPageFault:
+        print("riommu  : access beyond the live buffer's 128 bytes faulted")
+
+
+def scenario_full_stack_counters() -> None:
+    print("\n--- full NIC stack under riommu: burst amortization ---")
+    machine = Machine(Mode.RIOMMU)
+    nic = SimulatedNic(machine.bus, BDF, MLX_PROFILE)
+    driver = NetDriver(machine, nic, coalesce_threshold=200)
+    driver.fill_rx()
+    for i in range(600):
+        nic.deliver_frame(bytes([i % 251]) * 1500)
+    driver.flush_rx()
+    rdrv = machine.dma_api(BDF).driver
+    print(f"packets received : {driver.stats.packets_received}")
+    print(f"map/unmap calls  : {rdrv.maps}/{rdrv.unmaps}")
+    print(f"rIOTLB invalidations: {rdrv.invalidations} "
+          f"(one per ~200-packet burst, not one per unmap)")
+    stats = machine.riommu.riotlb.stats
+    print(f"rIOTLB prefetch hits: {stats.prefetch_hits}/{stats.translations} "
+          f"translations; cold walks: {stats.walks}")
+
+
+def main() -> None:
+    scenario_rogue_device()
+    scenario_deferred_window()
+    scenario_fine_grained()
+    scenario_full_stack_counters()
+
+
+if __name__ == "__main__":
+    main()

@@ -1,0 +1,70 @@
+#!/usr/bin/env python
+"""PCIe SSD scenario: NVMe queues as rIOMMU rings (paper §4).
+
+NVMe mandates ring-shaped submission/completion queues processed in
+strict order — exactly the model the rIOMMU exploits.  This example
+builds an NVMe controller over each protection backend, runs a
+write-then-read workload, verifies data integrity, and compares the
+per-command mapping cost.  It also shows the AHCI/SATA contrast: a
+drive that completes commands out of order, where rIOMMU's assumption
+does not hold (and, being slow, does not matter).
+
+Run:  python examples/nvme_ssd.py
+"""
+
+from repro import Machine, Mode
+from repro.devices import AhciCommand, AhciController, AhciOp, NvmeController
+from repro.kernel import NvmeDriver
+
+BDF = 0x0500
+COMMANDS = 64
+BATCH = 16
+
+
+def run_nvme(mode: Mode) -> float:
+    machine = Machine(mode)
+    nvme = NvmeController(machine.bus, BDF)
+    driver = NvmeDriver(machine, nvme, queue_entries=BATCH + 1)
+    api = machine.dma_api(BDF)
+    setup_cycles = api.overhead_cycles  # SQ/CQ ring mappings (one-time)
+
+    # Write phase, batched: one rIOTLB invalidation per BATCH commands.
+    for base in range(0, COMMANDS, BATCH):
+        for i in range(base, base + BATCH):
+            driver.submit_write(i, bytes([i]) * 64)
+        driver.flush()
+
+    # Read phase: read everything back and verify.
+    for base in range(0, COMMANDS, BATCH):
+        for i in range(base, base + BATCH):
+            driver.submit_read(i, 1)
+        for i, data in enumerate(driver.flush()):
+            assert data[:64] == bytes([base + i]) * 64, "data corrupted!"
+
+    return (api.overhead_cycles - setup_cycles) / (2 * COMMANDS)
+
+
+def run_ahci_contrast() -> None:
+    machine = Machine(Mode.NONE)
+    ahci = AhciController(machine.bus, BDF, seed=11)
+    buf = machine.mem.alloc_dma_buffer(512)
+    slots = [ahci.issue(AhciCommand(AhciOp.WRITE, lba=i, sectors=1, data_addr=buf))
+             for i in range(12)]
+    completed = [c.slot for c in ahci.process(shuffle=True)]
+    print(f"\nAHCI/SATA contrast: issued slots {slots}")
+    print(f"                    completed as  {completed}")
+    print("out-of-order completion breaks the strict ring order rIOMMU needs —")
+    print("which is fine: SATA is too slow for IOMMU overhead to matter (§4).")
+
+
+def main() -> None:
+    print(f"NVMe: {COMMANDS} writes + {COMMANDS} reads, 4 KB blocks, verified\n")
+    print(f"{'mode':10s} {'cycles per map+unmap pair':>28s}")
+    for mode in (Mode.NONE, Mode.STRICT, Mode.DEFER_PLUS, Mode.RIOMMU_NC, Mode.RIOMMU):
+        per_command = run_nvme(mode)
+        print(f"{mode.label:10s} {per_command:>28,.0f}")
+    run_ahci_contrast()
+
+
+if __name__ == "__main__":
+    main()

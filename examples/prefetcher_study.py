@@ -1,0 +1,37 @@
+#!/usr/bin/env python
+"""The §5.4 study: classic TLB prefetchers vs the rIOTLB.
+
+Records a DMA trace from the functional NIC simulation, replays it
+through Markov, Recency and Distance prefetchers — in the paper's
+baseline and "remember invalidated addresses" variants, across history
+sizes — and contrasts them with the rIOTLB's two-entries-per-ring
+behaviour measured on the real simulated hardware.
+
+Run:  python examples/prefetcher_study.py
+"""
+
+from repro.analysis import run_prefetcher_study
+
+
+def main() -> None:
+    study = run_prefetcher_study(packets=400, history_capacities=(64, 256, 1024, 4096))
+    print(study.render())
+    print()
+    for name in ("markov", "recency", "distance"):
+        baseline = study.best(name, "baseline")
+        modified = study.best(name, "modified")
+        print(
+            f"{name:8s}: baseline coverage {baseline.stats.coverage:.2f} -> "
+            f"modified coverage {modified.stats.coverage:.2f} "
+            f"(history {modified.history_capacity})"
+        )
+    r = study.riotlb
+    print(
+        f"\nrIOTLB needs 2 entries/ring and served "
+        f"{r.served_without_walk:.1%} of {r.translations} translations "
+        f"without touching DRAM — its 'predictions' are always correct."
+    )
+
+
+if __name__ == "__main__":
+    main()

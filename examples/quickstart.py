@@ -1,0 +1,61 @@
+#!/usr/bin/env python
+"""Quickstart: map a buffer under each IOMMU design and watch it work.
+
+Walks through the paper's core comparison at the smallest possible
+scale: one device, one DMA, three protection regimes (none, baseline
+IOMMU, rIOMMU), printing what each map/unmap costs in CPU cycles.
+
+Run:  python examples/quickstart.py
+"""
+
+from repro import (
+    DmaDirection,
+    IoPageFault,
+    Machine,
+    Mode,
+)
+
+BDF = 0x0300  # PCI bus 3, device 0, function 0
+
+
+def demo(mode: Mode) -> None:
+    print(f"\n=== {mode.label} ===")
+    machine = Machine(mode)
+    api = machine.dma_api(BDF)
+
+    # rIOMMU mappings live in per-ring flat tables; create one.
+    ring = api.create_ring(16)
+
+    # The OS allocates and pins a DMA target buffer ...
+    buffer_phys = machine.mem.alloc_dma_buffer(4096)
+    # ... and maps it for the device (Figure 4 of the paper).
+    handle = api.map(buffer_phys, 1500, DmaDirection.FROM_DEVICE, ring=ring)
+    print(f"mapped phys {buffer_phys:#x} -> device address {handle:#x}")
+
+    # The device DMAs a packet through the (r)IOMMU (Figure 5).
+    machine.bus.dma_write(BDF, handle, b"payload from the wire")
+    print("device wrote:", machine.mem.ram.read(buffer_phys, 21))
+
+    # The driver tears the mapping down (Figure 6).
+    api.unmap(handle, end_of_burst=True)
+    try:
+        machine.bus.dma_write(BDF, handle, b"use after unmap")
+        print("device could still write (UNPROTECTED)")
+    except IoPageFault as fault:
+        print(f"post-unmap DMA faulted as it should: {type(fault).__name__}")
+
+    cycles = api.overhead_cycles
+    print(f"map+unmap cost charged to the core: {cycles:.0f} cycles")
+
+
+def main() -> None:
+    for mode in (Mode.NONE, Mode.STRICT, Mode.DEFER, Mode.RIOMMU):
+        demo(mode)
+    print(
+        "\nThe whole point of the paper in two numbers: strict spends ~7,600"
+        "\ncycles per mapping pair, the rIOMMU spends a few hundred."
+    )
+
+
+if __name__ == "__main__":
+    main()

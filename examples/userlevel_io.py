@@ -1,0 +1,83 @@
+#!/usr/bin/env python
+"""User-level I/O: when the IOTLB miss penalty finally matters (§5.3).
+
+Everywhere else in the paper, IOTLB misses are invisible — interrupts
+and the TCP/IP stack cost tens of microseconds, a 4-reference table
+walk costs half of one.  This example recreates the paper's ibverbs
+experiment: raw sends with no stack and no interrupts, first from a
+large pool of pre-mapped buffers chosen at random (IOTLB misses nearly
+every send), then from a single buffer (IOTLB always hits).  The
+difference is the miss penalty — and the rIOMMU's prefetched
+next-rPTE is what removes it for ring workloads.
+
+Run:  python examples/userlevel_io.py
+"""
+
+import random
+
+from repro import DmaDirection, Machine, Mode
+from repro.analysis.miss_penalty import DRAM_REF_CYCLES
+from repro.perf import CLOCK_HZ
+
+BDF = 0x0300
+POOL = 512
+SENDS = 4000
+
+
+def run_pool(pool_size: int) -> tuple:
+    machine = Machine(Mode.STRICT_PLUS, enforce_coherency=False)
+    api = machine.dma_api(BDF)
+    rng = random.Random(99)
+    handles = []
+    for _ in range(pool_size):
+        phys = machine.mem.alloc_dma_buffer(2048)
+        handles.append(api.map(phys, 2048, DmaDirection.TO_DEVICE))
+    iommu = machine.iommu
+    iommu.iotlb.stats.reset()
+    iommu.stats.reset()
+    for _ in range(SENDS):
+        machine.bus.dma_read(BDF, rng.choice(handles), 1024)
+    hit_rate = iommu.iotlb.stats.hit_rate
+    walk_cycles = iommu.stats.walk_levels * DRAM_REF_CYCLES / SENDS
+    return hit_rate, walk_cycles
+
+
+def run_riommu_ring() -> tuple:
+    """The same send count, ring-sequential, under the rIOMMU.
+
+    As in real ring operation, descriptors are pre-posted (mapped ahead
+    of use), so the walker's prefetched next-rPTE is always valid.
+    """
+    machine = Machine(Mode.RIOMMU)
+    api = machine.dma_api(BDF)
+    ring = api.create_ring(POOL)
+    phys = machine.mem.alloc_dma_buffer(2048)
+    handles = [
+        api.map(phys, 2048, DmaDirection.TO_DEVICE, ring=ring) for _ in range(POOL)
+    ]
+    for i in range(SENDS):
+        machine.bus.dma_read(BDF, handles[i % POOL], 1024)
+    stats = machine.riommu.riotlb.stats
+    return 1.0 - stats.walks / stats.translations, stats.prefetch_hits
+
+
+def main() -> None:
+    pool_hits, pool_walk = run_pool(POOL)
+    one_hits, one_walk = run_pool(1)
+    penalty = pool_walk - one_walk
+    print(f"{POOL}-buffer pool : IOTLB hit rate {pool_hits:.2f}, "
+          f"walk cycles/send {pool_walk:.0f}")
+    print(f"single buffer  : IOTLB hit rate {one_hits:.2f}, "
+          f"walk cycles/send {one_walk:.0f}")
+    print(f"IOTLB miss penalty: {penalty:.0f} cycles = "
+          f"{penalty / CLOCK_HZ * 1e6:.2f} us  (paper: ~1,532 cycles = ~0.5 us)\n")
+
+    served, prefetch_hits = run_riommu_ring()
+    print(f"rIOMMU, ring-sequential sends: {served:.1%} of translations served "
+          f"without a DRAM fetch ({prefetch_hits} prefetch hits)")
+    print("the prefetched next-rPTE removes the miss penalty exactly where "
+          "it would matter.")
+
+
+if __name__ == "__main__":
+    main()

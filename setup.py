@@ -1,0 +1,12 @@
+"""Setup shim for offline environments.
+
+On an air-gapped machine ``pip install -e .`` cannot fetch build
+dependencies into its isolated build env; use
+``pip install -e . --no-build-isolation`` (or, with very old
+setuptools/no wheel, ``python setup.py develop``) — this file keeps the
+legacy path available.
+"""
+
+from setuptools import setup
+
+setup()

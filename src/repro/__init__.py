@@ -1,0 +1,115 @@
+"""repro — a reproduction of "rIOMMU: Efficient IOMMU for I/O Devices
+that Employ Ring Buffers" (Malka, Amit, Ben-Yehuda, Tsafrir; ASPLOS'15).
+
+The package provides:
+
+* ``repro.core`` — the rIOMMU itself: flat per-ring page tables, the
+  single-entry-per-ring rIOTLB with next-rPTE prefetch, and the
+  Figure 11 software driver;
+* ``repro.iommu`` — the baseline Intel-style IOMMU (radix page tables,
+  IOTLB, strict/deferred invalidation) it is compared against;
+* ``repro.iova`` — the pathological Linux IOVA allocator and the
+  constant-time replacement behind the "+" modes;
+* ``repro.devices`` / ``repro.kernel`` — ring-buffer devices (NIC,
+  NVMe, AHCI) and the OS layer that drives them through a pluggable
+  DMA API, so every DMA in the simulation is actually translated;
+* ``repro.perf`` / ``repro.sim`` / ``repro.analysis`` — the calibrated
+  cycle model, the paper's workloads, and drivers regenerating every
+  table and figure of the evaluation.
+
+Quick start::
+
+    from repro import run_mode_sweep, MLX_SETUP
+    results = run_mode_sweep(MLX_SETUP, "stream", fast=True)
+    for mode, r in results.items():
+        print(mode.label, f"{r.gbps:.1f} Gbps")
+"""
+
+from repro.core import (
+    RDevice,
+    RIommuDriver,
+    RIommuHardware,
+    RIotlb,
+    RIova,
+    RPte,
+    RRing,
+    RingOverflowError,
+    pack_iova,
+    unpack_iova,
+)
+from repro.dma import DmaDirection
+from repro.faults import (
+    BoundsFault,
+    ContextFault,
+    IoPageFault,
+    PermissionFault,
+    TranslationFault,
+)
+from repro.iommu import BaselineIommuDriver, Iommu, Iotlb, RadixPageTable, make_bdf
+from repro.iova import IovaRange, LinuxIovaAllocator, MagazineIovaAllocator
+from repro.kernel import DmaApi, Machine, NetDriver
+from repro.memory import CoherencyDomain, MemorySystem, PhysicalMemory
+from repro.modes import ALL_MODES, BASELINE_MODES, Mode
+from repro.perf import Component, CostModel, CostPolicy, CycleAccount, gbps_from_cycles
+from repro.sim import (
+    ALL_SETUPS,
+    BRCM_SETUP,
+    MLX_SETUP,
+    RunResult,
+    Setup,
+    run_benchmark,
+    run_figure12,
+    run_mode_sweep,
+)
+
+__version__ = "1.0.0"
+
+__all__ = [
+    "ALL_MODES",
+    "ALL_SETUPS",
+    "BASELINE_MODES",
+    "BRCM_SETUP",
+    "BaselineIommuDriver",
+    "BoundsFault",
+    "CoherencyDomain",
+    "Component",
+    "ContextFault",
+    "CostModel",
+    "CostPolicy",
+    "CycleAccount",
+    "DmaApi",
+    "DmaDirection",
+    "IoPageFault",
+    "Iommu",
+    "Iotlb",
+    "IovaRange",
+    "LinuxIovaAllocator",
+    "MLX_SETUP",
+    "Machine",
+    "MagazineIovaAllocator",
+    "MemorySystem",
+    "Mode",
+    "NetDriver",
+    "PermissionFault",
+    "PhysicalMemory",
+    "RDevice",
+    "RIommuDriver",
+    "RIommuHardware",
+    "RIotlb",
+    "RIova",
+    "RPte",
+    "RRing",
+    "RadixPageTable",
+    "RingOverflowError",
+    "RunResult",
+    "Setup",
+    "TranslationFault",
+    "gbps_from_cycles",
+    "make_bdf",
+    "pack_iova",
+    "run_benchmark",
+    "run_figure12",
+    "run_mode_sweep",
+    "unpack_iova",
+    "__version__",
+]

@@ -1,0 +1,7 @@
+"""``python -m repro`` — run the reproduction CLI."""
+
+import sys
+
+from repro.cli import main
+
+sys.exit(main())

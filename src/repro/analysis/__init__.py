@@ -1,0 +1,73 @@
+"""Experiment drivers: one module per paper table/figure (E1-E9)."""
+
+from repro.analysis.ablations import (
+    BurstSweepResult,
+    DeferThresholdResult,
+    IotlbCapacityResult,
+    PathologySensitivityResult,
+    PrefetchAblationResult,
+    RingSizingResult,
+    ablate_prefetch,
+    sweep_alloc_pathology,
+    sweep_burst_length,
+    sweep_defer_threshold,
+    sweep_iotlb_capacity,
+    sweep_ring_sizing,
+)
+from repro.analysis.figure7 import Figure7Result, run_figure7
+from repro.analysis.figure8 import Figure8Result, run_figure8
+from repro.analysis.figure12 import Figure12Result, run_figure12_analysis
+from repro.analysis.micro import MicroValidationResult, run_micro_validation
+from repro.analysis.miss_penalty import MissPenaltyResult, run_miss_penalty
+from repro.analysis.paper_data import PAPER_TABLE2, TABLE2_DENOMINATORS
+from repro.analysis.passthrough import PassthroughResult, run_passthrough
+from repro.analysis.prefetchers import PrefetcherStudyResult, run_prefetcher_study
+from repro.analysis.report import format_table
+from repro.analysis.safety import SafetyResult, run_safety
+from repro.analysis.sata import SataResult, run_sata
+from repro.analysis.table1 import Table1Result, run_table1
+from repro.analysis.table2 import Table2Result, run_table2, table2_from_grid
+from repro.analysis.table3 import Table3Result, run_table3
+
+__all__ = [
+    "BurstSweepResult",
+    "DeferThresholdResult",
+    "Figure12Result",
+    "IotlbCapacityResult",
+    "RingSizingResult",
+    "Figure7Result",
+    "Figure8Result",
+    "MicroValidationResult",
+    "MissPenaltyResult",
+    "PAPER_TABLE2",
+    "PassthroughResult",
+    "PathologySensitivityResult",
+    "PrefetchAblationResult",
+    "PrefetcherStudyResult",
+    "SafetyResult",
+    "SataResult",
+    "TABLE2_DENOMINATORS",
+    "Table1Result",
+    "Table2Result",
+    "Table3Result",
+    "ablate_prefetch",
+    "format_table",
+    "run_figure12_analysis",
+    "sweep_alloc_pathology",
+    "sweep_burst_length",
+    "sweep_defer_threshold",
+    "sweep_iotlb_capacity",
+    "sweep_ring_sizing",
+    "run_figure7",
+    "run_figure8",
+    "run_micro_validation",
+    "run_miss_penalty",
+    "run_passthrough",
+    "run_prefetcher_study",
+    "run_safety",
+    "run_sata",
+    "run_table1",
+    "run_table2",
+    "run_table3",
+    "table2_from_grid",
+]

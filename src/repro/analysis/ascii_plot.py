@@ -1,0 +1,118 @@
+"""Terminal-friendly plotting: horizontal bars and scatter/XY charts.
+
+The paper's figures are plots; these helpers render the same data as
+ASCII so ``repro figure7`` / ``repro figure8`` output resembles the
+figures rather than only tabulating them.  Pure text, no dependencies.
+"""
+
+from __future__ import annotations
+
+import math
+from typing import Dict, List, Optional, Sequence, Tuple
+
+
+def bar_chart(
+    labels: Sequence[str],
+    values: Sequence[float],
+    width: int = 50,
+    title: Optional[str] = None,
+    unit: str = "",
+) -> str:
+    """Horizontal bar chart, one row per label."""
+    if len(labels) != len(values):
+        raise ValueError("labels and values must have the same length")
+    if not values:
+        return title or ""
+    peak = max(values)
+    label_width = max(len(label) for label in labels)
+    lines: List[str] = []
+    if title:
+        lines.append(title)
+    for label, value in zip(labels, values):
+        filled = 0 if peak == 0 else round(width * value / peak)
+        bar = "#" * filled
+        lines.append(f"{label:>{label_width}} |{bar:<{width}} {value:,.0f}{unit}")
+    return "\n".join(lines)
+
+
+def stacked_bar_chart(
+    labels: Sequence[str],
+    stacks: Sequence[Dict[str, float]],
+    width: int = 50,
+    title: Optional[str] = None,
+    glyphs: str = ".#=%@+*o",
+) -> str:
+    """Horizontal stacked bars; each segment gets its own glyph.
+
+    ``stacks`` is one {segment_name: value} dict per label; segment
+    order follows the first dict's insertion order.
+    """
+    if len(labels) != len(stacks):
+        raise ValueError("labels and stacks must have the same length")
+    if not stacks:
+        return title or ""
+    segment_names = list(stacks[0].keys())
+    peak = max(sum(stack.values()) for stack in stacks)
+    label_width = max(len(label) for label in labels)
+    lines: List[str] = []
+    if title:
+        lines.append(title)
+    legend = "  ".join(
+        f"{glyphs[i % len(glyphs)]}={name}" for i, name in enumerate(segment_names)
+    )
+    lines.append(f"{'':>{label_width}}  [{legend}]")
+    for label, stack in zip(labels, stacks):
+        bar = ""
+        for i, name in enumerate(segment_names):
+            filled = 0 if peak == 0 else round(width * stack.get(name, 0.0) / peak)
+            bar += glyphs[i % len(glyphs)] * filled
+        total = sum(stack.values())
+        lines.append(f"{label:>{label_width}} |{bar:<{width}} {total:,.0f}")
+    return "\n".join(lines)
+
+
+def xy_plot(
+    series: Dict[str, List[Tuple[float, float]]],
+    width: int = 64,
+    height: int = 18,
+    title: Optional[str] = None,
+    logx: bool = False,
+    glyphs: str = "*o+x.#",
+) -> str:
+    """Scatter plot of one or more (x, y) series on shared axes."""
+    points = [(x, y) for pts in series.values() for x, y in pts]
+    if not points:
+        return title or ""
+    xs = [math.log10(x) if logx else x for x, _y in points]
+    ys = [y for _x, y in points]
+    x_lo, x_hi = min(xs), max(xs)
+    y_lo, y_hi = min(ys), max(ys)
+    x_span = x_hi - x_lo or 1.0
+    y_span = y_hi - y_lo or 1.0
+
+    grid = [[" "] * width for _ in range(height)]
+    for i, (name, pts) in enumerate(series.items()):
+        glyph = glyphs[i % len(glyphs)]
+        for x, y in pts:
+            gx = math.log10(x) if logx else x
+            col = round((gx - x_lo) / x_span * (width - 1))
+            row = height - 1 - round((y - y_lo) / y_span * (height - 1))
+            grid[row][col] = glyph
+
+    lines: List[str] = []
+    if title:
+        lines.append(title)
+    legend = "  ".join(
+        f"{glyphs[i % len(glyphs)]}={name}" for i, name in enumerate(series)
+    )
+    lines.append(f"[{legend}]")
+    for row_index, row in enumerate(grid):
+        y_value = y_hi - row_index * y_span / (height - 1)
+        lines.append(f"{y_value:8.1f} |{''.join(row)}")
+    x_lo_label = 10 ** x_lo if logx else x_lo
+    x_hi_label = 10 ** x_hi if logx else x_hi
+    lines.append(" " * 9 + "+" + "-" * width)
+    lines.append(
+        " " * 10 + f"{x_lo_label:,.0f}".ljust(width - 12) + f"{x_hi_label:,.0f}"
+    )
+    return "\n".join(lines)

@@ -1,0 +1,65 @@
+"""Experiment E4 — the paper's Figure 12.
+
+Throughput and CPU consumption of the five benchmarks under the seven
+modes, for both NIC setups.  This is the headline evaluation grid; the
+runner does the work and this module renders it.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import List
+
+from repro.analysis.ascii_plot import bar_chart
+from repro.analysis.report import format_table
+from repro.modes import ALL_MODES
+from repro.sim.runner import BENCHMARK_NAMES, EvaluationGrid, run_figure12
+
+
+@dataclass
+class Figure12Result:
+    """The evaluation grid plus its renderer."""
+
+    grid: EvaluationGrid
+
+    def render(self) -> str:
+        """One table per setup: throughput metric and CPU per benchmark/mode."""
+        sections: List[str] = []
+        for setup_name, benchmarks in self.grid.results.items():
+            rows: List[List[object]] = []
+            for benchmark in BENCHMARK_NAMES:
+                if benchmark not in benchmarks:
+                    continue
+                panel = benchmarks[benchmark]
+                rows.append(
+                    [benchmark, "throughput"]
+                    + [panel[m].throughput_metric for m in ALL_MODES]
+                )
+                rows.append(
+                    [benchmark, "cpu %"]
+                    + [f"{panel[m].cpu * 100:.0f}" for m in ALL_MODES]
+                )
+            sections.append(
+                format_table(
+                    ["benchmark", "metric"] + [m.label for m in ALL_MODES],
+                    rows,
+                    title=f"Figure 12 ({setup_name}): Gbps for stream, "
+                    "transactions/s for rr, requests/s for apache/memcached",
+                )
+            )
+            if "stream" in benchmarks:
+                panel = benchmarks["stream"]
+                sections.append(
+                    bar_chart(
+                        [m.label for m in ALL_MODES],
+                        [panel[m].throughput_metric for m in ALL_MODES],
+                        title=f"{setup_name} stream throughput (Gbps)",
+                        width=40,
+                    )
+                )
+        return "\n\n".join(sections)
+
+
+def run_figure12_analysis(fast: bool = False) -> Figure12Result:
+    """Run the full grid (both setups, five benchmarks, seven modes)."""
+    return Figure12Result(grid=run_figure12(fast=fast))

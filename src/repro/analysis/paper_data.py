@@ -1,0 +1,129 @@
+"""Numbers printed in the paper, transcribed for paper-vs-measured reports.
+
+``PAPER_TABLE2[setup][benchmark][metric][numerator][denominator]`` is the
+paper's Table 2: the performance of the two rIOMMU variants normalised
+to every other mode (throughput and CPU, both setups, five benchmarks).
+"""
+
+from __future__ import annotations
+
+from typing import Mapping
+
+from repro.modes import Mode
+
+_DENOMS = (Mode.STRICT, Mode.STRICT_PLUS, Mode.DEFER, Mode.DEFER_PLUS, Mode.NONE)
+
+
+def _row(values) -> Mapping[Mode, float]:
+    return dict(zip(_DENOMS, values))
+
+
+PAPER_TABLE2 = {
+    "mlx": {
+        "stream": {
+            "throughput": {
+                Mode.RIOMMU_NC: _row((5.12, 2.90, 2.57, 1.74, 0.52)),
+                Mode.RIOMMU: _row((7.56, 4.28, 3.79, 2.57, 0.77)),
+            },
+            "cpu": {
+                Mode.RIOMMU_NC: _row((1.00, 1.00, 1.00, 1.00, 1.00)),
+                Mode.RIOMMU: _row((1.00, 1.00, 1.00, 1.00, 1.00)),
+            },
+        },
+        "rr": {
+            "throughput": {
+                Mode.RIOMMU_NC: _row((1.23, 1.07, 1.05, 1.02, 0.95)),
+                Mode.RIOMMU: _row((1.25, 1.09, 1.07, 1.03, 0.96)),
+            },
+            "cpu": {
+                Mode.RIOMMU_NC: _row((0.94, 0.99, 0.98, 0.99, 1.01)),
+                Mode.RIOMMU: _row((0.93, 0.98, 0.96, 0.98, 1.00)),
+            },
+        },
+        "apache 1M": {
+            "throughput": {
+                Mode.RIOMMU_NC: _row((5.30, 1.62, 1.58, 1.20, 0.76)),
+                Mode.RIOMMU: _row((5.80, 1.77, 1.73, 1.31, 0.83)),
+            },
+            "cpu": {
+                Mode.RIOMMU_NC: _row((0.99, 0.99, 1.00, 1.00, 1.00)),
+                Mode.RIOMMU: _row((0.99, 0.99, 0.99, 1.00, 1.00)),
+            },
+        },
+        "apache 1K": {
+            "throughput": {
+                Mode.RIOMMU_NC: _row((2.32, 1.08, 1.07, 1.03, 0.92)),
+                Mode.RIOMMU: _row((2.32, 1.08, 1.07, 1.03, 0.92)),
+            },
+            "cpu": {
+                Mode.RIOMMU_NC: _row((0.99, 1.00, 1.00, 1.00, 1.00)),
+                Mode.RIOMMU: _row((0.99, 1.00, 1.00, 1.00, 1.00)),
+            },
+        },
+        "memcached": {
+            "throughput": {
+                Mode.RIOMMU_NC: _row((4.77, 1.17, 1.25, 1.03, 0.82)),
+                Mode.RIOMMU: _row((4.88, 1.19, 1.28, 1.05, 0.83)),
+            },
+            "cpu": {
+                Mode.RIOMMU_NC: _row((1.00, 1.00, 1.00, 1.00, 1.00)),
+                Mode.RIOMMU: _row((1.00, 1.00, 1.00, 1.00, 1.00)),
+            },
+        },
+    },
+    "brcm": {
+        "stream": {
+            "throughput": {
+                Mode.RIOMMU_NC: _row((2.17, 1.00, 1.00, 1.00, 1.00)),
+                Mode.RIOMMU: _row((2.17, 1.00, 1.00, 1.00, 1.00)),
+            },
+            "cpu": {
+                Mode.RIOMMU_NC: _row((0.40, 0.50, 0.64, 0.81, 1.21)),
+                Mode.RIOMMU: _row((0.36, 0.45, 0.58, 0.73, 1.09)),
+            },
+        },
+        "rr": {
+            "throughput": {
+                Mode.RIOMMU_NC: _row((1.19, 1.05, 1.04, 1.02, 0.99)),
+                Mode.RIOMMU: _row((1.21, 1.06, 1.05, 1.03, 1.00)),
+            },
+            "cpu": {
+                Mode.RIOMMU_NC: _row((0.86, 0.96, 0.96, 1.00, 1.11)),
+                Mode.RIOMMU: _row((0.84, 0.93, 0.93, 0.98, 1.08)),
+            },
+        },
+        "apache 1M": {
+            "throughput": {
+                Mode.RIOMMU_NC: _row((1.20, 1.01, 1.00, 1.00, 1.00)),
+                Mode.RIOMMU: _row((1.20, 1.01, 1.00, 1.00, 1.00)),
+            },
+            "cpu": {
+                Mode.RIOMMU_NC: _row((0.48, 0.49, 0.60, 0.75, 1.41)),
+                Mode.RIOMMU: _row((0.41, 0.42, 0.52, 0.65, 1.22)),
+            },
+        },
+        "apache 1K": {
+            "throughput": {
+                Mode.RIOMMU_NC: _row((1.24, 1.13, 1.08, 1.02, 0.89)),
+                Mode.RIOMMU: _row((1.29, 1.18, 1.13, 1.07, 0.93)),
+            },
+            "cpu": {
+                Mode.RIOMMU_NC: _row((0.99, 0.99, 0.99, 1.00, 1.00)),
+                Mode.RIOMMU: _row((0.99, 1.00, 1.00, 1.00, 1.00)),
+            },
+        },
+        "memcached": {
+            "throughput": {
+                Mode.RIOMMU_NC: _row((1.76, 1.35, 1.18, 1.10, 0.78)),
+                Mode.RIOMMU: _row((1.88, 1.45, 1.27, 1.18, 0.84)),
+            },
+            "cpu": {
+                Mode.RIOMMU_NC: _row((1.00, 1.00, 1.00, 1.00, 1.00)),
+                Mode.RIOMMU: _row((1.00, 1.00, 1.00, 1.00, 1.00)),
+            },
+        },
+    },
+}
+
+#: Denominator modes in Table 2's column order.
+TABLE2_DENOMINATORS = _DENOMS

@@ -1,0 +1,41 @@
+"""Plain-text rendering helpers shared by the experiment drivers."""
+
+from __future__ import annotations
+
+from typing import Iterable, List, Optional, Sequence
+
+
+def format_table(
+    headers: Sequence[str],
+    rows: Iterable[Sequence[object]],
+    title: Optional[str] = None,
+) -> str:
+    """Render an aligned ASCII table, paper-style."""
+    str_rows: List[List[str]] = [[_cell(c) for c in row] for row in rows]
+    widths = [len(h) for h in headers]
+    for row in str_rows:
+        for i, cell in enumerate(row):
+            widths[i] = max(widths[i], len(cell))
+
+    def line(cells: Sequence[str]) -> str:
+        return "  ".join(cell.rjust(widths[i]) for i, cell in enumerate(cells))
+
+    out: List[str] = []
+    if title:
+        out.append(title)
+    out.append(line(list(headers)))
+    out.append("  ".join("-" * w for w in widths))
+    out.extend(line(row) for row in str_rows)
+    return "\n".join(out)
+
+
+def _cell(value: object) -> str:
+    if isinstance(value, float):
+        if value == 0:
+            return "0"
+        if abs(value) >= 1000:
+            return f"{value:,.0f}"
+        if abs(value) >= 10:
+            return f"{value:.1f}"
+        return f"{value:.2f}"
+    return str(value)

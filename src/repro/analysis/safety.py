@@ -1,0 +1,127 @@
+"""Quantifying the safety/performance trade-off (A6).
+
+The paper's central qualitative claim is that rIOMMU reaches
+deferred-mode performance *without* deferred-mode vulnerability.  This
+experiment measures the vulnerability directly: while a Netperf-like
+stream runs, every unmapped buffer is probed with a device DMA —
+exactly what an errant or malicious device would attempt through a
+stale IOTLB entry — and we count how many probes still succeed and how
+long (in subsequent unmaps) each buffer stays exposed.
+
+Measured: strict exposes nothing; Linux's deferred mode exposes nearly
+every buffer for ~batch/2 subsequent unmaps; rIOMMU exposes at most the
+*single* most-recently-cached ring entry, and only until the next
+translation implicitly replaces it (~1 unmap) — the quantitative form
+of the paper's "only the last IOVA in the sequence requires explicit
+invalidation" design argument.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Dict, List
+
+from repro.analysis.report import format_table
+from repro.dma import DmaDirection
+from repro.faults import IoPageFault
+from repro.kernel.machine import Machine
+from repro.modes import Mode
+from repro.sim.netperf import NIC_BDF
+
+
+@dataclass
+class SafetyResult:
+    """Stale-access exposure per mode."""
+
+    #: mode label -> fraction of unmapped buffers still device-accessible
+    #: immediately after their unmap returned
+    exposed_fraction: Dict[str, float]
+    #: mode label -> mean number of subsequent unmaps until access faults
+    mean_window_unmaps: Dict[str, float]
+    probes: int
+
+    def render(self) -> str:
+        rows: List[List[object]] = []
+        for label in self.exposed_fraction:
+            rows.append(
+                [
+                    label,
+                    f"{self.exposed_fraction[label]:.3f}",
+                    f"{self.mean_window_unmaps[label]:.1f}",
+                ]
+            )
+        table = format_table(
+            ["mode", "exposed after unmap", "mean window (unmaps)"],
+            rows,
+            title=f"Safety: stale-DMA exposure of unmapped buffers "
+            f"({self.probes} probes, mlx stream traffic)",
+        )
+        return (
+            f"{table}\n"
+            "strict closes the window synchronously.  defer leaves every\n"
+            "buffer reachable until the batched flush (window ~ batch/2).\n"
+            "riommu's exposure is bounded to the ONE rIOTLB entry per ring:\n"
+            "the very next translation implicitly replaces it (window ~ 1\n"
+            "unmap), and the end-of-burst invalidation closes even that."
+        )
+
+
+def _probe_mode(mode: Mode, packets: int, flush_threshold: int) -> tuple:
+    """Run tx traffic; after each unmap burst, probe the freed buffers."""
+    machine = Machine(mode, flush_threshold=flush_threshold)
+    api = machine.dma_api(NIC_BDF)
+    ring = api.create_ring(64)
+
+    exposed = 0
+    probes = 0
+    window_lengths: List[float] = []
+    open_windows: List[tuple] = []  # (handle, unmap_index when freed)
+    unmap_index = 0
+
+    for i in range(packets):
+        phys = machine.mem.alloc_dma_buffer(4096)
+        handle = api.map(phys, 1500, DmaDirection.BIDIRECTIONAL, ring=ring)
+        machine.bus.dma_write(NIC_BDF, handle, b"legit")  # warm the (r)IOTLB
+        end_of_burst = (i + 1) % 16 == 0
+        api.unmap(handle, end_of_burst=end_of_burst)
+        unmap_index += 1
+        machine.mem.free_dma_buffer(phys, 4096)
+
+        # Immediate probe: can the device still reach the buffer?
+        probes += 1
+        try:
+            machine.bus.dma_write(NIC_BDF, handle, b"stale")
+            exposed += 1
+            open_windows.append((handle, unmap_index))
+        except IoPageFault:
+            window_lengths.append(0.0)
+
+        # Re-probe previously exposed buffers to find when they close.
+        still_open = []
+        for old_handle, freed_at in open_windows:
+            try:
+                machine.bus.dma_write(NIC_BDF, old_handle, b"stale")
+                still_open.append((old_handle, freed_at))
+            except IoPageFault:
+                window_lengths.append(float(unmap_index - freed_at))
+        open_windows = still_open
+
+    # Anything still open at the end has a window at least this long.
+    for _handle, freed_at in open_windows:
+        window_lengths.append(float(unmap_index - freed_at))
+    mean_window = sum(window_lengths) / len(window_lengths) if window_lengths else 0.0
+    return exposed / probes, mean_window, probes
+
+
+def run_safety(packets: int = 200, flush_threshold: int = 64) -> SafetyResult:
+    """Probe stale-access exposure under the four interesting modes."""
+    exposed: Dict[str, float] = {}
+    windows: Dict[str, float] = {}
+    probes = 0
+    for mode in (Mode.STRICT, Mode.DEFER, Mode.RIOMMU_NC, Mode.RIOMMU):
+        fraction, mean_window, probes = _probe_mode(mode, packets, flush_threshold)
+        exposed[mode.label] = fraction
+        windows[mode.label] = mean_window
+    return SafetyResult(
+        exposed_fraction=exposed, mean_window_unmaps=windows, probes=probes
+    )

@@ -1,0 +1,85 @@
+"""Experiment E5 — the paper's Table 2.
+
+Relative (normalised) performance: the throughput and CPU of the two
+rIOMMU variants divided by each of the other five modes, for every
+(setup, benchmark) pair.  Rendered side by side with the paper's
+printed values.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Dict, List
+
+from repro.analysis.paper_data import PAPER_TABLE2, TABLE2_DENOMINATORS
+from repro.analysis.report import format_table
+from repro.modes import Mode
+from repro.sim.runner import EvaluationGrid, run_figure12
+
+NUMERATORS = (Mode.RIOMMU_NC, Mode.RIOMMU)
+
+
+@dataclass
+class Table2Result:
+    """Measured normalised ratios, shaped like the paper's table."""
+
+    #: [setup][benchmark][metric][numerator][denominator] -> ratio
+    ratios: Dict[str, Dict[str, Dict[str, Dict[Mode, Dict[Mode, float]]]]]
+
+    def render(self, include_paper: bool = True) -> str:
+        """Tabulate measured (and paper) ratios."""
+        headers = ["NIC", "benchmark", "metric", "numerator"] + [
+            d.label for d in TABLE2_DENOMINATORS
+        ]
+        rows: List[List[object]] = []
+        for setup_name, benchmarks in self.ratios.items():
+            for benchmark, metrics in benchmarks.items():
+                for metric, numerators in metrics.items():
+                    for numerator, denominators in numerators.items():
+                        rows.append(
+                            [setup_name, benchmark, metric, numerator.label]
+                            + [f"{denominators[d]:.2f}" for d in TABLE2_DENOMINATORS]
+                        )
+                        if include_paper:
+                            paper = PAPER_TABLE2[setup_name][benchmark][metric][numerator]
+                            rows.append(
+                                ["", "", "(paper)", numerator.label]
+                                + [f"{paper[d]:.2f}" for d in TABLE2_DENOMINATORS]
+                            )
+        return format_table(
+            headers, rows, title="Table 2: normalised performance, measured vs paper"
+        )
+
+    def cell(
+        self, setup: str, benchmark: str, metric: str, numerator: Mode, denominator: Mode
+    ) -> float:
+        """One measured ratio."""
+        return self.ratios[setup][benchmark][metric][numerator][denominator]
+
+
+def table2_from_grid(grid: EvaluationGrid) -> Table2Result:
+    """Derive the normalised table from an already-run Figure 12 grid."""
+    ratios: Dict[str, Dict[str, Dict[str, Dict[Mode, Dict[Mode, float]]]]] = {}
+    for setup_name, benchmarks in grid.results.items():
+        ratios[setup_name] = {}
+        for benchmark, panel in benchmarks.items():
+            per_metric: Dict[str, Dict[Mode, Dict[Mode, float]]] = {
+                "throughput": {},
+                "cpu": {},
+            }
+            for numerator in NUMERATORS:
+                per_metric["throughput"][numerator] = {
+                    d: panel[numerator].throughput_metric / panel[d].throughput_metric
+                    for d in TABLE2_DENOMINATORS
+                }
+                per_metric["cpu"][numerator] = {
+                    d: panel[numerator].cpu / panel[d].cpu
+                    for d in TABLE2_DENOMINATORS
+                }
+            ratios[setup_name][benchmark] = per_metric
+    return Table2Result(ratios=ratios)
+
+
+def run_table2(fast: bool = False) -> Table2Result:
+    """Run the grid and derive Table 2."""
+    return table2_from_grid(run_figure12(fast=fast))

@@ -1,0 +1,133 @@
+"""Command-line interface: ``python -m repro <experiment> [options]``.
+
+Each subcommand regenerates one of the paper's artefacts (or an
+ablation) and prints it in the paper's layout.  ``all`` runs the full
+reproduction, ``list`` shows what is available.
+"""
+
+from __future__ import annotations
+
+import argparse
+import sys
+import time
+from typing import Dict, Optional, Sequence
+
+EXPERIMENTS: Dict[str, str] = {
+    "table1": "E1: map/unmap cycle breakdown (paper Table 1)",
+    "figure7": "E2: cycles per packet by component (paper Figure 7)",
+    "figure8": "E3: throughput vs cycles/packet (paper Figure 8)",
+    "figure12": "E4: the full evaluation grid (paper Figure 12)",
+    "table2": "E5: normalised performance (paper Table 2)",
+    "table3": "E6: Netperf RR round-trip times (paper Table 3)",
+    "miss-penalty": "E7: IOTLB miss penalty (paper section 5.3)",
+    "prefetchers": "E8: TLB prefetchers vs rIOTLB (paper section 5.4)",
+    "sata": "E9: SATA/Bonnie++ sidebar (paper section 4)",
+    "passthrough": "E10: HWpt vs SWpt revalidation (paper section 5.1)",
+    "ablations": "A1-A4: design-choice sensitivity sweeps",
+    "micro": "A5: mode ordering under uncalibrated (MICRO) costs",
+    "safety": "A6: stale-DMA window per mode (safety trade-off)",
+}
+
+
+def _run_experiment(name: str, fast: bool) -> str:
+    """Dispatch one experiment; returns its rendered text."""
+    # Imports are deferred so `repro list --help` stays instant.
+    from repro import analysis
+
+    if name == "table1":
+        return analysis.run_table1(
+            packets=200 if fast else 600, warmup=50 if fast else 150
+        ).render()
+    if name == "figure7":
+        return analysis.run_figure7(
+            packets=200 if fast else 600, warmup=50 if fast else 150
+        ).render()
+    if name == "figure8":
+        result = analysis.run_figure8(packets=150 if fast else 400)
+        return (
+            f"{result.render()}\n"
+            f"max model-vs-busywait error: {result.max_model_error():.2%}"
+        )
+    if name == "figure12":
+        from repro.analysis.figure12 import run_figure12_analysis
+
+        return run_figure12_analysis(fast=fast).render()
+    if name == "table2":
+        return analysis.run_table2(fast=fast).render()
+    if name == "table3":
+        return analysis.run_table3(
+            transactions=80 if fast else 200, warmup=20 if fast else 40
+        ).render()
+    if name == "miss-penalty":
+        return analysis.run_miss_penalty(sends=1500 if fast else 4000).render()
+    if name == "prefetchers":
+        return analysis.run_prefetcher_study(packets=150 if fast else 400).render()
+    if name == "sata":
+        return analysis.run_sata(requests=10 if fast else 40).render()
+    if name == "passthrough":
+        return analysis.run_passthrough(packets=150 if fast else 300).render()
+    if name == "ablations":
+        packets = 150 if fast else 300
+        parts = [
+            analysis.sweep_burst_length(packets=packets).render(),
+            analysis.sweep_defer_threshold(packets=packets).render(),
+            analysis.ablate_prefetch(packets=packets).render(),
+            analysis.sweep_alloc_pathology(requests=60 if fast else 120).render(),
+            analysis.sweep_ring_sizing(packets=packets * 2).render(),
+            analysis.sweep_iotlb_capacity(sends=1000 if fast else 4000).render(),
+        ]
+        return "\n\n".join(parts)
+    if name == "micro":
+        return analysis.run_micro_validation(packets=150 if fast else 300).render()
+    if name == "safety":
+        return analysis.run_safety(packets=100 if fast else 200).render()
+    raise KeyError(name)
+
+
+def build_parser() -> argparse.ArgumentParser:
+    """The CLI argument parser."""
+    parser = argparse.ArgumentParser(
+        prog="repro",
+        description="Reproduce the rIOMMU paper's evaluation (ASPLOS'15).",
+    )
+    parser.add_argument(
+        "experiment",
+        choices=sorted(EXPERIMENTS) + ["all", "list"],
+        help="experiment to run ('list' to describe them, 'all' for everything)",
+    )
+    parser.add_argument(
+        "--fast", action="store_true", help="smaller runs (noisier, quicker)"
+    )
+    parser.add_argument(
+        "-o", "--output", metavar="FILE", help="also write the artefact to FILE"
+    )
+    return parser
+
+
+def main(argv: Optional[Sequence[str]] = None) -> int:
+    """CLI entry point; returns the process exit code."""
+    args = build_parser().parse_args(argv)
+
+    if args.experiment == "list":
+        width = max(len(name) for name in EXPERIMENTS)
+        for name in sorted(EXPERIMENTS):
+            print(f"{name:<{width}}  {EXPERIMENTS[name]}")
+        return 0
+
+    names = sorted(EXPERIMENTS) if args.experiment == "all" else [args.experiment]
+    chunks = []
+    for name in names:
+        started = time.time()
+        text = _run_experiment(name, args.fast)
+        chunks.append(text)
+        print(text)
+        print(f"[{name} in {time.time() - started:.1f}s]\n")
+    if args.output:
+        with open(args.output, "w") as handle:
+            handle.write("\n\n".join(chunks) + "\n")
+        print(f"written to {args.output}")
+    return 0
+
+
+if __name__ == "__main__":  # pragma: no cover - exercised via __main__
+    sys.exit(main())

@@ -1,0 +1,37 @@
+"""The paper's contribution: the ring IOMMU (rIOMMU)."""
+
+from repro.core.driver import RIommuDriver, RIommuMapping, RingOverflowError
+from repro.core.riotlb import RIommuHardware, RIotlb, RIotlbStats
+from repro.core.structures import (
+    MAX_OFFSET,
+    MAX_RENTRY,
+    MAX_RID,
+    MAX_RPTE_SIZE,
+    RDevice,
+    RIotlbEntry,
+    RIova,
+    RPte,
+    RRing,
+    pack_iova,
+    unpack_iova,
+)
+
+__all__ = [
+    "MAX_OFFSET",
+    "MAX_RENTRY",
+    "MAX_RID",
+    "MAX_RPTE_SIZE",
+    "RDevice",
+    "RIommuDriver",
+    "RIommuHardware",
+    "RIommuMapping",
+    "RIotlb",
+    "RIotlbEntry",
+    "RIotlbStats",
+    "RIova",
+    "RPte",
+    "RRing",
+    "RingOverflowError",
+    "pack_iova",
+    "unpack_iova",
+]

@@ -1,0 +1,201 @@
+"""The rIOMMU OS driver (paper Figure 11): map, unmap, sync_mem.
+
+Mapping is two integer increments plus an rPTE store; unmapping is a
+valid-bit clear plus a decrement; IOVA values are just (ring, index)
+pairs packed into 64 bits, so there is no allocator data structure at
+all.  The rIOTLB is explicitly invalidated only when the caller flags
+the end of a completion burst.
+
+Costs are charged to the same Table 1 component taxonomy as the
+baseline driver, so Figure 7's stacked bars compare like with like.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Dict, Optional, Tuple
+
+from repro.core.riotlb import RIommuHardware
+from repro.core.structures import (
+    MAX_RPTE_SIZE,
+    RDevice,
+    RIova,
+    RPte,
+    pack_iova,
+)
+from repro.dma import DmaDirection
+from repro.memory.coherency import CoherencyDomain
+from repro.memory.physical import MemorySystem
+from repro.modes import Mode
+from repro.perf.costs import CostModel
+from repro.perf.cycles import Component, CycleAccount
+
+
+class RingOverflowError(RuntimeError):
+    """The flat table is full (``nmapped == size``) — caller must slow down.
+
+    The paper treats overflow as legal back-pressure, exactly like a
+    full device ring: the driver retries after completions free entries.
+    """
+
+
+@dataclass
+class RIommuMapping:
+    """Driver-side record of one live rIOVA mapping."""
+
+    iova: RIova
+    phys_addr: int
+    size: int
+    direction: DmaDirection
+
+
+class RIommuDriver:
+    """Per-device rIOMMU driver managing one rDEVICE's flat tables."""
+
+    def __init__(
+        self,
+        mem: MemorySystem,
+        hardware: RIommuHardware,
+        bdf: int,
+        mode: Mode = Mode.RIOMMU,
+        coherency: Optional[CoherencyDomain] = None,
+        cost_model: Optional[CostModel] = None,
+        account: Optional[CycleAccount] = None,
+    ) -> None:
+        if not mode.is_riommu:
+            raise ValueError(f"RIommuDriver does not handle mode {mode.label}")
+        self.mem = mem
+        self.hardware = hardware
+        self.bdf = bdf
+        self.mode = mode
+        self.coherency = (
+            coherency
+            if coherency is not None
+            else CoherencyDomain(coherent=mode.coherent_walk)
+        )
+        self.cost_model = cost_model if cost_model is not None else CostModel(mode)
+        self.account = account if account is not None else CycleAccount()
+
+        self.device = RDevice(mem, self.coherency, bdf)
+        hardware.attach_device(self.device)
+        self._live: Dict[Tuple[int, int], RIommuMapping] = {}
+        self.maps = 0
+        self.unmaps = 0
+        self.invalidations = 0
+
+    # -- ring management ----------------------------------------------------
+
+    def create_ring(self, size: int) -> int:
+        """Create a flat table of ``size`` entries; returns its ring ID.
+
+        Device drivers create two rRINGs per device ring: one for the
+        descriptor-ring pages themselves (mapped once at init) and one
+        for the per-DMA target buffers (paper §4, Data Structures).
+        """
+        return self.device.add_ring(size)
+
+    # -- map (Figure 11, left) -------------------------------------------------
+
+    def map(
+        self, rid: int, phys_addr: int, size: int, direction: DmaDirection
+    ) -> RIova:
+        """Map ``[phys_addr, phys_addr + size)`` into ring ``rid``.
+
+        Returns the rIOVA with offset 0; callers may adjust the offset
+        up to ``size - 1``.  Raises :class:`RingOverflowError` when the
+        flat table has no free entry.
+        """
+        if size <= 0:
+            raise ValueError("size must be positive")
+        if size > MAX_RPTE_SIZE:
+            raise ValueError(f"size {size} exceeds the u30 rPTE size field")
+        ring = self.device.ring(rid)
+
+        # "locked { ... }": allocate the tail entry.
+        if ring.nmapped == ring.size:
+            raise RingOverflowError(
+                f"ring {rid} of bdf {self.bdf:#06x} is full ({ring.size} entries)"
+            )
+        if (rid, ring.tail) in self._live:
+            # Ring semantics promise FIFO unmap order; callers that unmap
+            # out of order can leave the tail entry live even though the
+            # table is not full.  Refusing (back-pressure) is safe —
+            # overwriting a live rPTE would not be.
+            raise RingOverflowError(
+                f"ring {rid} tail entry {ring.tail} is still mapped "
+                "(out-of-order unmaps left the ring fragmented)"
+            )
+        rentry = ring.tail
+        ring.tail = (ring.tail + 1) % ring.size
+        ring.nmapped += 1
+        self.account.charge(Component.IOVA_ALLOC, self.cost_model.riommu_map_alloc())
+
+        # Initialise the rPTE, then make it visible to the walker.
+        pte = RPte(phys_addr=phys_addr, size=size, direction=direction, valid=True)
+        entry_addr = ring.write_pte(rentry, pte)
+        self.coherency.sync_mem(entry_addr, 16)
+        self.account.charge(Component.MAP_PAGE_TABLE, self.cost_model.riommu_map_pt())
+
+        self.account.charge(Component.MAP_OTHER, self.cost_model.riommu_map_other())
+        iova = RIova(offset=0, rentry=rentry, rid=rid)
+        self._live[(rid, rentry)] = RIommuMapping(iova, phys_addr, size, direction)
+        self.maps += 1
+        return iova
+
+    # -- unmap (Figure 11, right) --------------------------------------------------
+
+    def unmap(self, iova: RIova, end_of_burst: bool = False) -> int:
+        """Invalidate the rPTE behind ``iova``; returns the physical address.
+
+        ``end_of_burst=True`` additionally invalidates the ring's single
+        rIOTLB entry — one invalidation per completion burst is all the
+        design ever needs.
+        """
+        ring = self.device.ring(iova.rid)
+        mapping = self._live.pop((iova.rid, iova.rentry), None)
+        if mapping is None:
+            raise KeyError(
+                f"ring {iova.rid} entry {iova.rentry} is not a live mapping"
+            )
+
+        # Clear the valid bit and publish the change.
+        pte = ring.read_pte(iova.rentry)
+        pte.valid = False
+        entry_addr = ring.write_pte(iova.rentry, pte)
+        self.account.charge(
+            Component.UNMAP_PAGE_TABLE, self.cost_model.riommu_unmap_pt()
+        )
+
+        # "locked { r.nmapped--; }" — the whole of IOVA deallocation.
+        ring.nmapped -= 1
+        self.account.charge(Component.IOVA_FREE, self.cost_model.riommu_unmap_free())
+
+        self.coherency.sync_mem(entry_addr, 16)
+
+        if end_of_burst:
+            self.hardware.riotlb.invalidate(self.bdf, iova.rid)
+            self.invalidations += 1
+            self.account.charge(
+                Component.IOTLB_INV, self.cost_model.riotlb_invalidate()
+            )
+
+        self.account.charge(Component.UNMAP_OTHER, self.cost_model.riommu_unmap_other())
+        self.unmaps += 1
+        return mapping.phys_addr
+
+    # -- introspection / teardown -------------------------------------------------
+
+    def live_mappings(self, rid: Optional[int] = None) -> int:
+        """Live mappings, optionally restricted to one ring."""
+        if rid is None:
+            return len(self._live)
+        return sum(1 for key in self._live if key[0] == rid)
+
+    def nmapped(self, rid: int) -> int:
+        """The ring's software ``nmapped`` counter."""
+        return self.device.ring(rid).nmapped
+
+    def shutdown(self) -> None:
+        """Invalidate everything and detach from the hardware."""
+        self._live.clear()
+        self.hardware.detach_device(self.bdf)

@@ -1,0 +1,270 @@
+"""The rIOMMU hardware logic (paper Figure 10).
+
+``rtranslate`` is the entry point for every DMA: it locates the single
+rIOTLB entry of the target ring (there is at most one per rRING by
+design), re-synchronises it when the DMA moved to a new ring entry
+(ideally from the prefetched ``next`` rPTE), validates direction and
+offset, and produces the physical address.
+
+Because each ring owns exactly one rIOTLB entry, every new translation
+*implicitly* invalidates the previous one — which is why the software
+driver only needs an explicit invalidation at the end of a burst.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Dict, Optional, Tuple
+
+from repro.core.structures import RPTE_BYTES, RDevice, RIotlbEntry, RIova, RPte
+from repro.dma import DmaDirection
+from repro.faults import BoundsFault, ContextFault, PermissionFault, TranslationFault
+
+
+@dataclass
+class RIotlbStats:
+    """rIOTLB behaviour counters."""
+
+    translations: int = 0
+    #: rIOTLB lookups that found the ring's entry
+    hits: int = 0
+    #: lookups that found no entry for the ring (cold / post-invalidation)
+    misses: int = 0
+    #: entry syncs satisfied by the prefetched ``next`` rPTE
+    prefetch_hits: int = 0
+    #: entry syncs that had to walk the flat table
+    sync_walks: int = 0
+    #: full table walks (miss path)
+    walks: int = 0
+    invalidations: int = 0
+
+    def reset(self) -> None:
+        """Zero all counters."""
+        self.translations = 0
+        self.hits = 0
+        self.misses = 0
+        self.prefetch_hits = 0
+        self.sync_walks = 0
+        self.walks = 0
+        self.invalidations = 0
+
+
+class RIotlb:
+    """The rIOTLB: at most one entry per (bdf, rid)."""
+
+    def __init__(self) -> None:
+        self._entries: Dict[Tuple[int, int], RIotlbEntry] = {}
+        self.stats = RIotlbStats()
+
+    def find(self, bdf: int, rid: int) -> Optional[RIotlbEntry]:
+        """``riotlb_find`` — the ring's single entry, or None."""
+        return self._entries.get((bdf, rid))
+
+    def insert(self, entry: RIotlbEntry) -> None:
+        """``riotlb_insert`` — replaces any previous entry for the ring."""
+        self._entries[(entry.bdf, entry.rid)] = entry
+
+    def invalidate(self, bdf: int, rid: int) -> bool:
+        """``riotlb_invalidate`` — drop the ring's entry; True if present."""
+        self.stats.invalidations += 1
+        return self._entries.pop((bdf, rid), None) is not None
+
+    def invalidate_device(self, bdf: int) -> int:
+        """Drop all entries of one device (device teardown)."""
+        keys = [k for k in self._entries if k[0] == bdf]
+        for key in keys:
+            del self._entries[key]
+        return len(keys)
+
+    def __len__(self) -> int:
+        return len(self._entries)
+
+    def entries_for_ring(self, bdf: int, rid: int) -> int:
+        """0 or 1 — the invariant the design rests on."""
+        return 1 if (bdf, rid) in self._entries else 0
+
+
+class RIommuHardware:
+    """The rIOMMU datapath: Figure 10's four routines.
+
+    When constructed with a memory system and coherency domain, the
+    requester-ID lookup goes through real memory-backed root/context
+    tables (the paper's Figure 2, with the context entry pointing at the
+    rDEVICE array instead of a radix root); stand-alone construction
+    falls back to a plain registry, which is convenient for unit tests.
+    """
+
+    def __init__(self, mem=None, coherency=None, prefetch_enabled: bool = True) -> None:
+        self.riotlb = RIotlb()
+        self._devices: Dict[int, RDevice] = {}
+        self._devices_by_table: Dict[int, RDevice] = {}
+        #: the paper notes the design "works just as well without"
+        #: prefetching (§4); disabling it is an ablation knob.
+        self.prefetch_enabled = prefetch_enabled
+        self.contexts = None
+        if mem is not None and coherency is not None:
+            from repro.iommu.context import ContextTables
+
+            self.contexts = ContextTables(mem, coherency)
+
+    # -- OS side -------------------------------------------------------------
+
+    def attach_device(self, device: RDevice) -> None:
+        """Register a device's rDEVICE structure via the context tables."""
+        self._devices[device.bdf] = device
+        self._devices_by_table[device.table_addr] = device
+        if self.contexts is not None:
+            self.contexts.attach(device.bdf, device.table_addr)
+
+    def detach_device(self, bdf: int) -> None:
+        """Remove a device and flush its rIOTLB entries."""
+        device = self._devices.pop(bdf, None)
+        if device is not None:
+            self._devices_by_table.pop(device.table_addr, None)
+        if self.contexts is not None and device is not None:
+            self.contexts.detach(bdf)
+        self.riotlb.invalidate_device(bdf)
+
+    def get_domain(self, bdf: int) -> RDevice:
+        """``get_domain`` — the rDEVICE for a requester ID.
+
+        With context tables present this is a hardware lookup: two
+        memory reads resolving bus then devfn, exactly like the baseline
+        IOMMU's Figure 2 path.
+        """
+        if self.contexts is not None:
+            table_addr = self.contexts.lookup(bdf)  # raises ContextFault
+            device = self._devices_by_table.get(table_addr)
+            if device is None:
+                raise ContextFault(
+                    f"context entry for bdf {bdf:#06x} points at unknown rDEVICE",
+                    bdf=bdf,
+                )
+            return device
+        device = self._devices.get(bdf)
+        if device is None:
+            raise ContextFault(f"no rDEVICE for bdf {bdf:#06x}", bdf=bdf)
+        return device
+
+    # -- hardware memory reads --------------------------------------------------
+
+    @staticmethod
+    def _hardware_read_rpte(device: RDevice, table_addr: int, rentry: int) -> RPte:
+        """Walker load of one rPTE from the flat table in memory."""
+        addr = table_addr + rentry * RPTE_BYTES
+        device.coherency.hardware_read(addr, RPTE_BYTES)
+        return RPte.decode(device.mem.ram.read(addr, RPTE_BYTES))
+
+    # -- hardware routines (Figure 10) --------------------------------------
+
+    def rtranslate(self, bdf: int, iova: RIova, direction: DmaDirection) -> int:
+        """Translate a rIOVA to a physical address, or raise an IOPF."""
+        self.riotlb.stats.translations += 1
+        entry = self.riotlb.find(bdf, iova.rid)
+        if entry is None:
+            self.riotlb.stats.misses += 1
+            entry = self.rtable_walk(bdf, iova)
+            self.riotlb.insert(entry)
+        else:
+            self.riotlb.stats.hits += 1
+            if entry.rentry != iova.rentry:
+                entry = self.riotlb_entry_sync(bdf, iova, entry)
+                self.riotlb.insert(entry)
+        if iova.offset >= entry.rpte.size or not entry.rpte.direction.permits(direction):
+            self._io_page_fault(bdf, iova, entry, direction)
+        return entry.rpte.phys_addr + iova.offset
+
+    def rtable_walk(self, bdf: int, iova: RIova) -> RIotlbEntry:
+        """Validate the rIOVA against the structures and fetch its rPTE.
+
+        Every read — the rRING descriptor in the rDEVICE array and the
+        rPTE in the flat table — is a hardware memory access through the
+        coherency domain.
+        """
+        device = self.get_domain(bdf)
+        if iova.rid >= device.size:
+            raise TranslationFault(
+                f"rid {iova.rid} out of range for bdf {bdf:#06x}",
+                bdf=bdf,
+                iova=iova.packed(),
+            )
+        table_addr, ring_size = device.hardware_ring_descriptor(iova.rid)
+        if iova.rentry >= ring_size:
+            raise TranslationFault(
+                f"rentry {iova.rentry} out of range for ring {iova.rid}",
+                bdf=bdf,
+                iova=iova.packed(),
+            )
+        rpte = self._hardware_read_rpte(device, table_addr, iova.rentry)
+        if not rpte.valid:
+            raise TranslationFault(
+                f"rPTE {iova.rid}/{iova.rentry} is invalid",
+                bdf=bdf,
+                iova=iova.packed(),
+            )
+        self.riotlb.stats.walks += 1
+        entry = RIotlbEntry(
+            bdf=bdf, rid=iova.rid, rentry=iova.rentry, rpte=rpte.copy()
+        )
+        self.rprefetch(device, entry)
+        return entry
+
+    def riotlb_entry_sync(
+        self, bdf: int, iova: RIova, entry: RIotlbEntry
+    ) -> RIotlbEntry:
+        """Advance the ring's entry to the rIOVA's rPTE.
+
+        In the common sequential case the prefetched ``next`` rPTE is
+        exactly what is needed; otherwise fall back to a table walk
+        (this is the only cost of out-of-order access — paper §4).
+        """
+        device = self.get_domain(bdf)
+        _table_addr, ring_size = device.hardware_ring_descriptor(entry.rid)
+        next_rentry = (entry.rentry + 1) % ring_size
+        if entry.next is not None and entry.next.valid and iova.rentry == next_rentry:
+            self.riotlb.stats.prefetch_hits += 1
+            entry.rpte = entry.next
+            entry.rentry = next_rentry
+            entry.next = None
+        else:
+            self.riotlb.stats.sync_walks += 1
+            entry = self.rtable_walk(bdf, iova)
+        self.rprefetch(device, entry)
+        return entry
+
+    def rprefetch(self, device: RDevice, entry: RIotlbEntry) -> None:
+        """Opportunistically copy the subsequent rPTE into ``entry.next``.
+
+        The paper notes prefetch can be asynchronous and that the design
+        works without it; it only matters in sub-microsecond user-level
+        I/O setups (§5.3).
+        """
+        if not self.prefetch_enabled:
+            return
+        table_addr, ring_size = device.hardware_ring_descriptor(entry.rid)
+        if ring_size <= 1:
+            return
+        next_rentry = (entry.rentry + 1) % ring_size
+        rpte = self._hardware_read_rpte(device, table_addr, next_rentry)
+        if rpte.valid:
+            entry.next = rpte.copy()
+
+    # -- fault helper -----------------------------------------------------------
+
+    @staticmethod
+    def _io_page_fault(
+        bdf: int, iova: RIova, entry: RIotlbEntry, direction: DmaDirection
+    ) -> None:
+        if iova.offset >= entry.rpte.size:
+            raise BoundsFault(
+                f"offset {iova.offset} >= mapped size {entry.rpte.size} "
+                f"(ring {iova.rid} entry {iova.rentry})",
+                bdf=bdf,
+                iova=iova.packed(),
+            )
+        raise PermissionFault(
+            f"direction {direction!r} not permitted by rPTE "
+            f"({entry.rpte.direction!r}) at ring {iova.rid} entry {iova.rentry}",
+            bdf=bdf,
+            iova=iova.packed(),
+        )

@@ -1,0 +1,85 @@
+"""Ring-buffer I/O device models: NIC, NVMe SSD, AHCI/SATA, DMA bus."""
+
+from repro.devices.ahci import (
+    AHCI_COMMAND_SLOTS,
+    AhciCommand,
+    AhciCompletion,
+    AhciController,
+    AhciOp,
+)
+from repro.devices.descriptor import (
+    DESCRIPTOR_BYTES,
+    FLAG_DONE,
+    FLAG_INTERRUPT,
+    FLAG_VALID,
+    Descriptor,
+)
+from repro.devices.dma import (
+    DmaBus,
+    DmaBusStats,
+    IdentityBackend,
+    IommuBackend,
+    RIommuBackend,
+    TranslationBackend,
+)
+from repro.devices.dma import HwptBackend, SwptBackend
+from repro.devices.nic import (
+    BRCM_PROFILE,
+    MLX_PROFILE,
+    MultiQueueNic,
+    NicProfile,
+    NicStats,
+    SimulatedNic,
+)
+from repro.devices.nvme import (
+    CQE_BYTES,
+    NVME_BLOCK_BYTES,
+    SQE_BYTES,
+    NvmeCommand,
+    NvmeCompletion,
+    NvmeController,
+    NvmeMmio,
+    NvmeOpcode,
+    NvmeQueuePair,
+    NvmeStatus,
+)
+from repro.devices.ring import Ring, RingFullError
+
+__all__ = [
+    "AHCI_COMMAND_SLOTS",
+    "AhciCommand",
+    "AhciCompletion",
+    "AhciController",
+    "AhciOp",
+    "BRCM_PROFILE",
+    "DESCRIPTOR_BYTES",
+    "Descriptor",
+    "DmaBus",
+    "DmaBusStats",
+    "FLAG_DONE",
+    "FLAG_INTERRUPT",
+    "FLAG_VALID",
+    "HwptBackend",
+    "IdentityBackend",
+    "IommuBackend",
+    "MLX_PROFILE",
+    "MultiQueueNic",
+    "SwptBackend",
+    "CQE_BYTES",
+    "NVME_BLOCK_BYTES",
+    "NicProfile",
+    "NicStats",
+    "NvmeCommand",
+    "NvmeCompletion",
+    "NvmeController",
+    "NvmeMmio",
+    "NvmeOpcode",
+    "SQE_BYTES",
+    "NvmeQueuePair",
+    "NvmeStatus",
+    "RIommuBackend",
+    "Ring",
+    "RingFullError",
+    "SimulatedNic",
+    "TranslationBackend",
+]

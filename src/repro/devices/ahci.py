@@ -1,0 +1,145 @@
+"""An AHCI/SATA controller model — where rIOMMU is *inapplicable*.
+
+The paper (§4, Applicability and Limitations) explains why rIOMMU does
+not target SATA: AHCI exposes a single queue of 32 command slots that
+the drive may complete in *arbitrary order*, violating the strict ring
+order rIOMMU relies on; and SATA drives are too slow for IOMMU overhead
+to matter anyway (their Bonnie++ runs were indistinguishable between
+strict IOMMU and no IOMMU).  This model supplies both properties:
+out-of-order completion, and a per-command device latency that dwarfs
+the mapping cost, so experiment E9 can reproduce the claim.
+"""
+
+from __future__ import annotations
+
+import enum
+import random
+from dataclasses import dataclass
+from typing import Callable, Dict, List, Optional
+
+from repro.devices.dma import DmaBus
+
+AHCI_COMMAND_SLOTS = 32
+SECTOR_BYTES = 512
+
+#: A 7200rpm-class SATA device: ~100 us per sequential 4 KB op at the
+#: device, i.e. hundreds of thousands of CPU cycles — versus the ~7,600
+#: cycles of a strict map+unmap pair.
+DEFAULT_DEVICE_LATENCY_US = 100.0
+
+
+class AhciOp(enum.Enum):
+    """Read or write."""
+
+    READ = "read"
+    WRITE = "write"
+
+
+@dataclass
+class AhciCommand:
+    """One command-slot entry."""
+
+    op: AhciOp
+    lba: int
+    sectors: int
+    #: device-visible address of the data buffer
+    data_addr: int
+
+    @property
+    def byte_count(self) -> int:
+        """Bytes this command transfers."""
+        return self.sectors * SECTOR_BYTES
+
+
+@dataclass
+class AhciCompletion:
+    """Completion record for one slot."""
+
+    slot: int
+    ok: bool
+    device_latency_us: float
+
+
+class AhciController:
+    """Single-queue, 32-slot controller with out-of-order completion."""
+
+    def __init__(
+        self,
+        bus: DmaBus,
+        bdf: int,
+        capacity_sectors: int = 1 << 24,
+        device_latency_us: float = DEFAULT_DEVICE_LATENCY_US,
+        seed: int = 0,
+    ) -> None:
+        self.bus = bus
+        self.bdf = bdf
+        self.capacity_sectors = capacity_sectors
+        self.device_latency_us = device_latency_us
+        self._disk: Dict[int, bytes] = {}
+        self._slots: Dict[int, AhciCommand] = {}
+        self._rng = random.Random(seed)
+        self.on_completion: Optional[Callable[[AhciCompletion], None]] = None
+        self.commands_processed = 0
+
+    # -- host side -----------------------------------------------------------
+
+    def issue(self, command: AhciCommand) -> int:
+        """Place a command in a free slot; returns the slot number."""
+        for slot in range(AHCI_COMMAND_SLOTS):
+            if slot not in self._slots:
+                self._slots[slot] = command
+                return slot
+        raise RuntimeError("all 32 AHCI command slots are busy")
+
+    @property
+    def busy_slots(self) -> int:
+        """Number of occupied command slots."""
+        return len(self._slots)
+
+    # -- device side ------------------------------------------------------------
+
+    def process(self, shuffle: bool = True) -> List[AhciCompletion]:
+        """Drive executes all issued commands — in arbitrary order.
+
+        ``shuffle=True`` randomises the completion order (NCQ-style),
+        which is exactly the behaviour that breaks rIOMMU's assumption.
+        """
+        slots = list(self._slots.keys())
+        if shuffle:
+            self._rng.shuffle(slots)
+        completions: List[AhciCompletion] = []
+        for slot in slots:
+            command = self._slots.pop(slot)
+            ok = self._execute(command)
+            completion = AhciCompletion(
+                slot=slot, ok=ok, device_latency_us=self.device_latency_us
+            )
+            completions.append(completion)
+            self.commands_processed += 1
+            if self.on_completion is not None:
+                self.on_completion(completion)
+        return completions
+
+    def _execute(self, command: AhciCommand) -> bool:
+        if command.sectors <= 0:
+            return False
+        if command.lba < 0 or command.lba + command.sectors > self.capacity_sectors:
+            return False
+        if command.op is AhciOp.WRITE:
+            data = self.bus.dma_read(self.bdf, command.data_addr, command.byte_count)
+            for i in range(command.sectors):
+                self._disk[command.lba + i] = bytes(
+                    data[i * SECTOR_BYTES : (i + 1) * SECTOR_BYTES]
+                )
+            return True
+        out = bytearray()
+        for i in range(command.sectors):
+            out += self._disk.get(command.lba + i, bytes(SECTOR_BYTES))
+        self.bus.dma_write(self.bdf, command.data_addr, bytes(out))
+        return True
+
+    # -- introspection ------------------------------------------------------------
+
+    def sector(self, lba: int) -> bytes:
+        """Direct disk inspection (test helper)."""
+        return self._disk.get(lba, bytes(SECTOR_BYTES))

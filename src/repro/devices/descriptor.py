@@ -1,0 +1,86 @@
+"""DMA descriptors — the entries of device rings (paper §2.3).
+
+The exact descriptor layout varies between real devices; ours is a
+32-byte format with up to two data segments, enough to model both NIC
+profiles the paper evaluates: the Mellanox driver posts *two* target
+buffers per packet (header + data, hence two IOVAs), the Broadcom
+driver posts one.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import List, Tuple
+
+DESCRIPTOR_BYTES = 32
+
+#: descriptor contains a DMA the device should execute
+FLAG_VALID = 1 << 0
+#: device completed the DMA (written back by the device)
+FLAG_DONE = 1 << 1
+#: generate an interrupt on completion
+FLAG_INTERRUPT = 1 << 2
+
+
+@dataclass
+class Descriptor:
+    """One ring entry: up to two (address, length) data segments.
+
+    Addresses are *device-visible*: physical in ``none`` mode, IOVAs
+    under the baseline IOMMU, packed rIOVAs under the rIOMMU.
+    """
+
+    segments: List[Tuple[int, int]] = field(default_factory=list)
+    flags: int = 0
+
+    def __post_init__(self) -> None:
+        if len(self.segments) > 2:
+            raise ValueError("descriptor supports at most two segments")
+        for _addr, length in self.segments:
+            if length <= 0:
+                raise ValueError("segment length must be positive")
+
+    @property
+    def valid(self) -> bool:
+        """True if the device should process this descriptor."""
+        return bool(self.flags & FLAG_VALID)
+
+    @property
+    def done(self) -> bool:
+        """True once the device wrote completion status back."""
+        return bool(self.flags & FLAG_DONE)
+
+    @property
+    def total_length(self) -> int:
+        """Sum of segment lengths."""
+        return sum(length for _addr, length in self.segments)
+
+    def encode(self) -> bytes:
+        """Serialize to the 32-byte in-memory format."""
+        addr0, len0 = self.segments[0] if self.segments else (0, 0)
+        addr1, len1 = self.segments[1] if len(self.segments) > 1 else (0, 0)
+        return (
+            addr0.to_bytes(8, "little")
+            + len0.to_bytes(4, "little")
+            + self.flags.to_bytes(4, "little")
+            + addr1.to_bytes(8, "little")
+            + len1.to_bytes(4, "little")
+            + b"\x00\x00\x00\x00"
+        )
+
+    @classmethod
+    def decode(cls, raw: bytes) -> "Descriptor":
+        """Deserialize from the 32-byte in-memory format."""
+        if len(raw) != DESCRIPTOR_BYTES:
+            raise ValueError(f"descriptor must be {DESCRIPTOR_BYTES} bytes")
+        addr0 = int.from_bytes(raw[0:8], "little")
+        len0 = int.from_bytes(raw[8:12], "little")
+        flags = int.from_bytes(raw[12:16], "little")
+        addr1 = int.from_bytes(raw[16:24], "little")
+        len1 = int.from_bytes(raw[24:28], "little")
+        segments: List[Tuple[int, int]] = []
+        if len0:
+            segments.append((addr0, len0))
+        if len1:
+            segments.append((addr1, len1))
+        return cls(segments=segments, flags=flags)

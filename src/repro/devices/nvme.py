@@ -1,0 +1,321 @@
+"""An NVMe controller with memory-resident queues (paper §4, Applicability).
+
+NVMe is the paper's second target class: PCIe SSDs whose spec mandates
+ring-shaped submission/completion queues ("up to 64K queues of up to
+64K commands"), consumed strictly in order — exactly the discipline the
+rIOMMU exploits.
+
+Fidelity notes: submission and completion queues live in *host memory*;
+the host writes 64-byte SQEs at the SQ tail and rings a doorbell, and
+the controller DMA-reads the SQEs and DMA-writes 16-byte CQEs — every
+one of those accesses goes through the DMA bus, i.e. through whichever
+(r)IOMMU backend is configured, just like the data transfers
+themselves.  Doorbells are exposed both as methods and as an MMIO
+register block (:class:`NvmeMmio`).
+"""
+
+from __future__ import annotations
+
+import enum
+from dataclasses import dataclass, field
+from typing import Callable, Dict, List, Optional
+
+from repro.devices.dma import DmaBus
+
+NVME_BLOCK_BYTES = 4096
+SQE_BYTES = 64
+CQE_BYTES = 16
+#: NVMe spec limits: 64K queues x 64K commands
+MAX_QUEUE_ENTRIES = 1 << 16
+MAX_QUEUES = 1 << 16
+
+
+class NvmeOpcode(enum.Enum):
+    """The two I/O commands the model implements."""
+
+    READ = 0x02
+    WRITE = 0x01
+
+
+class NvmeStatus(enum.Enum):
+    """Completion status codes."""
+
+    SUCCESS = 0x0
+    INVALID_FIELD = 0x2
+    INVALID_OPCODE = 0x1
+    LBA_OUT_OF_RANGE = 0x80
+
+
+@dataclass
+class NvmeCommand:
+    """One submission-queue entry (simplified SQE)."""
+
+    opcode: NvmeOpcode
+    command_id: int
+    lba: int
+    blocks: int
+    #: device-visible address of the data buffer (IOVA/phys/rIOVA)
+    data_addr: int
+
+    @property
+    def byte_count(self) -> int:
+        """Bytes this command transfers."""
+        return self.blocks * NVME_BLOCK_BYTES
+
+    def encode(self) -> bytes:
+        """Serialize to the 64-byte in-memory SQE format."""
+        return (
+            self.opcode.value.to_bytes(4, "little")
+            + (self.command_id & 0xFFFFFFFF).to_bytes(4, "little")
+            + self.lba.to_bytes(8, "little")
+            + self.blocks.to_bytes(4, "little")
+            + bytes(4)
+            + self.data_addr.to_bytes(8, "little")
+            + bytes(SQE_BYTES - 32)
+        )
+
+    @classmethod
+    def decode(cls, raw: bytes) -> "NvmeCommand":
+        """Deserialize from the 64-byte in-memory SQE format."""
+        if len(raw) != SQE_BYTES:
+            raise ValueError(f"SQE must be {SQE_BYTES} bytes")
+        return cls(
+            opcode=NvmeOpcode(int.from_bytes(raw[0:4], "little")),
+            command_id=int.from_bytes(raw[4:8], "little"),
+            lba=int.from_bytes(raw[8:16], "little"),
+            blocks=int.from_bytes(raw[16:20], "little"),
+            data_addr=int.from_bytes(raw[24:32], "little"),
+        )
+
+
+@dataclass
+class NvmeCompletion:
+    """One completion-queue entry (simplified CQE)."""
+
+    command_id: int
+    status: NvmeStatus
+    sq_head: int
+
+    def encode(self) -> bytes:
+        """Serialize to the 16-byte in-memory CQE format."""
+        return (
+            (self.command_id & 0xFFFF).to_bytes(2, "little")
+            + self.status.value.to_bytes(2, "little")
+            + (self.sq_head & 0xFFFF).to_bytes(2, "little")
+            + bytes(CQE_BYTES - 6)
+        )
+
+    @classmethod
+    def decode(cls, raw: bytes) -> "NvmeCompletion":
+        """Deserialize from the 16-byte in-memory CQE format."""
+        if len(raw) != CQE_BYTES:
+            raise ValueError(f"CQE must be {CQE_BYTES} bytes")
+        return cls(
+            command_id=int.from_bytes(raw[0:2], "little"),
+            status=NvmeStatus(int.from_bytes(raw[2:4], "little")),
+            sq_head=int.from_bytes(raw[4:6], "little"),
+        )
+
+
+@dataclass
+class NvmeQueuePair:
+    """A submission queue and its completion queue (device-side view).
+
+    ``sq_addr`` / ``cq_addr`` are *device-visible* base addresses of the
+    host-memory rings.  ``completions`` mirrors the CQEs the controller
+    wrote, for convenient host-side reaping in tests.
+    """
+
+    qid: int
+    entries: int
+    sq_addr: int
+    cq_addr: int
+    sq_head: int = 0
+    sq_tail: int = 0  # last doorbell value the host wrote
+    cq_tail: int = 0
+    completions: List[NvmeCompletion] = field(default_factory=list)
+
+    @property
+    def pending(self) -> int:
+        """Commands the host posted that the device has not consumed."""
+        return (self.sq_tail - self.sq_head) % self.entries
+
+
+CompletionHandler = Callable[[int, "NvmeCompletion"], None]
+
+
+class NvmeController:
+    """Device-side NVMe logic over an in-memory flash store."""
+
+    def __init__(
+        self,
+        bus: DmaBus,
+        bdf: int,
+        capacity_blocks: int = 1 << 20,
+    ) -> None:
+        if capacity_blocks <= 0:
+            raise ValueError("capacity must be positive")
+        self.bus = bus
+        self.bdf = bdf
+        self.capacity_blocks = capacity_blocks
+        self._flash: Dict[int, bytes] = {}
+        self._queues: Dict[int, NvmeQueuePair] = {}
+        self.on_completion: Optional[CompletionHandler] = None
+        self.commands_processed = 0
+
+    # -- queue management --------------------------------------------------
+
+    def create_queue_pair(
+        self,
+        entries: int,
+        sq_addr: Optional[int] = None,
+        cq_addr: Optional[int] = None,
+    ) -> int:
+        """Register an SQ/CQ pair; returns its queue ID.
+
+        Proper use passes device-visible ``sq_addr``/``cq_addr`` of
+        host rings the OS already mapped (see
+        :class:`~repro.kernel.nvme_driver.NvmeDriver`).  As a test
+        convenience, omitting them allocates host memory directly and
+        uses physical addresses — valid only on an identity bus.
+        """
+        if not 1 <= entries <= MAX_QUEUE_ENTRIES:
+            raise ValueError(f"entries must be in [1, {MAX_QUEUE_ENTRIES}]")
+        if len(self._queues) >= MAX_QUEUES:
+            raise RuntimeError("controller queue limit reached")
+        if sq_addr is None:
+            sq_addr = self.bus.mem.alloc_dma_buffer(entries * SQE_BYTES)
+        if cq_addr is None:
+            cq_addr = self.bus.mem.alloc_dma_buffer(entries * CQE_BYTES)
+        qid = len(self._queues) + 1  # qid 0 is the admin queue in real NVMe
+        self._queues[qid] = NvmeQueuePair(
+            qid=qid, entries=entries, sq_addr=sq_addr, cq_addr=cq_addr
+        )
+        return qid
+
+    def queue(self, qid: int) -> NvmeQueuePair:
+        """Look up a queue pair."""
+        try:
+            return self._queues[qid]
+        except KeyError:
+            raise KeyError(f"no queue with ID {qid}")
+
+    # -- host-side convenience (what NvmeDriver does properly) -----------------
+
+    def submit(self, qid: int, command: NvmeCommand) -> None:
+        """Host-side helper: write the SQE into the ring at the tail.
+
+        This is the *host* acting (hence the direct memory write); the
+        device only sees the SQE when :meth:`ring_doorbell` makes it
+        DMA-read the ring.  Real drivers do this themselves — see
+        ``repro.kernel.nvme_driver``.
+        """
+        qp = self.queue(qid)
+        if qp.pending >= qp.entries - 1:
+            raise RuntimeError(f"submission queue {qid} is full")
+        # Valid only when sq_addr is a physical address (identity bus).
+        self.bus.mem.ram.write(
+            qp.sq_addr + qp.sq_tail * SQE_BYTES, command.encode()
+        )
+        qp.sq_tail = (qp.sq_tail + 1) % qp.entries
+
+    # -- device side: doorbell + execution -----------------------------------------
+
+    def ring_doorbell(self, qid: int, sq_tail: Optional[int] = None) -> int:
+        """The SQ tail doorbell: consume SQEs head..tail strictly in order.
+
+        ``sq_tail`` updates the device's tail shadow (an MMIO doorbell
+        write); None keeps the current value (tests that used
+        :meth:`submit` already advanced it).  Returns commands completed.
+        """
+        qp = self.queue(qid)
+        if sq_tail is not None:
+            if not 0 <= sq_tail < qp.entries:
+                raise ValueError(f"doorbell tail {sq_tail} out of range")
+            qp.sq_tail = sq_tail
+        processed = 0
+        while qp.pending > 0:
+            raw = self.bus.dma_read(
+                self.bdf, qp.sq_addr + qp.sq_head * SQE_BYTES, SQE_BYTES
+            )
+            command = NvmeCommand.decode(raw)
+            qp.sq_head = (qp.sq_head + 1) % qp.entries
+            status = self._execute(command)
+            cqe = NvmeCompletion(
+                command_id=command.command_id, status=status, sq_head=qp.sq_head
+            )
+            self.bus.dma_write(
+                self.bdf, qp.cq_addr + qp.cq_tail * CQE_BYTES, cqe.encode()
+            )
+            qp.cq_tail = (qp.cq_tail + 1) % qp.entries
+            qp.completions.append(cqe)
+            self.commands_processed += 1
+            processed += 1
+            if self.on_completion is not None:
+                self.on_completion(qid, cqe)
+        return processed
+
+    def _execute(self, command: NvmeCommand) -> NvmeStatus:
+        if command.blocks <= 0:
+            return NvmeStatus.INVALID_FIELD
+        if command.lba < 0 or command.lba + command.blocks > self.capacity_blocks:
+            return NvmeStatus.LBA_OUT_OF_RANGE
+        if command.opcode is NvmeOpcode.WRITE:
+            data = self.bus.dma_read(self.bdf, command.data_addr, command.byte_count)
+            for i in range(command.blocks):
+                block = data[i * NVME_BLOCK_BYTES : (i + 1) * NVME_BLOCK_BYTES]
+                self._flash[command.lba + i] = bytes(block)
+            return NvmeStatus.SUCCESS
+        # READ
+        out = bytearray()
+        for i in range(command.blocks):
+            out += self._flash.get(command.lba + i, bytes(NVME_BLOCK_BYTES))
+        self.bus.dma_write(self.bdf, command.data_addr, bytes(out))
+        return NvmeStatus.SUCCESS
+
+    # -- introspection ---------------------------------------------------------------
+
+    def block(self, lba: int) -> bytes:
+        """Direct flash inspection (test helper, not a device operation)."""
+        return self._flash.get(lba, bytes(NVME_BLOCK_BYTES))
+
+
+class NvmeMmio:
+    """BAR0-style doorbell registers for an :class:`NvmeController`.
+
+    Register layout (byte offsets):
+
+    * 0x00  CAP  (read-only: max queue entries)
+    * 0x14  CC   (controller configuration; bit 0 = enable)
+    * 0x1000 + 8*qid  SQ tail doorbell for queue ``qid``
+    """
+
+    CAP_OFFSET = 0x00
+    CC_OFFSET = 0x14
+    DOORBELL_BASE = 0x1000
+    DOORBELL_STRIDE = 8
+
+    def __init__(self, controller: NvmeController) -> None:
+        self.controller = controller
+        self.enabled = False
+
+    def read32(self, offset: int) -> int:
+        """MMIO read."""
+        if offset == self.CAP_OFFSET:
+            return MAX_QUEUE_ENTRIES - 1
+        if offset == self.CC_OFFSET:
+            return 1 if self.enabled else 0
+        raise ValueError(f"unmapped MMIO read at {offset:#x}")
+
+    def write32(self, offset: int, value: int) -> None:
+        """MMIO write; doorbell writes trigger queue processing."""
+        if offset == self.CC_OFFSET:
+            self.enabled = bool(value & 1)
+            return
+        if offset >= self.DOORBELL_BASE and (offset - self.DOORBELL_BASE) % self.DOORBELL_STRIDE == 0:
+            if not self.enabled:
+                raise RuntimeError("doorbell write while controller disabled")
+            qid = (offset - self.DOORBELL_BASE) // self.DOORBELL_STRIDE
+            self.controller.ring_doorbell(qid, sq_tail=value)
+            return
+        raise ValueError(f"unmapped MMIO write at {offset:#x}")

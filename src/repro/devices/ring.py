@@ -1,0 +1,104 @@
+"""The circular descriptor ring shared by driver and device (paper §2.3).
+
+The ring is an array of descriptors in physical memory.  The *driver*
+adds descriptors at the tail; the *device* consumes them from the head;
+both wrap around.  The device reaches the ring through the DMA bus —
+i.e. through the (r)IOMMU — using the device-visible base address the
+driver programmed at initialisation, which is how Figure 5's "translate
+the head register" step is exercised.
+
+Ring memory is allocated DMA-coherent (as real drivers do with
+``dma_alloc_coherent``), so descriptor reads/writes need no explicit
+cacheline flushes; only the IOMMU's own page tables have the coherency
+problem the paper charges for.
+"""
+
+from __future__ import annotations
+
+from typing import Optional
+
+from repro.devices.descriptor import DESCRIPTOR_BYTES, Descriptor
+from repro.devices.dma import DmaBus
+from repro.memory.physical import MemorySystem
+
+
+class Ring:
+    """One descriptor ring: driver-side state plus device-side access."""
+
+    def __init__(self, mem: MemorySystem, entries: int) -> None:
+        if entries <= 0:
+            raise ValueError("ring must have at least one entry")
+        self.mem = mem
+        self.entries = entries
+        self.size_bytes = entries * DESCRIPTOR_BYTES
+        self.base_phys = mem.alloc_dma_buffer(self.size_bytes)
+        #: what the device has been told its ring base is (IOVA/phys/rIOVA);
+        #: set by the kernel driver after mapping the ring.
+        self.device_base: Optional[int] = None
+        #: next entry the device will consume
+        self.head = 0
+        #: next entry the driver will fill
+        self.tail = 0
+
+    # -- geometry -----------------------------------------------------------
+
+    def slot_phys(self, index: int) -> int:
+        """Physical address of descriptor ``index``."""
+        if not 0 <= index < self.entries:
+            raise IndexError(f"descriptor index {index} out of range")
+        return self.base_phys + index * DESCRIPTOR_BYTES
+
+    def slot_device_addr(self, index: int) -> int:
+        """Device-visible address of descriptor ``index``."""
+        if self.device_base is None:
+            raise RuntimeError("ring has no device base address configured")
+        if not 0 <= index < self.entries:
+            raise IndexError(f"descriptor index {index} out of range")
+        return self.device_base + index * DESCRIPTOR_BYTES
+
+    @property
+    def pending(self) -> int:
+        """Descriptors posted by the driver and not yet consumed: [head, tail)."""
+        return (self.tail - self.head) % self.entries
+
+    @property
+    def free_slots(self) -> int:
+        """Entries the driver may still post (one slot is kept open to
+        disambiguate full from empty, as real rings do)."""
+        return self.entries - 1 - self.pending
+
+    # -- driver (CPU) side ------------------------------------------------------
+
+    def post(self, descriptor: Descriptor) -> int:
+        """Driver writes a descriptor at the tail; returns its index."""
+        if self.free_slots == 0:
+            raise RingFullError(f"ring is full ({self.entries} entries)")
+        index = self.tail
+        self.mem.ram.write(self.slot_phys(index), descriptor.encode())
+        self.tail = (self.tail + 1) % self.entries
+        return index
+
+    def read_descriptor(self, index: int) -> Descriptor:
+        """Driver reads back a descriptor (e.g. to check DONE status)."""
+        return Descriptor.decode(self.mem.ram.read(self.slot_phys(index), DESCRIPTOR_BYTES))
+
+    # -- device side --------------------------------------------------------------
+
+    def device_fetch(self, bus: DmaBus, bdf: int, index: int) -> Descriptor:
+        """Device DMA-reads descriptor ``index`` through the IOMMU."""
+        raw = bus.dma_read(bdf, self.slot_device_addr(index), DESCRIPTOR_BYTES)
+        return Descriptor.decode(raw)
+
+    def device_writeback(self, bus: DmaBus, bdf: int, index: int, descriptor: Descriptor) -> None:
+        """Device DMA-writes completion status back into the descriptor."""
+        bus.dma_write(bdf, self.slot_device_addr(index), descriptor.encode())
+
+    def device_advance_head(self) -> int:
+        """Device consumed the head descriptor; returns the consumed index."""
+        index = self.head
+        self.head = (self.head + 1) % self.entries
+        return index
+
+
+class RingFullError(RuntimeError):
+    """The driver tried to post to a full ring — back-pressure, not a bug."""

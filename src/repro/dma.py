@@ -1,0 +1,35 @@
+"""DMA direction — shared by page tables, rIOMMU rPTEs and the DMA API."""
+
+from __future__ import annotations
+
+import enum
+
+
+class DmaDirection(enum.IntFlag):
+    """Direction of a DMA relative to main memory.
+
+    Matches the two-bit ``dir`` field of the paper's rPTE (Figure 9c):
+    a DMA can move data *from* memory (device reads it — transmit),
+    *to* memory (device writes it — receive), or both.
+    """
+
+    #: device reads main memory (transmit path / Tx)
+    TO_DEVICE = 1
+    #: device writes main memory (receive path / Rx)
+    FROM_DEVICE = 2
+    #: both directions permitted
+    BIDIRECTIONAL = 3
+
+    @property
+    def device_reads(self) -> bool:
+        """True if the device may read memory under this direction."""
+        return bool(self & DmaDirection.TO_DEVICE)
+
+    @property
+    def device_writes(self) -> bool:
+        """True if the device may write memory under this direction."""
+        return bool(self & DmaDirection.FROM_DEVICE)
+
+    def permits(self, access: "DmaDirection") -> bool:
+        """True if an access of direction ``access`` is allowed by ``self``."""
+        return bool(self & access) and (access & ~self) == 0

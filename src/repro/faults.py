@@ -1,0 +1,34 @@
+"""I/O page faults.
+
+DMAs are not restartable on the simulated platform (paper §2.2): a
+translation failure is an error condition, and OSes typically react by
+reinitialising the device.  All translation-time failures raise a
+subclass of :class:`IoPageFault`.
+"""
+
+from __future__ import annotations
+
+
+class IoPageFault(RuntimeError):
+    """Base class for all (r)IOMMU translation failures."""
+
+    def __init__(self, message: str, bdf: int = -1, iova: int = -1) -> None:
+        super().__init__(message)
+        self.bdf = bdf
+        self.iova = iova
+
+
+class TranslationFault(IoPageFault):
+    """No valid translation exists for the IOVA (missing/cleared PTE)."""
+
+
+class PermissionFault(IoPageFault):
+    """The DMA direction conflicts with the mapping's permissions."""
+
+
+class BoundsFault(IoPageFault):
+    """The access exceeds the mapped region (rIOMMU fine-grained check)."""
+
+
+class ContextFault(IoPageFault):
+    """No device context exists for the requester's bus-device-function."""

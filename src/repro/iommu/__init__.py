@@ -1,0 +1,54 @@
+"""Baseline Intel-style IOMMU: radix page tables, IOTLB, Linux driver."""
+
+from repro.iommu.context import ContextTables, make_bdf, split_bdf
+from repro.iommu.driver import DMA_32BIT_PFN, BaselineIommuDriver, LiveMapping
+from repro.iommu.hardware import Iommu, TranslationStats
+from repro.iommu.invalidation import (
+    DEFAULT_FLUSH_THRESHOLD,
+    DeferredInvalidation,
+    InvalidationStats,
+    StrictInvalidation,
+)
+from repro.iommu.iotlb import DEFAULT_IOTLB_CAPACITY, Iotlb, IotlbEntry, IotlbStats
+from repro.iommu.qi import QiOpcode, QiStats, QueuedInvalidation, QueueFullError
+from repro.iommu.page_table import (
+    PTE_PRESENT,
+    PTE_READ,
+    PTE_WRITE,
+    PageTableOpStats,
+    RadixPageTable,
+    WalkResult,
+    direction_allowed,
+    perms_from_direction,
+)
+
+__all__ = [
+    "DEFAULT_FLUSH_THRESHOLD",
+    "DEFAULT_IOTLB_CAPACITY",
+    "DMA_32BIT_PFN",
+    "BaselineIommuDriver",
+    "ContextTables",
+    "DeferredInvalidation",
+    "Iommu",
+    "Iotlb",
+    "IotlbEntry",
+    "IotlbStats",
+    "InvalidationStats",
+    "LiveMapping",
+    "PTE_PRESENT",
+    "PTE_READ",
+    "PTE_WRITE",
+    "PageTableOpStats",
+    "QiOpcode",
+    "QiStats",
+    "QueueFullError",
+    "QueuedInvalidation",
+    "RadixPageTable",
+    "StrictInvalidation",
+    "TranslationStats",
+    "WalkResult",
+    "direction_allowed",
+    "make_bdf",
+    "perms_from_direction",
+    "split_bdf",
+]

@@ -1,0 +1,100 @@
+"""Root and context tables — how the IOMMU finds a device's page table.
+
+The PCI request identifier (bus-device-function, Figure 2 of the paper)
+indexes a two-level structure: the 8-bit bus number selects a context
+table from the root table, and the 8-bit devfn selects the page-table
+root from the context table.  Both tables are real pages in simulated
+memory and are read by the hardware through the coherency domain.
+"""
+
+from __future__ import annotations
+
+from typing import Dict
+
+from repro.faults import ContextFault
+from repro.memory.coherency import CoherencyDomain
+from repro.memory.physical import MemorySystem
+
+ENTRY_PRESENT = 1 << 0
+ENTRY_ADDR_MASK = ~0xFFF
+
+
+def make_bdf(bus: int, device: int, function: int) -> int:
+    """Pack a bus-device-function triplet into a 16-bit requester ID."""
+    if not 0 <= bus < 256:
+        raise ValueError(f"bus must be in [0, 256), got {bus}")
+    if not 0 <= device < 32:
+        raise ValueError(f"device must be in [0, 32), got {device}")
+    if not 0 <= function < 8:
+        raise ValueError(f"function must be in [0, 8), got {function}")
+    return (bus << 8) | (device << 3) | function
+
+
+def split_bdf(bdf: int) -> tuple:
+    """Unpack a requester ID into (bus, device, function)."""
+    if not 0 <= bdf < 1 << 16:
+        raise ValueError(f"bdf must be a 16-bit value, got {bdf}")
+    return bdf >> 8, (bdf >> 3) & 0x1F, bdf & 0x7
+
+
+class ContextTables:
+    """Memory-backed root table plus per-bus context tables."""
+
+    def __init__(self, mem: MemorySystem, coherency: CoherencyDomain) -> None:
+        self.mem = mem
+        self.coherency = coherency
+        self.root_table_addr = self._alloc_table()
+        self._context_tables: Dict[int, int] = {}  # bus -> table address
+
+    def _alloc_table(self) -> int:
+        addr = self.mem.allocator.alloc_page()
+        self.coherency.cpu_write(addr, 4096)
+        self.coherency.cache_line_flush(addr, 4096)
+        return addr
+
+    # -- OS side -----------------------------------------------------------
+
+    def attach(self, bdf: int, page_table_root: int) -> None:
+        """Point ``bdf``'s context entry at a page-table root address."""
+        bus, device, function = split_bdf(bdf)
+        ctx_addr = self._context_tables.get(bus)
+        if ctx_addr is None:
+            ctx_addr = self._alloc_table()
+            self._context_tables[bus] = ctx_addr
+            root_entry_addr = self.root_table_addr + bus * 8
+            self._write_entry(root_entry_addr, ctx_addr | ENTRY_PRESENT)
+        devfn = (device << 3) | function
+        self._write_entry(ctx_addr + devfn * 8, page_table_root | ENTRY_PRESENT)
+
+    def detach(self, bdf: int) -> None:
+        """Clear ``bdf``'s context entry (device removal / domain teardown)."""
+        bus, device, function = split_bdf(bdf)
+        ctx_addr = self._context_tables.get(bus)
+        if ctx_addr is None:
+            raise ContextFault(f"no context table for bus {bus}", bdf=bdf)
+        devfn = (device << 3) | function
+        self._write_entry(ctx_addr + devfn * 8, 0)
+
+    def _write_entry(self, entry_addr: int, value: int) -> None:
+        self.mem.ram.write_u64(entry_addr, value)
+        self.coherency.cpu_write(entry_addr, 8)
+        self.coherency.sync_mem(entry_addr, 8)
+
+    # -- hardware side ----------------------------------------------------------
+
+    def lookup(self, bdf: int) -> int:
+        """Hardware lookup: requester ID to page-table root address."""
+        bus, device, function = split_bdf(bdf)
+        root_entry_addr = self.root_table_addr + bus * 8
+        self.coherency.hardware_read(root_entry_addr, 8)
+        root_entry = self.mem.ram.read_u64(root_entry_addr)
+        if not root_entry & ENTRY_PRESENT:
+            raise ContextFault(f"no context table for bus {bus}", bdf=bdf)
+        ctx_addr = root_entry & ENTRY_ADDR_MASK
+        devfn = (device << 3) | function
+        ctx_entry_addr = ctx_addr + devfn * 8
+        self.coherency.hardware_read(ctx_entry_addr, 8)
+        ctx_entry = self.mem.ram.read_u64(ctx_entry_addr)
+        if not ctx_entry & ENTRY_PRESENT:
+            raise ContextFault(f"no context entry for bdf {bdf:#06x}", bdf=bdf)
+        return ctx_entry & ENTRY_ADDR_MASK

@@ -1,0 +1,139 @@
+"""The IOTLB: a capacity-bounded translation cache with LRU replacement.
+
+Entries persist until explicitly invalidated by the OS.  This is what
+makes the deferred protection mode unsafe: after an unmap, the device
+can still translate through the stale cached entry until the batched
+flush — the "vulnerability window" the paper describes in §3.2.  Tests
+exercise this window directly.
+"""
+
+from __future__ import annotations
+
+from collections import OrderedDict
+from dataclasses import dataclass
+from typing import Optional, Tuple
+
+#: Capacity used when none is given.  Intel does not document IOTLB
+#: sizes; tens of entries per translation cache is the accepted
+#: estimate, and the exact value only matters for miss-rate studies.
+DEFAULT_IOTLB_CAPACITY = 64
+
+
+@dataclass
+class IotlbStats:
+    """Hit/miss/invalidation counters."""
+
+    hits: int = 0
+    misses: int = 0
+    insertions: int = 0
+    evictions: int = 0
+    single_invalidations: int = 0
+    global_invalidations: int = 0
+    #: hits on entries whose page-table mapping was already destroyed
+    stale_hits: int = 0
+
+    def reset(self) -> None:
+        """Zero all counters."""
+        self.hits = 0
+        self.misses = 0
+        self.insertions = 0
+        self.evictions = 0
+        self.single_invalidations = 0
+        self.global_invalidations = 0
+        self.stale_hits = 0
+
+    @property
+    def lookups(self) -> int:
+        """Total lookups."""
+        return self.hits + self.misses
+
+    @property
+    def hit_rate(self) -> float:
+        """Fraction of lookups that hit (0 if no lookups)."""
+        if self.lookups == 0:
+            return 0.0
+        return self.hits / self.lookups
+
+
+@dataclass
+class IotlbEntry:
+    """One cached translation: (tag, vpn) -> frame address + permissions.
+
+    ``tag`` is the translation's cache tag — the VT-d *domain* ID when
+    inserted by the IOMMU datapath (devices sharing a domain share
+    cached translations), or any caller-chosen source tag in
+    stand-alone use.
+    """
+
+    tag: int
+    vpn: int
+    frame_addr: int
+    perms: int
+    #: set False by the page-table layer when the backing PTE is cleared;
+    #: used only to *account* stale hits — a real IOTLB has no such bit.
+    backing_valid: bool = True
+
+
+class Iotlb:
+    """Fully-associative LRU IOTLB keyed by (domain/source tag, virtual page)."""
+
+    def __init__(self, capacity: int = DEFAULT_IOTLB_CAPACITY) -> None:
+        if capacity <= 0:
+            raise ValueError("capacity must be positive")
+        self.capacity = capacity
+        self.stats = IotlbStats()
+        self._entries: "OrderedDict[Tuple[int, int], IotlbEntry]" = OrderedDict()
+
+    def lookup(self, tag: int, vpn: int) -> Optional[IotlbEntry]:
+        """Return the cached entry for (tag, vpn) or None on a miss."""
+        entry = self._entries.get((tag, vpn))
+        if entry is None:
+            self.stats.misses += 1
+            return None
+        self._entries.move_to_end((tag, vpn))
+        self.stats.hits += 1
+        if not entry.backing_valid:
+            self.stats.stale_hits += 1
+        return entry
+
+    def insert(self, entry: IotlbEntry) -> None:
+        """Cache a translation, evicting the LRU entry if full."""
+        key = (entry.tag, entry.vpn)
+        if key not in self._entries and len(self._entries) >= self.capacity:
+            self._entries.popitem(last=False)
+            self.stats.evictions += 1
+        self._entries[key] = entry
+        self._entries.move_to_end(key)
+        self.stats.insertions += 1
+
+    def invalidate(self, tag: int, vpn: int) -> bool:
+        """Invalidate one entry; True if it was present."""
+        self.stats.single_invalidations += 1
+        return self._entries.pop((tag, vpn), None) is not None
+
+    def invalidate_device(self, tag: int) -> int:
+        """Invalidate all entries with one tag; returns the count removed."""
+        keys = [k for k in self._entries if k[0] == tag]
+        for key in keys:
+            del self._entries[key]
+        self.stats.single_invalidations += 1
+        return len(keys)
+
+    def invalidate_all(self) -> int:
+        """Flush the whole IOTLB; returns the count removed."""
+        removed = len(self._entries)
+        self._entries.clear()
+        self.stats.global_invalidations += 1
+        return removed
+
+    def mark_backing_invalid(self, tag: int, vpn: int) -> None:
+        """Flag a cached entry as stale (its PTE was cleared without inval)."""
+        entry = self._entries.get((tag, vpn))
+        if entry is not None:
+            entry.backing_valid = False
+
+    def __len__(self) -> int:
+        return len(self._entries)
+
+    def __contains__(self, key: Tuple[int, int]) -> bool:
+        return key in self._entries

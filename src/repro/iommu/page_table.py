@@ -1,0 +1,220 @@
+"""The baseline IOMMU's 4-level radix I/O page table (paper §2.2).
+
+Tables are real 4 KB pages in the simulated physical memory; entries
+are 64-bit words.  CPU-side updates go through the coherency domain
+(the Linux driver must flush cachelines because the I/O page walk on
+the paper's testbed is not coherent with the CPU caches), and
+hardware-side walks read the same memory through the coherency domain,
+so a missing flush is *detected*, not just undercharged.
+"""
+
+from __future__ import annotations
+
+import itertools
+from dataclasses import dataclass
+
+from repro.dma import DmaDirection
+from repro.faults import PermissionFault, TranslationFault
+from repro.memory.address import (
+    PAGE_SIZE,
+    RADIX_LEVELS,
+    page_base,
+    page_offset,
+    radix_indices,
+)
+from repro.memory.coherency import CoherencyDomain
+from repro.memory.physical import MemorySystem
+
+PTE_PRESENT = 1 << 0
+PTE_READ = 1 << 1  # device may read memory through this mapping (Tx)
+PTE_WRITE = 1 << 2  # device may write memory through this mapping (Rx)
+PTE_FLAG_MASK = PTE_PRESENT | PTE_READ | PTE_WRITE
+PTE_ADDR_MASK = ~(PAGE_SIZE - 1)
+
+
+def perms_from_direction(direction: DmaDirection) -> int:
+    """Convert a DMA direction into PTE permission bits."""
+    perms = 0
+    if direction.device_reads:
+        perms |= PTE_READ
+    if direction.device_writes:
+        perms |= PTE_WRITE
+    return perms
+
+
+def direction_allowed(perms: int, access: DmaDirection) -> bool:
+    """True if PTE permission bits allow an access of the given direction."""
+    if access.device_reads and not perms & PTE_READ:
+        return False
+    if access.device_writes and not perms & PTE_WRITE:
+        return False
+    return True
+
+
+@dataclass
+class PageTableOpStats:
+    """What one map/unmap page-table operation actually did."""
+
+    entries_written: int = 0
+    tables_allocated: int = 0
+    levels_touched: int = 0
+
+
+@dataclass
+class WalkResult:
+    """Outcome of a successful hardware table walk."""
+
+    frame_addr: int
+    perms: int
+    levels_read: int
+
+
+#: process-wide domain-ID allocator (VT-d DIDs are 16-bit; we just count)
+_domain_ids = itertools.count(1)
+
+
+class RadixPageTable:
+    """A per-*domain* 4-level radix tree of IOVA=>PA translations.
+
+    In VT-d terms this is a protection domain: one or more devices may
+    be attached to the same table, and cached translations are tagged
+    with the table's ``domain_id``, so an unmap's invalidation covers
+    every attached device at once.
+    """
+
+    def __init__(self, mem: MemorySystem, coherency: CoherencyDomain) -> None:
+        self.mem = mem
+        self.coherency = coherency
+        self.root_addr = self._alloc_table()
+        #: VT-d domain identifier tagging this table's IOTLB entries
+        self.domain_id = next(_domain_ids)
+        #: number of currently-present leaf mappings
+        self.mapped_pages = 0
+
+    def _alloc_table(self) -> int:
+        """Allocate and zero one table page; returns its physical address."""
+        addr = self.mem.allocator.alloc_page()
+        # Table pages are zero on allocation (PhysicalMemory reads as zero),
+        # but the hardware must not see stale lines either: the driver
+        # flushes the whole new table page.
+        self.coherency.cpu_write(addr, PAGE_SIZE)
+        self.coherency.cache_line_flush(addr, PAGE_SIZE)
+        return addr
+
+    # -- CPU (driver) side --------------------------------------------------
+
+    def map_page(
+        self, iova: int, phys_addr: int, direction: DmaDirection
+    ) -> PageTableOpStats:
+        """Install a translation from ``iova``'s page to ``phys_addr``'s frame.
+
+        Walks (and creates, where missing) the intermediate tables, then
+        writes the leaf PTE and synchronises memory so the hardware
+        walker sees the update.
+        """
+        stats = PageTableOpStats()
+        indices = radix_indices(iova)
+        table_addr = self.root_addr
+        for level in range(RADIX_LEVELS - 1):
+            stats.levels_touched += 1
+            entry_addr = table_addr + indices[level] * 8
+            entry = self.mem.ram.read_u64(entry_addr)
+            if not entry & PTE_PRESENT:
+                child = self._alloc_table()
+                stats.tables_allocated += 1
+                entry = child | PTE_PRESENT
+                self._write_entry(entry_addr, entry)
+                stats.entries_written += 1
+            table_addr = entry & PTE_ADDR_MASK
+
+        stats.levels_touched += 1
+        leaf_addr = table_addr + indices[RADIX_LEVELS - 1] * 8
+        existing = self.mem.ram.read_u64(leaf_addr)
+        if existing & PTE_PRESENT:
+            raise ValueError(f"IOVA page {iova:#x} is already mapped")
+        pte = page_base(phys_addr) | perms_from_direction(direction) | PTE_PRESENT
+        self._write_entry(leaf_addr, pte)
+        stats.entries_written += 1
+        self.mapped_pages += 1
+        return stats
+
+    def unmap_page(self, iova: int) -> PageTableOpStats:
+        """Clear the leaf PTE for ``iova``'s page.
+
+        Intermediate tables are left in place, as the Linux driver does
+        on the hot path (they are reclaimed only when the domain dies).
+        """
+        stats = PageTableOpStats()
+        indices = radix_indices(iova)
+        table_addr = self.root_addr
+        for level in range(RADIX_LEVELS - 1):
+            stats.levels_touched += 1
+            entry_addr = table_addr + indices[level] * 8
+            entry = self.mem.ram.read_u64(entry_addr)
+            if not entry & PTE_PRESENT:
+                raise TranslationFault(f"IOVA page {iova:#x} is not mapped", iova=iova)
+            table_addr = entry & PTE_ADDR_MASK
+
+        stats.levels_touched += 1
+        leaf_addr = table_addr + indices[RADIX_LEVELS - 1] * 8
+        existing = self.mem.ram.read_u64(leaf_addr)
+        if not existing & PTE_PRESENT:
+            raise TranslationFault(f"IOVA page {iova:#x} is not mapped", iova=iova)
+        self._write_entry(leaf_addr, 0)
+        stats.entries_written += 1
+        self.mapped_pages -= 1
+        return stats
+
+    def _write_entry(self, entry_addr: int, value: int) -> None:
+        """Write one PTE and make it visible to the hardware walker."""
+        self.mem.ram.write_u64(entry_addr, value)
+        self.coherency.cpu_write(entry_addr, 8)
+        self.coherency.sync_mem(entry_addr, 8)
+
+    # -- hardware (walker) side ------------------------------------------------
+
+    def walk(self, iova: int, access: DmaDirection) -> WalkResult:
+        """Hardware page walk: resolve ``iova`` or raise an I/O page fault."""
+        indices = radix_indices(iova)
+        table_addr = self.root_addr
+        levels = 0
+        for level in range(RADIX_LEVELS):
+            levels += 1
+            entry_addr = table_addr + indices[level] * 8
+            self.coherency.hardware_read(entry_addr, 8)
+            entry = self.mem.ram.read_u64(entry_addr)
+            if not entry & PTE_PRESENT:
+                raise TranslationFault(
+                    f"walk failed at level {level + 1} for IOVA {iova:#x}", iova=iova
+                )
+            if level == RADIX_LEVELS - 1:
+                perms = entry & PTE_FLAG_MASK
+                if not direction_allowed(perms, access):
+                    raise PermissionFault(
+                        f"IOVA {iova:#x} does not permit {access!r}", iova=iova
+                    )
+                return WalkResult(
+                    frame_addr=entry & PTE_ADDR_MASK, perms=perms, levels_read=levels
+                )
+            table_addr = entry & PTE_ADDR_MASK
+        raise AssertionError("unreachable")
+
+    # -- introspection -----------------------------------------------------------
+
+    def resolve(self, iova: int) -> int:
+        """Driver-side lookup of the physical address mapped at ``iova``.
+
+        Unlike :meth:`walk` this does not touch the coherency domain or
+        enforce permissions — it reads the structures the way the OS
+        does (through its own cache).
+        """
+        indices = radix_indices(iova)
+        table_addr = self.root_addr
+        for level in range(RADIX_LEVELS):
+            entry = self.mem.ram.read_u64(table_addr + indices[level] * 8)
+            if not entry & PTE_PRESENT:
+                raise TranslationFault(f"IOVA page {iova:#x} is not mapped", iova=iova)
+            if level == RADIX_LEVELS - 1:
+                return (entry & PTE_ADDR_MASK) | page_offset(iova)
+            table_addr = entry & PTE_ADDR_MASK
+        raise AssertionError("unreachable")

@@ -1,0 +1,24 @@
+"""IOVA allocators: the pathological Linux baseline and the constant-time cache."""
+
+from repro.iova.base import (
+    AllocatorStats,
+    IovaAllocator,
+    IovaExhaustedError,
+    IovaNotFoundError,
+    IovaRange,
+)
+from repro.iova.linux_allocator import LinuxIovaAllocator
+from repro.iova.magazine import MagazineIovaAllocator
+from repro.iova.rbtree import RBNode, RBTree
+
+__all__ = [
+    "AllocatorStats",
+    "IovaAllocator",
+    "IovaExhaustedError",
+    "IovaNotFoundError",
+    "IovaRange",
+    "LinuxIovaAllocator",
+    "MagazineIovaAllocator",
+    "RBNode",
+    "RBTree",
+]

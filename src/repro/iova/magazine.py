@@ -1,0 +1,110 @@
+"""Constant-time IOVA allocator — the paper's ``strict+`` / ``defer+`` modes.
+
+The authors replaced the pathological Linux allocator with one that
+"consistently allocates/frees in constant time" (their FAST'15 EiovaR
+work, cited as [37]).  The key idea: freed IOVA ranges are *cached* in
+per-size freelists ("magazines") instead of being deleted from the
+red-black tree.  A subsequent same-size allocation pops the cached range
+in O(1); the range is still resident in the tree, so no tree surgery
+happens on either path.
+
+Two measured consequences from the paper's Table 1 fall out naturally:
+
+* ``iova alloc`` drops from ~4000 to ~100 cycles (freelist pop),
+* ``iova find`` during unmap gets *slower* (418 vs 249 cycles) because
+  cached-but-free ranges stay in the tree, making it fuller and the
+  logarithmic search longer.
+"""
+
+from __future__ import annotations
+
+from typing import Dict, List
+
+from repro.iova.base import (
+    IovaAllocator,
+    IovaNotFoundError,
+    IovaRange,
+)
+from repro.iova.linux_allocator import LinuxIovaAllocator
+
+
+class MagazineIovaAllocator(IovaAllocator):
+    """EiovaR-style allocator: per-size freelist cache over the rbtree."""
+
+    def __init__(self, limit_pfn: int, max_cached_per_size: int = 1 << 20) -> None:
+        super().__init__(limit_pfn)
+        self._backend = LinuxIovaAllocator(limit_pfn)
+        #: freed ranges kept resident in the tree, keyed by size in pages
+        self._magazines: Dict[int, List[IovaRange]] = {}
+        self._cached_ranges: set = set()
+        self.max_cached_per_size = max_cached_per_size
+
+    # -- allocation -----------------------------------------------------
+
+    def alloc(self, pages: int = 1) -> IovaRange:
+        """Pop a cached range of the right size, or fall back to the tree."""
+        if pages <= 0:
+            raise ValueError("pages must be positive")
+        self.stats.allocs += 1
+        magazine = self._magazines.get(pages)
+        if magazine:
+            rng = magazine.pop()
+            self._cached_ranges.discard(rng)
+            self.stats.cache_hits += 1
+            self.stats.last_alloc_visits = 0
+            return rng
+        self.stats.cache_misses += 1
+        rng = self._backend.alloc(pages)
+        self.stats.last_alloc_visits = self._backend.stats.last_alloc_visits
+        self.stats.alloc_visits += self.stats.last_alloc_visits
+        return rng
+
+    # -- lookup -----------------------------------------------------------
+
+    def find(self, pfn: int) -> IovaRange:
+        """Find the *live* range containing ``pfn``.
+
+        The search runs over the full tree (live + cached ranges), which
+        is the source of the paper's slower strict+ ``iova find``.
+        """
+        self.stats.finds += 1
+        rng = self._backend.find(pfn)
+        self.stats.last_find_visits = self._backend.stats.last_find_visits
+        self.stats.find_visits += self.stats.last_find_visits
+        if rng in self._cached_ranges:
+            raise IovaNotFoundError(f"pfn {pfn} falls in a cached (free) range")
+        return rng
+
+    # -- free ---------------------------------------------------------------
+
+    def free(self, rng: IovaRange) -> None:
+        """Push the range onto its size-class magazine in O(1)."""
+        if rng in self._cached_ranges:
+            raise IovaNotFoundError(f"range {rng} already freed")
+        # Validate it is actually resident (cheap sanity check, still O(log n)
+        # in the backend but charged as a free visit only in tests).
+        self.stats.frees += 1
+        magazine = self._magazines.setdefault(rng.pages, [])
+        if len(magazine) >= self.max_cached_per_size:
+            # Magazine overflow: genuinely release to the tree.
+            self._backend.free(rng)
+            self.stats.last_free_visits = self._backend.stats.last_free_visits
+            self.stats.free_visits += self.stats.last_free_visits
+            return
+        magazine.append(rng)
+        self._cached_ranges.add(rng)
+        self.stats.last_free_visits = 0
+
+    def live_count(self) -> int:
+        """Ranges that are allocated and not sitting in a magazine."""
+        return len(self._backend.tree) - len(self._cached_ranges)
+
+    @property
+    def cached_count(self) -> int:
+        """Number of freed ranges currently cached in magazines."""
+        return len(self._cached_ranges)
+
+    @property
+    def resident_count(self) -> int:
+        """Total ranges resident in the tree (live + cached)."""
+        return len(self._backend.tree)

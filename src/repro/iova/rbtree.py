@@ -1,0 +1,354 @@
+"""A red-black interval tree of allocated IOVA ranges.
+
+This mirrors the rbtree the Linux ``iova`` allocator keeps per IOMMU
+domain (keyed by ``pfn_hi``), including predecessor iteration, which the
+allocation algorithm uses to walk gaps top-down.  Node visits are
+counted so the cycle model can charge for real traversal work.
+"""
+
+from __future__ import annotations
+
+from typing import Iterator, Optional
+
+from repro.iova.base import IovaRange
+
+RED = 0
+BLACK = 1
+
+
+class RBNode:
+    """One allocated IOVA range inside the tree."""
+
+    __slots__ = ("rng", "color", "left", "right", "parent")
+
+    def __init__(self, rng: IovaRange) -> None:
+        self.rng = rng
+        self.color = RED
+        self.left: Optional["RBNode"] = None
+        self.right: Optional["RBNode"] = None
+        self.parent: Optional["RBNode"] = None
+
+    @property
+    def key(self) -> int:
+        """Sort key — Linux keys the iova rbtree on ``pfn_hi``."""
+        return self.rng.pfn_hi
+
+    def __repr__(self) -> str:  # pragma: no cover - debugging aid
+        color = "R" if self.color == RED else "B"
+        return f"RBNode([{self.rng.pfn_lo},{self.rng.pfn_hi}] {color})"
+
+
+class RBTree:
+    """Red-black tree of :class:`IovaRange` keyed by ``pfn_hi``.
+
+    Standard CLRS implementation with parent pointers (no sentinel; the
+    fix-up routines handle ``None`` children as black).  ``visits``
+    counts nodes touched by searches and descents.
+    """
+
+    def __init__(self) -> None:
+        self.root: Optional[RBNode] = None
+        self.size = 0
+        self.visits = 0
+
+    # -- queries -----------------------------------------------------------
+
+    def rightmost(self) -> Optional[RBNode]:
+        """Node with the largest key (highest range)."""
+        node = self.root
+        while node is not None and node.right is not None:
+            self.visits += 1
+            node = node.right
+        if node is not None:
+            self.visits += 1
+        return node
+
+    def leftmost(self) -> Optional[RBNode]:
+        """Node with the smallest key (lowest range)."""
+        node = self.root
+        while node is not None and node.left is not None:
+            self.visits += 1
+            node = node.left
+        if node is not None:
+            self.visits += 1
+        return node
+
+    def find_containing(self, pfn: int) -> Optional[RBNode]:
+        """Binary search for the node whose range contains ``pfn``."""
+        node = self.root
+        while node is not None:
+            self.visits += 1
+            if pfn < node.rng.pfn_lo:
+                node = node.left
+            elif pfn > node.rng.pfn_hi:
+                node = node.right
+            else:
+                return node
+        return None
+
+    @staticmethod
+    def predecessor(node: RBNode) -> Optional[RBNode]:
+        """In-order predecessor (next-lower range)."""
+        if node.left is not None:
+            node = node.left
+            while node.right is not None:
+                node = node.right
+            return node
+        parent = node.parent
+        while parent is not None and node is parent.left:
+            node, parent = parent, parent.parent
+        return parent
+
+    @staticmethod
+    def successor(node: RBNode) -> Optional[RBNode]:
+        """In-order successor (next-higher range)."""
+        if node.right is not None:
+            node = node.right
+            while node.left is not None:
+                node = node.left
+            return node
+        parent = node.parent
+        while parent is not None and node is parent.right:
+            node, parent = parent, parent.parent
+        return parent
+
+    def __iter__(self) -> Iterator[IovaRange]:
+        node = self.leftmost()
+        while node is not None:
+            yield node.rng
+            node = self.successor(node)
+
+    def __len__(self) -> int:
+        return self.size
+
+    # -- insertion -----------------------------------------------------------
+
+    def insert(self, rng: IovaRange) -> RBNode:
+        """Insert a range; ranges must not overlap existing ones."""
+        node = RBNode(rng)
+        parent: Optional[RBNode] = None
+        curr = self.root
+        while curr is not None:
+            self.visits += 1
+            parent = curr
+            if rng.overlaps(curr.rng):
+                raise ValueError(f"range {rng} overlaps existing {curr.rng}")
+            curr = curr.left if node.key < curr.key else curr.right
+        node.parent = parent
+        if parent is None:
+            self.root = node
+        elif node.key < parent.key:
+            parent.left = node
+        else:
+            parent.right = node
+        self.size += 1
+        self._insert_fixup(node)
+        return node
+
+    def _rotate_left(self, x: RBNode) -> None:
+        y = x.right
+        assert y is not None
+        x.right = y.left
+        if y.left is not None:
+            y.left.parent = x
+        y.parent = x.parent
+        if x.parent is None:
+            self.root = y
+        elif x is x.parent.left:
+            x.parent.left = y
+        else:
+            x.parent.right = y
+        y.left = x
+        x.parent = y
+
+    def _rotate_right(self, x: RBNode) -> None:
+        y = x.left
+        assert y is not None
+        x.left = y.right
+        if y.right is not None:
+            y.right.parent = x
+        y.parent = x.parent
+        if x.parent is None:
+            self.root = y
+        elif x is x.parent.right:
+            x.parent.right = y
+        else:
+            x.parent.left = y
+        y.right = x
+        x.parent = y
+
+    def _insert_fixup(self, z: RBNode) -> None:
+        while z.parent is not None and z.parent.color == RED:
+            parent = z.parent
+            grand = parent.parent
+            assert grand is not None  # red parent implies non-root parent
+            if parent is grand.left:
+                uncle = grand.right
+                if uncle is not None and uncle.color == RED:
+                    parent.color = BLACK
+                    uncle.color = BLACK
+                    grand.color = RED
+                    z = grand
+                else:
+                    if z is parent.right:
+                        z = parent
+                        self._rotate_left(z)
+                    z.parent.color = BLACK  # type: ignore[union-attr]
+                    grand.color = RED
+                    self._rotate_right(grand)
+            else:
+                uncle = grand.left
+                if uncle is not None and uncle.color == RED:
+                    parent.color = BLACK
+                    uncle.color = BLACK
+                    grand.color = RED
+                    z = grand
+                else:
+                    if z is parent.left:
+                        z = parent
+                        self._rotate_right(z)
+                    z.parent.color = BLACK  # type: ignore[union-attr]
+                    grand.color = RED
+                    self._rotate_left(grand)
+        assert self.root is not None
+        self.root.color = BLACK
+
+    # -- deletion -----------------------------------------------------------
+
+    def delete(self, z: RBNode) -> None:
+        """Remove ``z`` from the tree (CLRS delete with None-as-black)."""
+        self.size -= 1
+        y = z
+        y_original_color = y.color
+        if z.left is None:
+            x, x_parent = z.right, z.parent
+            self._transplant(z, z.right)
+        elif z.right is None:
+            x, x_parent = z.left, z.parent
+            self._transplant(z, z.left)
+        else:
+            y = z.right
+            while y.left is not None:
+                y = y.left
+            y_original_color = y.color
+            x = y.right
+            if y.parent is z:
+                x_parent = y
+            else:
+                x_parent = y.parent
+                self._transplant(y, y.right)
+                y.right = z.right
+                y.right.parent = y
+            self._transplant(z, y)
+            y.left = z.left
+            y.left.parent = y
+            y.color = z.color
+        if y_original_color == BLACK:
+            self._delete_fixup(x, x_parent)
+
+    def _transplant(self, u: RBNode, v: Optional[RBNode]) -> None:
+        if u.parent is None:
+            self.root = v
+        elif u is u.parent.left:
+            u.parent.left = v
+        else:
+            u.parent.right = v
+        if v is not None:
+            v.parent = u.parent
+
+    def _delete_fixup(self, x: Optional[RBNode], parent: Optional[RBNode]) -> None:
+        def color_of(n: Optional[RBNode]) -> int:
+            return BLACK if n is None else n.color
+
+        while x is not self.root and color_of(x) == BLACK:
+            if parent is None:
+                break
+            if x is parent.left:
+                sibling = parent.right
+                if color_of(sibling) == RED:
+                    assert sibling is not None
+                    sibling.color = BLACK
+                    parent.color = RED
+                    self._rotate_left(parent)
+                    sibling = parent.right
+                if sibling is None:
+                    x, parent = parent, parent.parent
+                    continue
+                if color_of(sibling.left) == BLACK and color_of(sibling.right) == BLACK:
+                    sibling.color = RED
+                    x, parent = parent, parent.parent
+                else:
+                    if color_of(sibling.right) == BLACK:
+                        if sibling.left is not None:
+                            sibling.left.color = BLACK
+                        sibling.color = RED
+                        self._rotate_right(sibling)
+                        sibling = parent.right
+                    assert sibling is not None
+                    sibling.color = parent.color
+                    parent.color = BLACK
+                    if sibling.right is not None:
+                        sibling.right.color = BLACK
+                    self._rotate_left(parent)
+                    x = self.root
+                    parent = None
+            else:
+                sibling = parent.left
+                if color_of(sibling) == RED:
+                    assert sibling is not None
+                    sibling.color = BLACK
+                    parent.color = RED
+                    self._rotate_right(parent)
+                    sibling = parent.left
+                if sibling is None:
+                    x, parent = parent, parent.parent
+                    continue
+                if color_of(sibling.left) == BLACK and color_of(sibling.right) == BLACK:
+                    sibling.color = RED
+                    x, parent = parent, parent.parent
+                else:
+                    if color_of(sibling.left) == BLACK:
+                        if sibling.right is not None:
+                            sibling.right.color = BLACK
+                        sibling.color = RED
+                        self._rotate_left(sibling)
+                        sibling = parent.left
+                    assert sibling is not None
+                    sibling.color = parent.color
+                    parent.color = BLACK
+                    if sibling.left is not None:
+                        sibling.left.color = BLACK
+                    self._rotate_right(parent)
+                    x = self.root
+                    parent = None
+        if x is not None:
+            x.color = BLACK
+
+    # -- validation (for property tests) -------------------------------------
+
+    def check_invariants(self) -> None:
+        """Raise AssertionError if any red-black invariant is violated."""
+        if self.root is None:
+            return
+        assert self.root.color == BLACK, "root must be black"
+
+        def walk(node: Optional[RBNode]) -> int:
+            if node is None:
+                return 1  # nil nodes are black
+            if node.color == RED:
+                assert (
+                    (node.left is None or node.left.color == BLACK)
+                    and (node.right is None or node.right.color == BLACK)
+                ), "red node has a red child"
+            if node.left is not None:
+                assert node.left.parent is node, "broken parent link"
+                assert node.left.key < node.key, "BST order violated"
+            if node.right is not None:
+                assert node.right.parent is node, "broken parent link"
+                assert node.right.key > node.key, "BST order violated"
+            lh = walk(node.left)
+            rh = walk(node.right)
+            assert lh == rh, "black heights differ"
+            return lh + (1 if node.color == BLACK else 0)
+
+        walk(self.root)

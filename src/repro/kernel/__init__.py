@@ -1,0 +1,54 @@
+"""OS layer: DMA API, machine wiring, interrupts, NIC driver, stack costs."""
+
+from repro.kernel.dma_api import (
+    BaselineDmaApi,
+    DmaApi,
+    IdentityDmaApi,
+    RIommuDmaApi,
+)
+from repro.kernel.interrupts import InterruptCoalescer, InterruptStats
+from repro.kernel.ahci_driver import AhciDriver, AhciDriverError
+from repro.kernel.dma_api import SgEntry
+from repro.kernel.linux_api import (
+    DMA_BIDIRECTIONAL,
+    DMA_FROM_DEVICE,
+    DMA_TO_DEVICE,
+    LinuxDmaApi,
+)
+from repro.kernel.machine import Machine
+from repro.kernel.multiqueue import MultiQueueNetDriver
+from repro.kernel.net_driver import MappedBuffer, NetDriver, NetDriverStats
+from repro.kernel.nvme_driver import NvmeDriver, NvmeDriverError
+from repro.kernel.stack import (
+    DEFAULT_APP_COSTS,
+    DEFAULT_STACK_COSTS,
+    ServerAppCosts,
+    StackCosts,
+)
+
+__all__ = [
+    "AhciDriver",
+    "AhciDriverError",
+    "BaselineDmaApi",
+    "DEFAULT_APP_COSTS",
+    "DEFAULT_STACK_COSTS",
+    "DMA_BIDIRECTIONAL",
+    "DMA_FROM_DEVICE",
+    "DMA_TO_DEVICE",
+    "DmaApi",
+    "LinuxDmaApi",
+    "SgEntry",
+    "IdentityDmaApi",
+    "InterruptCoalescer",
+    "InterruptStats",
+    "Machine",
+    "MappedBuffer",
+    "MultiQueueNetDriver",
+    "NetDriver",
+    "NetDriverStats",
+    "NvmeDriver",
+    "NvmeDriverError",
+    "RIommuDmaApi",
+    "ServerAppCosts",
+    "StackCosts",
+]

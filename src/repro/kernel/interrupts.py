@@ -1,0 +1,74 @@
+"""Interrupt coalescing (paper §2.3).
+
+High-throughput devices coalesce interrupts; the driver then handles
+the whole burst of completed descriptors in one loop.  Burst length is
+what amortises the rIOMMU's single end-of-burst invalidation — the
+paper measured ~200 completions per interrupt for Netperf stream.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Callable, Generic, List, TypeVar
+
+T = TypeVar("T")
+
+BurstHandler = Callable[[List[T]], None]
+
+
+@dataclass
+class InterruptStats:
+    """Interrupt-side counters."""
+
+    interrupts: int = 0
+    completions: int = 0
+    #: burst sizes observed, for the avg-burst-length metric
+    burst_lengths: List[int] = field(default_factory=list)
+
+    @property
+    def average_burst(self) -> float:
+        """Mean completions handled per interrupt."""
+        if not self.burst_lengths:
+            return 0.0
+        return sum(self.burst_lengths) / len(self.burst_lengths)
+
+
+class InterruptCoalescer(Generic[T]):
+    """Queues completion events; fires the handler once per burst.
+
+    ``threshold`` models the device's coalescing count: the interrupt
+    fires after that many completions accumulate.  :meth:`flush` models
+    the coalescing *timer* expiring (or a latency-sensitive device
+    configured to interrupt immediately).
+    """
+
+    def __init__(self, handler: BurstHandler, threshold: int = 200) -> None:
+        if threshold <= 0:
+            raise ValueError("threshold must be positive")
+        self.handler = handler
+        self.threshold = threshold
+        self.stats = InterruptStats()
+        self._pending: List[T] = []
+
+    def completion(self, event: T) -> None:
+        """A device completion arrived; interrupt if the batch is full."""
+        self._pending.append(event)
+        self.stats.completions += 1
+        if len(self._pending) >= self.threshold:
+            self._fire()
+
+    def flush(self) -> None:
+        """Deliver any pending completions now (coalescing timer)."""
+        if self._pending:
+            self._fire()
+
+    def _fire(self) -> None:
+        burst, self._pending = self._pending, []
+        self.stats.interrupts += 1
+        self.stats.burst_lengths.append(len(burst))
+        self.handler(burst)
+
+    @property
+    def pending(self) -> int:
+        """Completions not yet delivered to the driver."""
+        return len(self._pending)

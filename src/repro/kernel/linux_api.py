@@ -1,0 +1,89 @@
+"""A literal Linux-DMA-API facade over :class:`~repro.kernel.dma_api.DmaApi`.
+
+For readers coming from the kernel, these are the names the paper (and
+its Linux citations [11, 16, 40]) talk about: ``dma_map_single`` /
+``dma_unmap_single`` / ``dma_map_sg`` / ``dma_unmap_sg``, with the
+kernel's direction constants.  Everything delegates to the underlying
+mode-specific backend; the facade adds only the familiar spelling and
+the kernel's "map just before DMA, unmap right after" contract in one
+obvious place.
+"""
+
+from __future__ import annotations
+
+from typing import List, Optional, Sequence, Tuple
+
+from repro.dma import DmaDirection
+from repro.kernel.dma_api import DmaApi, SgEntry
+
+#: kernel direction constants, mapped onto our DmaDirection
+DMA_TO_DEVICE = DmaDirection.TO_DEVICE
+DMA_FROM_DEVICE = DmaDirection.FROM_DEVICE
+DMA_BIDIRECTIONAL = DmaDirection.BIDIRECTIONAL
+
+#: what dma_mapping_error() reports (we raise instead, but keep the name)
+DMA_MAPPING_ERROR = -1
+
+
+class LinuxDmaApi:
+    """`include/linux/dma-mapping.h`-flavoured wrapper."""
+
+    def __init__(self, api: DmaApi, default_ring: Optional[int] = None) -> None:
+        self.api = api
+        #: rIOMMU ring used when the caller does not pass one
+        self.default_ring = default_ring
+
+    # -- single mappings -----------------------------------------------------
+
+    def dma_map_single(
+        self,
+        cpu_addr: int,
+        size: int,
+        direction: DmaDirection,
+        ring: Optional[int] = None,
+    ) -> int:
+        """Map one buffer for DMA; returns the dma_addr_t (device address).
+
+        "Once a buffer has been mapped, it belongs to the device, not
+        the processor" — the contract the paper quotes from LDD3.
+        """
+        return self.api.map(
+            cpu_addr, size, direction, ring=ring if ring is not None else self.default_ring
+        )
+
+    def dma_unmap_single(
+        self, dma_addr: int, size: int, direction: DmaDirection, end_of_burst: bool = False
+    ) -> int:
+        """Unmap a buffer; only now may the CPU touch its contents again.
+
+        ``size`` and ``direction`` are accepted for signature parity
+        with the kernel; the backends track them internally.
+        """
+        return self.api.unmap(dma_addr, end_of_burst=end_of_burst)
+
+    # -- scatter-gather -----------------------------------------------------------
+
+    def dma_map_sg(
+        self,
+        sg_list: Sequence[Tuple[int, int]],
+        direction: DmaDirection,
+        ring: Optional[int] = None,
+    ) -> List[SgEntry]:
+        """Map a scatterlist of (cpu_addr, length) entries."""
+        return self.api.map_sg(
+            sg_list, direction, ring=ring if ring is not None else self.default_ring
+        )
+
+    def dma_unmap_sg(
+        self, entries: Sequence[SgEntry], direction: DmaDirection,
+        end_of_burst: bool = False,
+    ) -> None:
+        """Unmap a scatterlist previously mapped with :meth:`dma_map_sg`."""
+        self.api.unmap_sg(entries, end_of_burst=end_of_burst)
+
+    # -- misc kernel-isms -------------------------------------------------------------
+
+    def dma_mapping_error(self, dma_addr: int) -> bool:
+        """The kernel checks mappings this way; our backends raise instead,
+        so any address you actually received is valid."""
+        return dma_addr == DMA_MAPPING_ERROR

@@ -1,0 +1,46 @@
+"""Network-stack and application cycle costs ("other" in Figure 7).
+
+The paper's model needs the cycles a packet costs the core *besides*
+(un)mapping: TCP/IP processing, interrupt handling, socket work, and —
+for the server benchmarks — application logic.  These constants are
+calibrated against the paper's reported baselines:
+
+* ``C_none`` = 1,816 cycles/packet for mlx Netperf stream (Figure 7);
+* Apache serves ~12K requests/s of 1 KB files on both NICs (§5.2),
+  i.e. ~258K cycles/request of HTTP processing at 3.1 GHz;
+* Memcached is "an order of magnitude" faster per request than Apache
+  1KB, as its logic is a simple LRU get/set (§5.2).
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+
+@dataclass(frozen=True)
+class StackCosts:
+    """Per-packet / per-request cycle costs outside the IOMMU path."""
+
+    #: TCP/IP + driver + interrupt cycles per full-size stream packet
+    per_packet: float = 1816.0
+    #: extra kernel-abstraction cycles under HWpt/SWpt (paper §5.1: ~200)
+    passthrough_extra: float = 200.0
+
+    def stream_other(self) -> float:
+        """'other' cycles for one stream packet (the C_none floor)."""
+        return self.per_packet
+
+
+@dataclass(frozen=True)
+class ServerAppCosts:
+    """Application-level cycles per request for the server benchmarks."""
+
+    #: HTTP parsing/dispatch/logging per Apache request
+    apache_request: float = 245_000.0
+    #: Memcached get/set — an order of magnitude lighter than Apache
+    memcached_request: float = 22_000.0
+
+
+#: mlx setup calibration (the numbers quoted above).
+DEFAULT_STACK_COSTS = StackCosts()
+DEFAULT_APP_COSTS = ServerAppCosts()

@@ -1,0 +1,100 @@
+"""Address arithmetic helpers and architectural constants.
+
+The simulated machine follows the x86-64 conventions used by the paper
+(4 KB pages, 64-byte cachelines, 48-bit I/O virtual addresses split into
+a 36-bit virtual page number and a 12-bit page offset).
+"""
+
+from __future__ import annotations
+
+PAGE_SHIFT = 12
+PAGE_SIZE = 1 << PAGE_SHIFT  # 4096
+PAGE_MASK = PAGE_SIZE - 1
+
+CACHELINE_SHIFT = 6
+CACHELINE_SIZE = 1 << CACHELINE_SHIFT  # 64
+
+#: Width of an I/O virtual address (Intel VT-d uses 48-bit IOVAs).
+IOVA_BITS = 48
+#: Number of radix-tree levels in the baseline I/O page table.
+RADIX_LEVELS = 4
+#: Bits of virtual page number consumed per radix level.
+RADIX_LEVEL_BITS = 9
+RADIX_FANOUT = 1 << RADIX_LEVEL_BITS  # 512 entries per table page
+
+MAX_IOVA = (1 << IOVA_BITS) - 1
+
+
+def page_number(addr: int) -> int:
+    """Return the page (frame) number containing ``addr``."""
+    return addr >> PAGE_SHIFT
+
+
+def page_offset(addr: int) -> int:
+    """Return the offset of ``addr`` within its page."""
+    return addr & PAGE_MASK
+
+
+def page_base(addr: int) -> int:
+    """Return the address of the first byte of the page containing ``addr``."""
+    return addr & ~PAGE_MASK
+
+
+def page_align_up(addr: int) -> int:
+    """Round ``addr`` up to the next page boundary (identity if aligned)."""
+    return (addr + PAGE_MASK) & ~PAGE_MASK
+
+
+def is_page_aligned(addr: int) -> bool:
+    """True if ``addr`` sits exactly on a page boundary."""
+    return (addr & PAGE_MASK) == 0
+
+
+def cacheline_base(addr: int) -> int:
+    """Return the address of the first byte of the cacheline holding ``addr``."""
+    return addr & ~(CACHELINE_SIZE - 1)
+
+
+def cachelines_spanned(addr: int, size: int) -> int:
+    """Number of distinct cachelines touched by ``size`` bytes at ``addr``."""
+    if size <= 0:
+        return 0
+    first = cacheline_base(addr)
+    last = cacheline_base(addr + size - 1)
+    return ((last - first) >> CACHELINE_SHIFT) + 1
+
+
+def pages_spanned(addr: int, size: int) -> int:
+    """Number of distinct pages touched by ``size`` bytes at ``addr``."""
+    if size <= 0:
+        return 0
+    return page_number(addr + size - 1) - page_number(addr) + 1
+
+
+def radix_indices(iova: int) -> tuple:
+    """Split an IOVA's virtual page number into the four 9-bit radix indices.
+
+    Index 0 corresponds to the root table (T1 in the paper's notation);
+    index 3 selects the leaf PTE in a T4 table.
+    """
+    vpn = iova >> PAGE_SHIFT
+    return (
+        (vpn >> (3 * RADIX_LEVEL_BITS)) & (RADIX_FANOUT - 1),
+        (vpn >> (2 * RADIX_LEVEL_BITS)) & (RADIX_FANOUT - 1),
+        (vpn >> (1 * RADIX_LEVEL_BITS)) & (RADIX_FANOUT - 1),
+        vpn & (RADIX_FANOUT - 1),
+    )
+
+
+def iova_from_vpn(vpn: int) -> int:
+    """Build a page-aligned IOVA from a virtual page number."""
+    return vpn << PAGE_SHIFT
+
+
+def check_addr(addr: int, what: str = "address") -> int:
+    """Validate that ``addr`` is a non-negative int and return it."""
+    if not isinstance(addr, int):
+        raise TypeError(f"{what} must be an int, got {type(addr).__name__}")
+    if addr < 0:
+        raise ValueError(f"{what} must be non-negative, got {addr}")
+    return addr

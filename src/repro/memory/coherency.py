@@ -1,0 +1,130 @@
+"""CPU-cache vs. I/O-page-walk coherency model.
+
+On the paper's testbed the IOMMU's page-table walker was *not* coherent
+with the CPU caches, so the Linux driver had to issue a memory barrier
+plus an explicit cacheline flush after every page-table update (paper
+§3.2: "Flushes are required, as the I/O page walk is incoherent with
+the CPU caches").  The rIOMMU evaluation therefore distinguishes
+``riommu-`` (non-coherent walks: barrier + flush per ``sync_mem``) from
+``riommu`` (coherent walks: barrier only).
+
+This module makes that behaviour functional rather than merely a cycle
+charge: CPU-side writes to hardware-walked structures are recorded as
+*dirty cachelines*, and a hardware walker that reads a dirty line on a
+non-coherent platform observes a staleness violation.  Tests use this
+to prove the driver issues every required flush.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Set
+
+from repro.memory.address import cacheline_base, cachelines_spanned, CACHELINE_SIZE
+
+
+class StaleReadError(RuntimeError):
+    """Hardware read a cacheline the CPU had not flushed on a non-coherent platform."""
+
+
+@dataclass
+class SyncStats:
+    """Counters for coherency-maintenance operations (used for cycle charging)."""
+
+    barriers: int = 0
+    flushes: int = 0
+    dirty_marks: int = 0
+    hardware_reads: int = 0
+    stale_reads: int = 0
+
+    def reset(self) -> None:
+        """Zero all counters."""
+        self.barriers = 0
+        self.flushes = 0
+        self.dirty_marks = 0
+        self.hardware_reads = 0
+        self.stale_reads = 0
+
+
+@dataclass
+class CoherencyDomain:
+    """Tracks which cachelines of hardware-visible structures are dirty.
+
+    Parameters
+    ----------
+    coherent:
+        True if the simulated platform keeps the I/O page walker coherent
+        with CPU caches (no flush needed; ``riommu`` / newer Intel parts).
+    enforce:
+        If True, a hardware read of a dirty line on a non-coherent
+        platform raises :class:`StaleReadError`.  If False the violation
+        is only counted — useful for measuring rather than asserting.
+    """
+
+    coherent: bool = False
+    enforce: bool = True
+    stats: SyncStats = field(default_factory=SyncStats)
+    _dirty: Set[int] = field(default_factory=set)
+
+    # -- CPU side -------------------------------------------------------
+
+    def cpu_write(self, addr: int, size: int = CACHELINE_SIZE) -> None:
+        """Record a CPU write to a hardware-visible structure.
+
+        On a coherent platform the walker snoops the cache, so nothing
+        becomes stale.  On a non-coherent platform the touched lines are
+        dirty until flushed.
+        """
+        self.stats.dirty_marks += 1
+        if self.coherent:
+            return
+        base = cacheline_base(addr)
+        for i in range(cachelines_spanned(addr, size)):
+            self._dirty.add(base + i * CACHELINE_SIZE)
+
+    def memory_barrier(self) -> None:
+        """Order prior stores; counted for cycle charging."""
+        self.stats.barriers += 1
+
+    def cache_line_flush(self, addr: int, size: int = CACHELINE_SIZE) -> None:
+        """Flush the cacheline(s) backing ``[addr, addr+size)`` to DRAM."""
+        self.stats.flushes += 1
+        base = cacheline_base(addr)
+        for i in range(cachelines_spanned(addr, size)):
+            self._dirty.discard(base + i * CACHELINE_SIZE)
+
+    def sync_mem(self, addr: int, size: int = CACHELINE_SIZE) -> None:
+        """The paper's ``sync_mem`` (Figure 11, bottom right).
+
+        Non-coherent platforms: barrier + cacheline flush + barrier.
+        Coherent platforms: a single barrier.
+        """
+        if not self.coherent:
+            self.memory_barrier()
+            self.cache_line_flush(addr, size)
+        self.memory_barrier()
+
+    # -- hardware side ----------------------------------------------------
+
+    def hardware_read(self, addr: int, size: int = CACHELINE_SIZE) -> None:
+        """A hardware walker reads ``[addr, addr+size)``; checks staleness."""
+        self.stats.hardware_reads += 1
+        if self.coherent:
+            return
+        base = cacheline_base(addr)
+        for i in range(cachelines_spanned(addr, size)):
+            if base + i * CACHELINE_SIZE in self._dirty:
+                self.stats.stale_reads += 1
+                if self.enforce:
+                    raise StaleReadError(
+                        f"hardware walker read dirty cacheline {base + i * CACHELINE_SIZE:#x}; "
+                        "driver missed a sync_mem/cache_line_flush"
+                    )
+                return
+
+    # -- introspection ----------------------------------------------------
+
+    @property
+    def dirty_lines(self) -> int:
+        """Number of currently-dirty cachelines."""
+        return len(self._dirty)

@@ -1,0 +1,236 @@
+"""Simulated physical memory: sparse DRAM plus a frame allocator.
+
+The simulation needs a byte-addressable physical memory so that device
+DMAs performed through (r)IOMMU translations are *functionally* checked:
+the bytes a device writes through an IOVA must be the bytes the driver
+later reads from the physical buffer.  Memory is sparse — only frames
+that are actually touched consume space.
+"""
+
+from __future__ import annotations
+
+from typing import Dict, Iterable, List, Set
+
+from repro.memory.address import (
+    PAGE_SIZE,
+    check_addr,
+    page_number,
+    page_offset,
+)
+
+
+class OutOfMemoryError(RuntimeError):
+    """The frame allocator has no free frames left."""
+
+
+class PinError(RuntimeError):
+    """An operation violated page-pinning rules."""
+
+
+class PhysicalMemory:
+    """Sparse byte-addressable physical memory.
+
+    Frames are materialised lazily on first write.  Reads of untouched
+    memory return zero bytes, mirroring zero-filled DRAM after
+    allocation.
+    """
+
+    def __init__(self, size_bytes: int = 1 << 32) -> None:
+        if size_bytes <= 0 or size_bytes % PAGE_SIZE != 0:
+            raise ValueError("memory size must be a positive multiple of the page size")
+        self.size_bytes = size_bytes
+        self.num_frames = size_bytes // PAGE_SIZE
+        self._frames: Dict[int, bytearray] = {}
+
+    # -- raw byte access ------------------------------------------------
+
+    def _check_range(self, addr: int, size: int) -> None:
+        check_addr(addr)
+        if size < 0:
+            raise ValueError(f"size must be non-negative, got {size}")
+        if addr + size > self.size_bytes:
+            raise ValueError(
+                f"access [{addr:#x}, {addr + size:#x}) exceeds physical memory "
+                f"of {self.size_bytes:#x} bytes"
+            )
+
+    def write(self, addr: int, data: bytes) -> None:
+        """Write ``data`` starting at physical address ``addr``."""
+        self._check_range(addr, len(data))
+        pos = 0
+        while pos < len(data):
+            frame = page_number(addr + pos)
+            off = page_offset(addr + pos)
+            chunk = min(PAGE_SIZE - off, len(data) - pos)
+            page = self._frames.get(frame)
+            if page is None:
+                page = bytearray(PAGE_SIZE)
+                self._frames[frame] = page
+            page[off : off + chunk] = data[pos : pos + chunk]
+            pos += chunk
+
+    def read(self, addr: int, size: int) -> bytes:
+        """Read ``size`` bytes starting at physical address ``addr``."""
+        self._check_range(addr, size)
+        out = bytearray(size)
+        pos = 0
+        while pos < size:
+            frame = page_number(addr + pos)
+            off = page_offset(addr + pos)
+            chunk = min(PAGE_SIZE - off, size - pos)
+            page = self._frames.get(frame)
+            if page is not None:
+                out[pos : pos + chunk] = page[off : off + chunk]
+            pos += chunk
+        return bytes(out)
+
+    def write_u64(self, addr: int, value: int) -> None:
+        """Write a little-endian 64-bit value at ``addr``."""
+        self.write(addr, value.to_bytes(8, "little"))
+
+    def read_u64(self, addr: int) -> int:
+        """Read a little-endian 64-bit value at ``addr``."""
+        return int.from_bytes(self.read(addr, 8), "little")
+
+    def touched_frames(self) -> int:
+        """Number of frames that have been materialised by writes."""
+        return len(self._frames)
+
+
+class FrameAllocator:
+    """Allocates physical frames from a :class:`PhysicalMemory`.
+
+    Supports pinning, which the DMA path requires: the OS pins target
+    buffers before mapping them into the IOMMU because DMAs are not
+    restartable (paper §2.2 — no I/O page faults on valid DMAs).
+    """
+
+    def __init__(self, memory: PhysicalMemory, reserved_frames: int = 16) -> None:
+        self.memory = memory
+        #: frames below this index are reserved (e.g. for firmware/tables)
+        self.reserved_frames = reserved_frames
+        self._next_frame = reserved_frames
+        self._free: List[int] = []
+        self._allocated: Set[int] = set()
+        self._pinned: Set[int] = set()
+
+    # -- allocation -----------------------------------------------------
+
+    def alloc_frame(self) -> int:
+        """Allocate one frame; returns its frame number."""
+        if self._free:
+            frame = self._free.pop()
+        else:
+            if self._next_frame >= self.memory.num_frames:
+                raise OutOfMemoryError("no free physical frames")
+            frame = self._next_frame
+            self._next_frame += 1
+        self._allocated.add(frame)
+        return frame
+
+    def alloc_frames(self, count: int) -> List[int]:
+        """Allocate ``count`` frames (not necessarily contiguous)."""
+        return [self.alloc_frame() for _ in range(count)]
+
+    def alloc_contiguous(self, count: int) -> int:
+        """Allocate ``count`` physically-contiguous frames.
+
+        Returns the first frame number.  Ring buffers and page-table
+        pages want contiguous backing.
+        """
+        if count <= 0:
+            raise ValueError("count must be positive")
+        if self._next_frame + count > self.memory.num_frames:
+            raise OutOfMemoryError(f"no {count} contiguous frames available")
+        first = self._next_frame
+        self._next_frame += count
+        for frame in range(first, first + count):
+            self._allocated.add(frame)
+        return first
+
+    def alloc_page(self) -> int:
+        """Allocate one frame and return its *physical address*."""
+        return self.alloc_frame() * PAGE_SIZE
+
+    def alloc_buffer(self, size: int) -> int:
+        """Allocate a physically-contiguous buffer; returns its address."""
+        if size <= 0:
+            raise ValueError("size must be positive")
+        frames = (size + PAGE_SIZE - 1) // PAGE_SIZE
+        return self.alloc_contiguous(frames) * PAGE_SIZE
+
+    def free_frame(self, frame: int) -> None:
+        """Return a frame to the allocator."""
+        if frame not in self._allocated:
+            raise ValueError(f"frame {frame} is not allocated")
+        if frame in self._pinned:
+            raise PinError(f"cannot free pinned frame {frame}")
+        self._allocated.remove(frame)
+        self._free.append(frame)
+
+    def free_buffer(self, addr: int, size: int) -> None:
+        """Free the frames backing a buffer allocated by :meth:`alloc_buffer`."""
+        first = page_number(addr)
+        frames = (size + PAGE_SIZE - 1) // PAGE_SIZE
+        for frame in range(first, first + frames):
+            self.free_frame(frame)
+
+    # -- pinning ----------------------------------------------------------
+
+    def pin(self, addr: int, size: int = PAGE_SIZE) -> None:
+        """Pin the pages backing ``[addr, addr+size)`` to memory."""
+        for frame in self._frames_of(addr, size):
+            if frame not in self._allocated:
+                raise PinError(f"cannot pin unallocated frame {frame}")
+            self._pinned.add(frame)
+
+    def unpin(self, addr: int, size: int = PAGE_SIZE) -> None:
+        """Unpin the pages backing ``[addr, addr+size)``."""
+        for frame in self._frames_of(addr, size):
+            self._pinned.discard(frame)
+
+    def is_pinned(self, addr: int) -> bool:
+        """True if the page containing ``addr`` is pinned."""
+        return page_number(addr) in self._pinned
+
+    def is_allocated(self, addr: int) -> bool:
+        """True if the page containing ``addr`` is allocated."""
+        return page_number(addr) in self._allocated
+
+    @staticmethod
+    def _frames_of(addr: int, size: int) -> Iterable[int]:
+        first = page_number(addr)
+        last = page_number(addr + max(size, 1) - 1)
+        return range(first, last + 1)
+
+    # -- introspection ----------------------------------------------------
+
+    @property
+    def allocated_count(self) -> int:
+        """Number of currently-allocated frames."""
+        return len(self._allocated)
+
+    @property
+    def pinned_count(self) -> int:
+        """Number of currently-pinned frames."""
+        return len(self._pinned)
+
+
+class MemorySystem:
+    """Convenience bundle of :class:`PhysicalMemory` and :class:`FrameAllocator`."""
+
+    def __init__(self, size_bytes: int = 1 << 32, reserved_frames: int = 16) -> None:
+        self.ram = PhysicalMemory(size_bytes)
+        self.allocator = FrameAllocator(self.ram, reserved_frames)
+
+    def alloc_dma_buffer(self, size: int, pin: bool = True) -> int:
+        """Allocate (and by default pin) a DMA target buffer; returns its address."""
+        addr = self.allocator.alloc_buffer(size)
+        if pin:
+            self.allocator.pin(addr, size)
+        return addr
+
+    def free_dma_buffer(self, addr: int, size: int) -> None:
+        """Unpin and free a DMA target buffer."""
+        self.allocator.unpin(addr, size)
+        self.allocator.free_buffer(addr, size)

@@ -1,0 +1,83 @@
+"""The seven IOMMU protection modes evaluated by the paper (§5.1)."""
+
+from __future__ import annotations
+
+import enum
+
+
+class Mode(enum.Enum):
+    """One of the paper's seven evaluated IOMMU configurations."""
+
+    #: completely safe Linux baseline: immediate per-entry invalidation
+    STRICT = "strict"
+    #: strict with the constant-time IOVA allocator
+    STRICT_PLUS = "strict+"
+    #: Linux deferred mode: batch 250 invalidations, then global flush
+    DEFER = "defer"
+    #: defer with the constant-time IOVA allocator
+    DEFER_PLUS = "defer+"
+    #: rIOMMU on a platform whose I/O page walk is NOT cache-coherent
+    RIOMMU_NC = "riommu-"
+    #: rIOMMU with coherent I/O page walks
+    RIOMMU = "riommu"
+    #: IOMMU disabled — the unprotected optimum
+    NONE = "none"
+
+    @property
+    def label(self) -> str:
+        """The paper's name for the mode."""
+        return self.value
+
+    @property
+    def is_riommu(self) -> bool:
+        """True for the two rIOMMU variants."""
+        return self in (Mode.RIOMMU, Mode.RIOMMU_NC)
+
+    @property
+    def is_baseline_iommu(self) -> bool:
+        """True for the four baseline (hierarchical page table) modes."""
+        return self in (Mode.STRICT, Mode.STRICT_PLUS, Mode.DEFER, Mode.DEFER_PLUS)
+
+    @property
+    def protected(self) -> bool:
+        """True if DMAs are mediated at all."""
+        return self is not Mode.NONE
+
+    @property
+    def safe(self) -> bool:
+        """True if the mode never exposes stale translations.
+
+        The deferred modes trade safety for speed: devices may access
+        buffers through stale IOTLB entries until the batched flush.
+        """
+        return self in (Mode.STRICT, Mode.STRICT_PLUS, Mode.RIOMMU, Mode.RIOMMU_NC)
+
+    @property
+    def uses_magazine_allocator(self) -> bool:
+        """True for the "+" modes with the constant-time IOVA allocator."""
+        return self in (Mode.STRICT_PLUS, Mode.DEFER_PLUS)
+
+    @property
+    def deferred_invalidation(self) -> bool:
+        """True if IOTLB invalidations are batched."""
+        return self in (Mode.DEFER, Mode.DEFER_PLUS)
+
+    @property
+    def coherent_walk(self) -> bool:
+        """True if the (r)IOMMU table walker snoops CPU caches."""
+        return self is Mode.RIOMMU
+
+
+#: Presentation order used by every table/figure in the paper.
+ALL_MODES = (
+    Mode.STRICT,
+    Mode.STRICT_PLUS,
+    Mode.DEFER,
+    Mode.DEFER_PLUS,
+    Mode.RIOMMU_NC,
+    Mode.RIOMMU,
+    Mode.NONE,
+)
+
+#: The four modes profiled in Table 1.
+BASELINE_MODES = (Mode.STRICT, Mode.STRICT_PLUS, Mode.DEFER, Mode.DEFER_PLUS)

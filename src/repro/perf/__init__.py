@@ -1,0 +1,63 @@
+"""Cycle accounting, cost models and the paper's performance model."""
+
+from repro.perf.calibration import (
+    CLOCK_HZ,
+    C_NONE_MLX,
+    DEFER_FLUSH_THRESHOLD,
+    IOTLB_MISS_CYCLES,
+    STREAM_BURST_LENGTH,
+    TABLE3_RTT_US,
+    verify_table1_sums,
+)
+from repro.perf.costs import (
+    TABLE1_CYCLES,
+    TABLE1_SUMS,
+    CostModel,
+    CostPolicy,
+    PrimitiveCosts,
+)
+from repro.perf.cycles import (
+    MAP_COMPONENTS,
+    UNMAP_COMPONENTS,
+    Component,
+    CycleAccount,
+)
+from repro.perf.model import (
+    ETHERNET_MTU_BYTES,
+    LatencyResult,
+    ThroughputResult,
+    cycles_from_gbps,
+    gbps_from_cycles,
+    packets_per_second,
+    request_response,
+    requests_per_second,
+    throughput_with_line_rate,
+)
+
+__all__ = [
+    "CLOCK_HZ",
+    "C_NONE_MLX",
+    "DEFER_FLUSH_THRESHOLD",
+    "ETHERNET_MTU_BYTES",
+    "IOTLB_MISS_CYCLES",
+    "MAP_COMPONENTS",
+    "STREAM_BURST_LENGTH",
+    "TABLE1_CYCLES",
+    "TABLE1_SUMS",
+    "TABLE3_RTT_US",
+    "UNMAP_COMPONENTS",
+    "Component",
+    "CostModel",
+    "CostPolicy",
+    "CycleAccount",
+    "LatencyResult",
+    "PrimitiveCosts",
+    "ThroughputResult",
+    "cycles_from_gbps",
+    "gbps_from_cycles",
+    "packets_per_second",
+    "request_response",
+    "requests_per_second",
+    "throughput_with_line_rate",
+    "verify_table1_sums",
+]

@@ -1,0 +1,78 @@
+"""Calibration constants taken from the paper's measurements.
+
+Everything here is a number the paper reports for its testbed, gathered
+in one place so the simulation and the reproduction harness share a
+single source of truth.
+"""
+
+from __future__ import annotations
+
+from typing import Dict, Mapping
+
+from repro.modes import Mode
+from repro.perf.costs import TABLE1_CYCLES, TABLE1_SUMS
+from repro.perf.cycles import MAP_COMPONENTS, UNMAP_COMPONENTS
+
+#: Core clock of the Xeon E3-1220 in both setups (§5.1), Hz.
+CLOCK_HZ = 3.1e9
+
+#: Cycles/packet with the IOMMU off on the mlx setup (Figure 7 grid line).
+C_NONE_MLX = 1816.0
+
+#: Average descriptor-burst length the paper measured for Netperf stream (§4).
+STREAM_BURST_LENGTH = 200
+
+#: Deferred mode: invalidations accumulate until this many freed IOVAs (§3.2).
+DEFER_FLUSH_THRESHOLD = 250
+
+#: Paper Table 3 — Netperf RR round-trip times in microseconds.
+TABLE3_RTT_US: Mapping[str, Mapping[Mode, float]] = {
+    "mlx": {
+        Mode.STRICT: 17.3,
+        Mode.STRICT_PLUS: 15.1,
+        Mode.DEFER: 14.9,
+        Mode.DEFER_PLUS: 14.4,
+        Mode.RIOMMU_NC: 14.1,
+        Mode.RIOMMU: 13.9,
+        Mode.NONE: 13.4,
+    },
+    "brcm": {
+        Mode.STRICT: 41.9,
+        Mode.STRICT_PLUS: 36.7,
+        Mode.DEFER: 36.6,
+        Mode.DEFER_PLUS: 35.8,
+        Mode.RIOMMU_NC: 35.1,
+        Mode.RIOMMU: 34.7,
+        Mode.NONE: 34.6,
+    },
+}
+
+#: §5.3 — measured cost of one IOTLB miss in a user-level-I/O setup.
+IOTLB_MISS_CYCLES = 1532.0
+IOTLB_MISS_US = 0.5
+
+
+def table1_component_sum(mode: Mode, is_map: bool) -> float:
+    """Sum of the per-component Table 1 constants for one function."""
+    comps = MAP_COMPONENTS if is_map else UNMAP_COMPONENTS
+    return sum(TABLE1_CYCLES[mode][c] for c in comps)
+
+
+def verify_table1_sums(tolerance: float = 0.0) -> Dict[str, float]:
+    """Check our Table 1 constants add up to the paper's printed sums.
+
+    Returns the per-mode absolute errors; raises if any exceeds
+    ``tolerance`` cycles.
+    """
+    errors: Dict[str, float] = {}
+    for mode, sums in TABLE1_SUMS.items():
+        for func, is_map in (("map", True), ("unmap", False)):
+            got = table1_component_sum(mode, is_map)
+            err = abs(got - sums[func])
+            errors[f"{mode.label}.{func}"] = err
+            if err > tolerance:
+                raise AssertionError(
+                    f"Table 1 {mode.label}/{func}: components sum to {got}, "
+                    f"paper prints {sums[func]}"
+                )
+    return errors

@@ -1,0 +1,299 @@
+"""Cycle cost models.
+
+Two policies are provided:
+
+``CALIBRATED``
+    Charges the per-invocation constants the paper *measured* on its
+    testbed (Table 1) for the four baseline modes, and composes the
+    rIOMMU costs from primitives exactly as the paper's own simulation
+    does (map/unmap bases plus ``sync_mem`` barriers/flushes, plus a
+    2,150-cycle busy-wait per rIOTLB invalidation).  This is the default
+    for reproducing the paper's tables and figures.
+
+``MICRO``
+    Charges per-primitive constants multiplied by the *actual* operation
+    counts observed in the functional simulation (red-black tree nodes
+    visited, page-table levels written, cachelines flushed ...).  Used
+    for ablations and sensitivity studies; the qualitative ordering of
+    the modes emerges from the real algorithms rather than from
+    measured constants.
+"""
+
+from __future__ import annotations
+
+import enum
+from dataclasses import dataclass
+from typing import Mapping, Optional
+
+from repro.modes import Mode
+from repro.perf.cycles import Component
+
+
+class CostPolicy(enum.Enum):
+    """Which costing strategy a :class:`CostModel` applies."""
+
+    CALIBRATED = "calibrated"
+    MICRO = "micro"
+
+
+#: Table 1 of the paper: average cycles per invocation, by mode/component.
+TABLE1_CYCLES: Mapping[Mode, Mapping[Component, float]] = {
+    Mode.STRICT: {
+        Component.IOVA_ALLOC: 3986.0,
+        Component.MAP_PAGE_TABLE: 588.0,
+        Component.MAP_OTHER: 44.0,
+        Component.IOVA_FIND: 249.0,
+        Component.IOVA_FREE: 159.0,
+        Component.UNMAP_PAGE_TABLE: 438.0,
+        Component.IOTLB_INV: 2127.0,
+        Component.UNMAP_OTHER: 26.0,
+    },
+    Mode.STRICT_PLUS: {
+        Component.IOVA_ALLOC: 92.0,
+        Component.MAP_PAGE_TABLE: 590.0,
+        Component.MAP_OTHER: 45.0,
+        Component.IOVA_FIND: 418.0,
+        Component.IOVA_FREE: 62.0,
+        Component.UNMAP_PAGE_TABLE: 427.0,
+        Component.IOTLB_INV: 2135.0,
+        Component.UNMAP_OTHER: 25.0,
+    },
+    Mode.DEFER: {
+        Component.IOVA_ALLOC: 1674.0,
+        Component.MAP_PAGE_TABLE: 533.0,
+        Component.MAP_OTHER: 44.0,
+        Component.IOVA_FIND: 263.0,
+        Component.IOVA_FREE: 189.0,
+        Component.UNMAP_PAGE_TABLE: 471.0,
+        Component.IOTLB_INV: 9.0,
+        Component.UNMAP_OTHER: 205.0,
+    },
+    Mode.DEFER_PLUS: {
+        Component.IOVA_ALLOC: 108.0,
+        Component.MAP_PAGE_TABLE: 577.0,
+        Component.MAP_OTHER: 42.0,
+        Component.IOVA_FIND: 454.0,
+        Component.IOVA_FREE: 57.0,
+        Component.UNMAP_PAGE_TABLE: 504.0,
+        Component.IOTLB_INV: 9.0,
+        Component.UNMAP_OTHER: 216.0,
+    },
+}
+
+#: The paper's Table 1 per-function sums, kept for verification.
+TABLE1_SUMS: Mapping[Mode, Mapping[str, float]] = {
+    Mode.STRICT: {"map": 4618.0, "unmap": 2999.0},
+    Mode.STRICT_PLUS: {"map": 727.0, "unmap": 3067.0},
+    Mode.DEFER: {"map": 2251.0, "unmap": 1137.0},
+    Mode.DEFER_PLUS: {"map": 727.0, "unmap": 1240.0},
+}
+
+
+@dataclass
+class PrimitiveCosts:
+    """Per-primitive cycle constants for the MICRO policy and for rIOMMU.
+
+    The rIOMMU-related constants are shared by both policies; the paper
+    itself simulated rIOMMU by composing exactly these primitives
+    (Figure 11 plus the 2,150-cycle busy-wait per invalidation measured
+    in Table 1).
+    """
+
+    #: one red-black-tree node visit (pointer chase, likely cache miss)
+    rbtree_visit: float = 25.0
+    #: constant-time freelist push/pop (the "+" allocator's fast path)
+    freelist_op: float = 60.0
+    #: write one page-table entry (dominated by barrier + flush; Table 1
+    #: shows ~500-600 cycles per insertion on the non-coherent testbed)
+    pte_write: float = 90.0
+    #: clear one page-table entry
+    pte_clear: float = 90.0
+    #: allocate + zero a new page-table page
+    table_alloc: float = 250.0
+    #: one memory barrier
+    memory_barrier: float = 25.0
+    #: one cacheline flush (clflush + ordering on the testbed)
+    cacheline_flush: float = 250.0
+    #: invalidate a single IOTLB entry (Table 1: ~2,127 cycles)
+    iotlb_inv_single: float = 2127.0
+    #: flush the whole IOTLB (deferred mode, amortized over 250 frees)
+    iotlb_inv_global: float = 2250.0
+    #: invalidate one rIOTLB entry — the paper busy-waits 2,150 cycles
+    riotlb_inv: float = 2150.0
+    #: fixed overhead of the map() wrapper ("other" row of Table 1)
+    map_fixed: float = 44.0
+    #: fixed overhead of the unmap() wrapper
+    unmap_fixed: float = 26.0
+    #: rIOMMU "IOVA allocation": two locked integer updates (tail, nmapped)
+    riommu_alloc: float = 15.0
+    #: rIOMMU "IOVA free": locked nmapped decrement
+    riommu_free: float = 15.0
+    #: initialise the four rPTE fields (before sync_mem)
+    riommu_pte_init: float = 85.0
+    #: clear the rPTE valid bit (before sync_mem)
+    riommu_pte_clear: float = 85.0
+    #: fixed map()/unmap() wrapper overhead in the rIOMMU driver
+    riommu_map_fixed: float = 10.0
+    riommu_unmap_fixed: float = 10.0
+
+    def sync_mem(self, coherent: bool) -> float:
+        """Cost of one ``sync_mem`` (Figure 11): flush only if non-coherent."""
+        if coherent:
+            return self.memory_barrier
+        return 2 * self.memory_barrier + self.cacheline_flush
+
+
+class CostModel:
+    """Maps driver operations to cycle charges for a given mode."""
+
+    def __init__(
+        self,
+        mode: Mode,
+        policy: CostPolicy = CostPolicy.CALIBRATED,
+        primitives: Optional[PrimitiveCosts] = None,
+        scale: float = 1.0,
+        overrides: Optional[Mapping["Component", float]] = None,
+    ) -> None:
+        if scale <= 0:
+            raise ValueError("scale must be positive")
+        self.mode = mode
+        self.policy = policy
+        self.primitives = primitives if primitives is not None else PrimitiveCosts()
+        #: per-component replacements for the Table 1 constants (used by
+        #: sensitivity/ablation studies, e.g. scaling the pathological
+        #: allocator's cost beyond its Netperf-measured value)
+        self.overrides = dict(overrides) if overrides else {}
+        #: multiplier on the baseline-mode Table 1 constants.  The paper's
+        #: Table 1 was measured on the mlx testbed (Linux 3.4); the brcm
+        #: testbed ran Linux 3.11 with a leaner driver, so its per-call
+        #: costs are lower (derived from the paper's brcm CPU ratios).
+        self.scale = scale
+
+    # -- baseline-IOMMU path ---------------------------------------------
+
+    def _calibrated(self, component: Component) -> float:
+        if component in self.overrides:
+            return self.overrides[component] * self.scale
+        table = TABLE1_CYCLES.get(self.mode)
+        if table is None:
+            raise ValueError(
+                f"no Table 1 calibration for mode {self.mode.label}; "
+                "rIOMMU and none modes use primitive composition"
+            )
+        return table[component] * self.scale
+
+    def iova_alloc(self, tree_visits: int, cache_hit: bool) -> float:
+        """Cost of one IOVA allocation."""
+        if self.policy is CostPolicy.CALIBRATED:
+            return self._calibrated(Component.IOVA_ALLOC)
+        p = self.primitives
+        if cache_hit:
+            return p.freelist_op
+        return p.freelist_op + p.rbtree_visit * max(tree_visits, 1)
+
+    def iova_find(self, tree_visits: int) -> float:
+        """Cost of locating the IOVA range during unmap."""
+        if self.policy is CostPolicy.CALIBRATED:
+            return self._calibrated(Component.IOVA_FIND)
+        return self.primitives.rbtree_visit * max(tree_visits, 1)
+
+    def iova_free(self, tree_visits: int, cached: bool) -> float:
+        """Cost of releasing the IOVA range."""
+        if self.policy is CostPolicy.CALIBRATED:
+            return self._calibrated(Component.IOVA_FREE)
+        p = self.primitives
+        if cached:
+            return p.freelist_op
+        return p.freelist_op + p.rbtree_visit * max(tree_visits, 1)
+
+    def page_table_update(
+        self, pages: int, entries: int, tables_allocated: int, is_map: bool
+    ) -> float:
+        """Cost of a page-table update covering ``pages`` leaf mappings.
+
+        CALIBRATED charges the Table 1 per-page constant (which already
+        folds in the occasional intermediate-table work); MICRO charges
+        the ``entries`` PTE writes and ``tables_allocated`` that actually
+        happened.
+        """
+        if self.policy is CostPolicy.CALIBRATED:
+            comp = Component.MAP_PAGE_TABLE if is_map else Component.UNMAP_PAGE_TABLE
+            return self._calibrated(comp) * max(pages, 1)
+        p = self.primitives
+        per_entry = p.pte_write if is_map else p.pte_clear
+        sync = p.sync_mem(coherent=False)  # baseline testbed walk is non-coherent
+        return entries * (per_entry + sync) + tables_allocated * p.table_alloc
+
+    def iotlb_invalidate_single(self) -> float:
+        """Cost of invalidating one IOTLB entry (strict modes)."""
+        if self.policy is CostPolicy.CALIBRATED:
+            return self._calibrated(Component.IOTLB_INV)
+        return self.primitives.iotlb_inv_single
+
+    def iotlb_deferred_bookkeeping(self) -> float:
+        """Per-unmap cost of queueing an invalidation (deferred modes)."""
+        if self.policy is CostPolicy.CALIBRATED:
+            return self._calibrated(Component.IOTLB_INV)
+        return 9.0
+
+    def iotlb_global_flush(self) -> float:
+        """Cost of flushing the entire IOTLB (deferred batch processing)."""
+        return self.primitives.iotlb_inv_global
+
+    def map_other(self) -> float:
+        """Fixed map() wrapper overhead."""
+        if self.policy is CostPolicy.CALIBRATED:
+            return self._calibrated(Component.MAP_OTHER)
+        return self.primitives.map_fixed
+
+    def unmap_other(self) -> float:
+        """Fixed unmap() wrapper overhead."""
+        if self.policy is CostPolicy.CALIBRATED:
+            return self._calibrated(Component.UNMAP_OTHER)
+        return self.primitives.unmap_fixed
+
+    # -- rIOMMU path ---------------------------------------------------------
+    # The paper has no Table 1 column for rIOMMU; both policies compose
+    # the same primitives, exactly as the authors' own simulation did.
+
+    def riommu_map_alloc(self) -> float:
+        """Ring-entry "allocation": increment tail and nmapped (Figure 11)."""
+        return self.primitives.riommu_alloc
+
+    def riommu_map_pt(self) -> float:
+        """Initialise the rPTE and sync_mem it to the walker."""
+        p = self.primitives
+        return p.riommu_pte_init + p.sync_mem(self.mode.coherent_walk)
+
+    def riommu_map_other(self) -> float:
+        """Fixed rIOMMU map() wrapper overhead (IOVA packing etc.)."""
+        return self.primitives.riommu_map_fixed
+
+    def riommu_unmap_pt(self) -> float:
+        """Clear the rPTE valid bit and sync_mem it."""
+        p = self.primitives
+        return p.riommu_pte_clear + p.sync_mem(self.mode.coherent_walk)
+
+    def riommu_unmap_free(self) -> float:
+        """Decrement nmapped — the whole of rIOMMU IOVA deallocation."""
+        return self.primitives.riommu_free
+
+    def riommu_unmap_other(self) -> float:
+        """Fixed rIOMMU unmap() wrapper overhead."""
+        return self.primitives.riommu_unmap_fixed
+
+    def riotlb_invalidate(self) -> float:
+        """Cost of one rIOTLB entry invalidation (end of burst only)."""
+        return self.primitives.riotlb_inv
+
+    def riommu_map_total(self) -> float:
+        """Total rIOMMU map() cycles (convenience for the model)."""
+        return self.riommu_map_alloc() + self.riommu_map_pt() + self.riommu_map_other()
+
+    def riommu_unmap_total(self) -> float:
+        """Total rIOMMU unmap() cycles excluding invalidation."""
+        return (
+            self.riommu_unmap_pt()
+            + self.riommu_unmap_free()
+            + self.riommu_unmap_other()
+        )

@@ -1,0 +1,127 @@
+"""Cycle accounting: who spent how many CPU cycles on what.
+
+The paper's central methodological result (§3.3) is that for ring-based
+high-bandwidth devices, performance is *entirely* determined by the
+number of CPU cycles the core spends per packet — the IOMMU hardware
+datapath runs in parallel and is never the bottleneck.  The authors
+therefore evaluate rIOMMU by spending cycles in software.  We mirror
+that: every driver operation charges cycles to a :class:`CycleAccount`
+under a :class:`Component` label matching the paper's Table 1 taxonomy.
+"""
+
+from __future__ import annotations
+
+import enum
+from dataclasses import dataclass, field
+from typing import Dict, Iterable, Mapping, Optional, Tuple
+
+
+class Component(enum.Enum):
+    """Cost components, matching the rows of the paper's Table 1."""
+
+    # map() components
+    IOVA_ALLOC = "map.iova_alloc"
+    MAP_PAGE_TABLE = "map.page_table"
+    MAP_OTHER = "map.other"
+    # unmap() components
+    IOVA_FIND = "unmap.iova_find"
+    IOVA_FREE = "unmap.iova_free"
+    UNMAP_PAGE_TABLE = "unmap.page_table"
+    IOTLB_INV = "unmap.iotlb_inv"
+    UNMAP_OTHER = "unmap.other"
+    # everything else the core does per packet (TCP/IP, interrupts, ...)
+    PROCESSING = "other"
+
+    @property
+    def is_map(self) -> bool:
+        """True for components of the map() path."""
+        return self.value.startswith("map.")
+
+    @property
+    def is_unmap(self) -> bool:
+        """True for components of the unmap() path."""
+        return self.value.startswith("unmap.")
+
+
+#: Table 1 ordering for presentation.
+MAP_COMPONENTS: Tuple[Component, ...] = (
+    Component.IOVA_ALLOC,
+    Component.MAP_PAGE_TABLE,
+    Component.MAP_OTHER,
+)
+UNMAP_COMPONENTS: Tuple[Component, ...] = (
+    Component.IOVA_FIND,
+    Component.IOVA_FREE,
+    Component.UNMAP_PAGE_TABLE,
+    Component.IOTLB_INV,
+    Component.UNMAP_OTHER,
+)
+
+
+@dataclass
+class CycleAccount:
+    """Accumulates cycles per :class:`Component`.
+
+    ``cycles[c]`` is the total cycles charged to component ``c``;
+    ``events[c]`` counts individual charges so averages can be reported
+    in the same per-invocation units as Table 1.
+    """
+
+    cycles: Dict[Component, float] = field(default_factory=dict)
+    events: Dict[Component, int] = field(default_factory=dict)
+
+    def charge(self, component: Component, cycles: float, events: int = 1) -> None:
+        """Charge ``cycles`` to ``component`` (``events`` invocations)."""
+        if cycles < 0:
+            raise ValueError(f"cannot charge negative cycles ({cycles})")
+        self.cycles[component] = self.cycles.get(component, 0.0) + cycles
+        self.events[component] = self.events.get(component, 0) + events
+
+    def total(self, components: Optional[Iterable[Component]] = None) -> float:
+        """Total cycles, optionally restricted to ``components``."""
+        if components is None:
+            return sum(self.cycles.values())
+        return sum(self.cycles.get(c, 0.0) for c in components)
+
+    def map_total(self) -> float:
+        """Total cycles spent in map()."""
+        return self.total(MAP_COMPONENTS)
+
+    def unmap_total(self) -> float:
+        """Total cycles spent in unmap()."""
+        return self.total(UNMAP_COMPONENTS)
+
+    def average(self, component: Component) -> float:
+        """Average cycles per invocation of ``component`` (0 if never charged)."""
+        n = self.events.get(component, 0)
+        if n == 0:
+            return 0.0
+        return self.cycles.get(component, 0.0) / n
+
+    def merge(self, other: "CycleAccount") -> None:
+        """Fold another account into this one."""
+        for comp, cyc in other.cycles.items():
+            self.cycles[comp] = self.cycles.get(comp, 0.0) + cyc
+        for comp, n in other.events.items():
+            self.events[comp] = self.events.get(comp, 0) + n
+
+    def reset(self) -> None:
+        """Zero the account."""
+        self.cycles.clear()
+        self.events.clear()
+
+    def breakdown(self) -> Mapping[str, float]:
+        """Totals keyed by the Table 1 component names."""
+        return {c.value: self.cycles.get(c, 0.0) for c in Component}
+
+    def per_packet(self, packets: int) -> Dict[Component, float]:
+        """Average cycles per packet for each component (Figure 7 units)."""
+        if packets <= 0:
+            raise ValueError("packets must be positive")
+        return {c: self.cycles.get(c, 0.0) / packets for c in Component}
+
+    def __repr__(self) -> str:  # pragma: no cover - debugging aid
+        parts = ", ".join(
+            f"{c.value}={cyc:.0f}" for c, cyc in sorted(self.cycles.items(), key=lambda kv: kv[0].value)
+        )
+        return f"CycleAccount({parts})"

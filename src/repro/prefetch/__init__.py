@@ -1,0 +1,59 @@
+"""TLB prefetchers and DMA traces for the paper's §5.4 comparison."""
+
+from repro.prefetch.base import (
+    LruCache,
+    Prefetcher,
+    PrefetchSimulator,
+    PrefetchStats,
+)
+from repro.prefetch.distance import DistancePrefetcher
+from repro.prefetch.eval import (
+    PREFETCHER_FACTORIES,
+    PrefetcherOutcome,
+    RIotlbMeasurement,
+    RiotlbReplay,
+    evaluate_matrix,
+    evaluate_prefetcher,
+    measure_riotlb,
+    replay_riotlb,
+)
+from repro.prefetch.markov import MarkovPrefetcher
+from repro.prefetch.recency import RecencyPrefetcher
+from repro.prefetch.trace import (
+    DmaTrace,
+    EventKind,
+    TraceEvent,
+    TraceRecorder,
+    access_count,
+    load_trace,
+    record_netperf_trace,
+    save_trace,
+    synthesize_ring_trace,
+)
+
+__all__ = [
+    "DistancePrefetcher",
+    "DmaTrace",
+    "EventKind",
+    "LruCache",
+    "MarkovPrefetcher",
+    "PREFETCHER_FACTORIES",
+    "Prefetcher",
+    "PrefetcherOutcome",
+    "PrefetchSimulator",
+    "PrefetchStats",
+    "RIotlbMeasurement",
+    "RecencyPrefetcher",
+    "RiotlbReplay",
+    "TraceEvent",
+    "TraceRecorder",
+    "access_count",
+    "evaluate_matrix",
+    "evaluate_prefetcher",
+    "load_trace",
+    "measure_riotlb",
+    "record_netperf_trace",
+    "replay_riotlb",
+    "save_trace",
+    "synthesize_ring_trace",
+]

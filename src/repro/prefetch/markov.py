@@ -1,0 +1,63 @@
+"""Markov TLB prefetcher (Joseph & Grunwald, ISCA'97 — the paper's [31]).
+
+Learns first-order transitions between I/O virtual pages: if page B
+tends to follow page A, an access to A prefetches B.  The transition
+table is capacity-bounded; each node remembers up to ``ways``
+successors with simple LRU replacement inside the node.
+"""
+
+from __future__ import annotations
+
+from collections import OrderedDict
+from typing import Iterable, Optional
+
+from repro.prefetch.base import Prefetcher
+
+
+class MarkovPrefetcher(Prefetcher):
+    """First-order Markov predictor over the page-access stream."""
+
+    name = "markov"
+
+    def __init__(self, capacity: int = 4096, ways: int = 2) -> None:
+        if capacity <= 0 or ways <= 0:
+            raise ValueError("capacity and ways must be positive")
+        self.capacity = capacity
+        self.ways = ways
+        #: node table: vpn -> LRU-ordered successor set
+        self._table: "OrderedDict[int, OrderedDict[int, None]]" = OrderedDict()
+        self._last_vpn: Optional[int] = None
+
+    def record(self, vpn: int) -> None:
+        if self._last_vpn is not None:
+            node = self._table.get(self._last_vpn)
+            if node is None:
+                if len(self._table) >= self.capacity:
+                    self._table.popitem(last=False)
+                node = OrderedDict()
+                self._table[self._last_vpn] = node
+            self._table.move_to_end(self._last_vpn)
+            if vpn in node:
+                node.move_to_end(vpn)
+            else:
+                if len(node) >= self.ways:
+                    node.popitem(last=False)
+                node[vpn] = None
+        self._last_vpn = vpn
+
+    def predict(self, vpn: int) -> Iterable[int]:
+        node = self._table.get(vpn)
+        if node is None:
+            return ()
+        # Most-recently confirmed successor first.
+        return list(reversed(node.keys()))
+
+    def forget(self, vpn: int) -> None:
+        self._table.pop(vpn, None)
+        for node in self._table.values():
+            node.pop(vpn, None)
+        if self._last_vpn == vpn:
+            self._last_vpn = None
+
+    def history_size(self) -> int:
+        return len(self._table)

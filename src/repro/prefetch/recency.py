@@ -1,0 +1,98 @@
+"""Recency-based TLB preloading (Saulsbury et al., ISCA'00 — paper's [44]).
+
+The predictor threads all pages into an LRU *recency stack* and saves
+each page's stack neighbours.  On an access to P, the pages that were
+adjacent to P in the recency order last time are prefetched — the
+intuition being that pages referenced together stay neighbours in the
+stack across working-set sweeps.
+
+The stack is an explicit doubly-linked list so every operation is O(1).
+"""
+
+from __future__ import annotations
+
+from typing import Dict, Iterable, List, Optional
+
+from repro.prefetch.base import Prefetcher
+
+
+class _Node:
+    __slots__ = ("vpn", "prev", "next")
+
+    def __init__(self, vpn: int) -> None:
+        self.vpn = vpn
+        self.prev: Optional["_Node"] = None
+        self.next: Optional["_Node"] = None
+
+
+class RecencyPrefetcher(Prefetcher):
+    """LRU-stack-neighbour predictor."""
+
+    name = "recency"
+
+    def __init__(self, capacity: int = 4096) -> None:
+        if capacity <= 0:
+            raise ValueError("capacity must be positive")
+        self.capacity = capacity
+        self._nodes: Dict[int, _Node] = {}
+        self._head: Optional[_Node] = None  # least recent
+        self._tail: Optional[_Node] = None  # most recent
+        #: saved neighbour links: vpn -> (below, above) at last access
+        self._links: Dict[int, List[Optional[int]]] = {}
+
+    # -- linked-list plumbing ---------------------------------------------
+
+    def _unlink(self, node: _Node) -> None:
+        if node.prev is not None:
+            node.prev.next = node.next
+        else:
+            self._head = node.next
+        if node.next is not None:
+            node.next.prev = node.prev
+        else:
+            self._tail = node.prev
+        node.prev = node.next = None
+
+    def _push_tail(self, node: _Node) -> None:
+        node.prev = self._tail
+        node.next = None
+        if self._tail is not None:
+            self._tail.next = node
+        self._tail = node
+        if self._head is None:
+            self._head = node
+
+    # -- predictor interface -------------------------------------------------
+
+    def record(self, vpn: int) -> None:
+        node = self._nodes.get(vpn)
+        if node is not None:
+            below = node.prev.vpn if node.prev is not None else None
+            above = node.next.vpn if node.next is not None else None
+            self._links[vpn] = [below, above]
+            self._unlink(node)
+        else:
+            if len(self._nodes) >= self.capacity and self._head is not None:
+                evicted = self._head
+                self._unlink(evicted)
+                del self._nodes[evicted.vpn]
+                self._links.pop(evicted.vpn, None)
+            node = _Node(vpn)
+            self._nodes[vpn] = node
+            self._links.setdefault(vpn, [None, None])
+        self._push_tail(node)
+
+    def predict(self, vpn: int) -> Iterable[int]:
+        links = self._links.get(vpn)
+        if links is None:
+            return ()
+        return [neighbour for neighbour in links if neighbour is not None]
+
+    def forget(self, vpn: int) -> None:
+        node = self._nodes.pop(vpn, None)
+        if node is not None:
+            self._unlink(node)
+        self._links.pop(vpn, None)
+
+    def history_size(self) -> int:
+        return len(self._links)

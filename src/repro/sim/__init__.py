@@ -1,0 +1,38 @@
+"""Workload models, machine setups and the benchmark runner."""
+
+from repro.sim.apache import ApacheBench
+from repro.sim.memcached import MemcachedBench
+from repro.sim.netperf import NIC_BDF, NetperfRR, NetperfStream, build_machine
+from repro.sim.results import RunResult, normalized, normalized_cpu
+from repro.sim.runner import (
+    BENCHMARK_NAMES,
+    EvaluationGrid,
+    make_benchmark,
+    run_benchmark,
+    run_figure12,
+    run_mode_sweep,
+)
+from repro.sim.setups import ALL_SETUPS, BRCM_SETUP, MLX_SETUP, Setup, setup_by_name
+
+__all__ = [
+    "ALL_SETUPS",
+    "ApacheBench",
+    "BENCHMARK_NAMES",
+    "BRCM_SETUP",
+    "EvaluationGrid",
+    "MLX_SETUP",
+    "MemcachedBench",
+    "NIC_BDF",
+    "NetperfRR",
+    "NetperfStream",
+    "RunResult",
+    "Setup",
+    "build_machine",
+    "make_benchmark",
+    "normalized",
+    "normalized_cpu",
+    "run_benchmark",
+    "run_figure12",
+    "run_mode_sweep",
+    "setup_by_name",
+]

@@ -1,0 +1,126 @@
+"""Apache/ApacheBench workload model (paper §5.1): static-file HTTP serving.
+
+Each request costs heavy application-side processing (~245K cycles —
+calibrated so the no-IOMMU setups serve the paper's ~12K requests/s of
+1 KB files) plus the per-packet network work: a small request frame in,
+the file as MTU-size frames out, and the TCP connection-management
+frames ApacheBench's non-keep-alive requests incur.
+
+For 1 KB files the application cycles dominate and the IOMMU matters
+little; for 1 MB files the ~725 data frames per request make the
+workload behave like Netperf stream (paper §5.2).
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Dict
+
+from repro.devices.nic import SimulatedNic
+from repro.kernel.machine import Machine
+from repro.kernel.net_driver import NetDriver
+from repro.kernel.stack import DEFAULT_APP_COSTS
+from repro.modes import Mode
+from repro.perf.cycles import Component
+from repro.perf.model import requests_per_second
+from repro.sim.netperf import NIC_BDF, build_machine
+from repro.sim.results import RunResult
+from repro.sim.setups import Setup
+
+#: TCP MSS carried per full-size response frame
+MSS_BYTES = 1448
+#: request frame size (GET line + headers)
+REQUEST_BYTES = 200
+#: connection-management frames per non-keep-alive request: SYN in,
+#: SYN-ACK out, FIN in, FIN-ACK out
+CONN_RX_FRAMES = 2
+CONN_TX_FRAMES = 2
+
+
+@dataclass
+class ApacheBench:
+    """ApacheBench against a static file of ``file_bytes``."""
+
+    file_bytes: int
+    requests: int = 60
+    warmup: int = 10
+    app_cycles: float = DEFAULT_APP_COSTS.apache_request
+    #: extra Machine() arguments (cost policy/overrides for ablations)
+    machine_kwargs: Dict = field(default_factory=dict)
+
+    @property
+    def name(self) -> str:
+        """Benchmark label matching the paper's figure captions."""
+        if self.file_bytes >= 1 << 20:
+            return "apache 1M"
+        return "apache 1K"
+
+    @property
+    def response_frames(self) -> int:
+        """Full-size frames needed to carry the file."""
+        return max(1, (self.file_bytes + MSS_BYTES - 1) // MSS_BYTES)
+
+    @property
+    def frames_per_request(self) -> int:
+        """All frames the server handles per request."""
+        return 1 + CONN_RX_FRAMES + self.response_frames + CONN_TX_FRAMES
+
+    def run(self, setup: Setup, mode: Mode) -> RunResult:
+        """Serve ``requests`` requests; returns requests/s and CPU."""
+        machine = build_machine(setup, mode, **self.machine_kwargs)
+        nic = SimulatedNic(machine.bus, NIC_BDF, setup.nic_profile)
+        driver = NetDriver(machine, nic, coalesce_threshold=setup.stream_burst)
+        driver.fill_rx()
+
+        self._serve(driver, self.warmup, setup)
+        driver.account.reset()
+        self._serve(driver, self.requests, setup)
+
+        account = driver.account
+        packets = self.requests * self.frames_per_request
+        cycles_per_request = account.total() / self.requests
+        perf = requests_per_second(
+            cycles_per_request,
+            setup.clock_hz,
+            line_rate_gbps=setup.nic_profile.line_rate_gbps,
+            bytes_per_request=self.file_bytes + REQUEST_BYTES,
+        )
+        return RunResult(
+            setup_name=setup.name,
+            mode=mode,
+            benchmark=self.name,
+            packets=packets,
+            cycles_total=account.total(),
+            cycles_per_packet=account.total() / packets,
+            throughput_metric=perf.pps,
+            cpu=perf.cpu_utilization,
+            requests_per_sec=perf.pps,
+            gbps=perf.gbps,
+            line_rate_limited=perf.line_rate_limited,
+            per_packet_breakdown=account.per_packet(packets),
+        )
+
+    def _serve(self, driver: NetDriver, count: int, setup: Setup) -> None:
+        for _ in range(count):
+            # Inbound: SYN, request, FIN.
+            for frame in (b"S" * 60, b"G" * REQUEST_BYTES, b"F" * 60):
+                driver.nic.deliver_frame(frame)
+                driver.account.charge(Component.PROCESSING, setup.c_none_stream)
+            # Outbound: SYN-ACK, the file, FIN-ACK.
+            frames = [b"A" * 60]
+            remaining = self.file_bytes
+            while remaining > 0:
+                take = min(MSS_BYTES, remaining)
+                frames.append(b"D" * take)
+                remaining -= take
+            frames.append(b"K" * 60)
+            for frame in frames:
+                while not driver.transmit(frame):
+                    driver.pump_tx()
+                driver.account.charge(Component.PROCESSING, setup.c_none_stream)
+            driver.pump_tx()
+            # The application work for this request.
+            driver.account.charge(Component.PROCESSING, self.app_cycles)
+        driver.pump_tx()
+        driver.flush_tx()
+        driver.flush_rx()

@@ -1,0 +1,181 @@
+"""Netperf workload models: TCP stream and UDP request-response.
+
+Both run the *functional* simulation — real rings, real mappings, real
+DMAs — and convert the measured cycles-per-packet into throughput /
+latency / CPU with the paper's validated model (§3.3).
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Dict
+
+from repro.devices.nic import SimulatedNic
+from repro.iommu.context import make_bdf
+from repro.kernel.machine import Machine
+from repro.kernel.net_driver import NetDriver
+from repro.modes import Mode
+from repro.perf.cycles import Component
+from repro.perf.model import (
+    ETHERNET_MTU_BYTES,
+    request_response,
+    throughput_with_line_rate,
+)
+from repro.sim.results import RunResult
+from repro.sim.setups import Setup
+
+#: default BDF of the simulated NIC
+NIC_BDF = make_bdf(0, 3, 0)
+
+
+def build_machine(setup: Setup, mode: Mode, **machine_kwargs) -> Machine:
+    """Create a machine configured with the setup's cost calibration."""
+    return Machine(
+        mode,
+        cost_scale=setup.cost_scale(mode),
+        cost_primitives=setup.riommu_primitives,
+        **machine_kwargs,
+    )
+
+
+@dataclass
+class NetperfStream:
+    """Netperf TCP stream: saturate one connection with MTU-size packets.
+
+    The sender maps/unmaps every packet's buffers; ~200 completions
+    coalesce per Tx interrupt, so rIOMMU pays one rIOTLB invalidation
+    per ~200 packets.
+    """
+
+    name: str = "stream"
+    packets: int = 2000
+    warmup: int = 400
+    pump_interval: int = 64
+    #: extra Machine() arguments (cost policy/overrides for ablations)
+    machine_kwargs: Dict = field(default_factory=dict)
+
+    def run(self, setup: Setup, mode: Mode) -> RunResult:
+        """Run the workload; returns the Figure-12-style result."""
+        machine = build_machine(setup, mode, **self.machine_kwargs)
+        nic = SimulatedNic(machine.bus, NIC_BDF, setup.nic_profile)
+        driver = NetDriver(machine, nic, coalesce_threshold=setup.stream_burst)
+        driver.fill_rx()
+        payload = b"\xab" * ETHERNET_MTU_BYTES
+
+        self._transmit_loop(driver, self.warmup, setup)
+        driver.account.reset()
+        base_tx = driver.stats.packets_transmitted
+        self._transmit_loop(driver, self.packets, setup)
+        measured = driver.stats.packets_transmitted - base_tx
+
+        account = driver.account
+        cycles_per_packet = account.total() / measured
+        perf = throughput_with_line_rate(
+            cycles_per_packet, setup.clock_hz, setup.nic_profile.line_rate_gbps
+        )
+        return RunResult(
+            setup_name=setup.name,
+            mode=mode,
+            benchmark=self.name,
+            packets=measured,
+            cycles_total=account.total(),
+            cycles_per_packet=cycles_per_packet,
+            throughput_metric=perf.gbps,
+            cpu=perf.cpu_utilization,
+            gbps=perf.gbps,
+            line_rate_limited=perf.line_rate_limited,
+            per_packet_breakdown=account.per_packet(measured),
+        )
+
+    def _transmit_loop(self, driver: NetDriver, count: int, setup: Setup) -> None:
+        payload = b"\xab" * ETHERNET_MTU_BYTES
+        sent = 0
+        while sent < count:
+            if driver.transmit(payload):
+                driver.account.charge(Component.PROCESSING, setup.c_none_stream)
+                sent += 1
+                if sent % self.pump_interval == 0:
+                    driver.pump_tx()
+            else:
+                driver.pump_tx()
+        driver.pump_tx()
+        driver.flush_tx()
+
+
+@dataclass
+class NetperfRR:
+    """Netperf UDP request-response: 1-byte ping-pong, strictly serial.
+
+    At RR rates the NIC's adaptive interrupt moderation still groups a
+    handful of completions per interrupt (the round trip is about the
+    same length as the moderation window), so unmap bursts are short —
+    a few messages — and rIOMMU's per-burst invalidation is amortized
+    over only ``burst`` transactions rather than ~200.  That is why its
+    RR win is modest (Table 3).
+    """
+
+    name: str = "rr"
+    transactions: int = 400
+    warmup: int = 100
+    #: completions grouped per interrupt by adaptive moderation
+    burst: int = 4
+    #: Rx buffers posted for the tiny messages (single-buffer descriptors)
+    rx_buffer_bytes: int = 64
+    #: extra Machine() arguments (cost policy/overrides for ablations)
+    machine_kwargs: Dict = field(default_factory=dict)
+
+    def run(self, setup: Setup, mode: Mode) -> RunResult:
+        """Run the workload; returns RTT/transaction-rate/CPU."""
+        machine = build_machine(setup, mode, **self.machine_kwargs)
+        nic = SimulatedNic(machine.bus, NIC_BDF, setup.nic_profile)
+        driver = NetDriver(
+            machine, nic, coalesce_threshold=self.burst, mtu=self.rx_buffer_bytes
+        )
+        driver.fill_rx()
+
+        self._exchange_loop(driver, self.warmup, setup)
+        driver.account.reset()
+        self._exchange_loop(driver, self.transactions, setup)
+
+        account = driver.account
+        processing = account.cycles.get(Component.PROCESSING, 0.0)
+        overhead_per_txn = (account.total() - processing) / self.transactions
+        busy_per_txn = 2 * setup.rr_stack_cycles_per_packet
+        latency = request_response(
+            setup.rr_base_rtt_us, overhead_per_txn, busy_per_txn, setup.clock_hz
+        )
+        packets = 2 * self.transactions
+        return RunResult(
+            setup_name=setup.name,
+            mode=mode,
+            benchmark=self.name,
+            packets=packets,
+            cycles_total=account.total(),
+            cycles_per_packet=account.total() / packets,
+            throughput_metric=latency.transactions_per_second,
+            cpu=latency.cpu_utilization,
+            transactions_per_sec=latency.transactions_per_second,
+            rtt_us=latency.rtt_us,
+            per_packet_breakdown=account.per_packet(packets),
+        )
+
+    def _exchange_loop(self, driver: NetDriver, count: int, setup: Setup) -> None:
+        for i in range(count):
+            # Send the 1-byte request ...
+            while not driver.transmit(b"\x01"):
+                driver.pump_tx()
+            driver.pump_tx()
+            driver.account.charge(
+                Component.PROCESSING, setup.rr_stack_cycles_per_packet
+            )
+            # ... and receive the 1-byte response.
+            driver.nic.deliver_frame(b"\x02")
+            driver.account.charge(
+                Component.PROCESSING, setup.rr_stack_cycles_per_packet
+            )
+            # Interrupt moderation delivers completions every few messages.
+            if (i + 1) % self.burst == 0:
+                driver.flush_tx()
+                driver.flush_rx()
+        driver.flush_tx()
+        driver.flush_rx()

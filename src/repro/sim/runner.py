@@ -1,0 +1,118 @@
+"""The benchmark runner: every (setup, mode, benchmark) combination.
+
+``run_benchmark`` runs one cell; ``run_mode_sweep`` produces one
+benchmark's row of Figure 12 (all seven modes); ``run_figure12`` runs
+the whole evaluation grid.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Dict, Iterable
+
+from repro.modes import ALL_MODES, Mode
+from repro.sim.apache import ApacheBench
+from repro.sim.memcached import MemcachedBench
+from repro.sim.netperf import NetperfRR, NetperfStream
+from repro.sim.results import RunResult
+from repro.sim.setups import ALL_SETUPS, Setup
+
+#: Benchmarks in the paper's Figure 12 order.
+BENCHMARK_NAMES = ("stream", "rr", "apache 1M", "apache 1K", "memcached")
+
+
+def make_benchmark(name: str, fast: bool = False):
+    """Instantiate a workload by its paper name.
+
+    ``fast=True`` shrinks the run for use inside unit tests; the full
+    sizes are used by the reproduction benchmarks.
+    """
+    if name == "stream":
+        return NetperfStream(packets=400, warmup=100) if fast else NetperfStream()
+    if name == "rr":
+        return NetperfRR(transactions=60, warmup=20) if fast else NetperfRR()
+    if name == "apache 1M":
+        size = 1 << 20
+        return (
+            ApacheBench(file_bytes=size, requests=4, warmup=1)
+            if fast
+            else ApacheBench(file_bytes=size, requests=25, warmup=5)
+        )
+    if name == "apache 1K":
+        size = 1 << 10
+        return (
+            ApacheBench(file_bytes=size, requests=40, warmup=10)
+            if fast
+            else ApacheBench(file_bytes=size, requests=250, warmup=50)
+        )
+    if name == "memcached":
+        return (
+            MemcachedBench(requests=60, warmup=15)
+            if fast
+            else MemcachedBench()
+        )
+    raise KeyError(f"unknown benchmark {name!r}")
+
+
+def run_benchmark(setup: Setup, mode: Mode, benchmark: str, fast: bool = False) -> RunResult:
+    """Run one benchmark under one mode on one setup."""
+    return make_benchmark(benchmark, fast).run(setup, mode)
+
+
+def run_mode_sweep(
+    setup: Setup,
+    benchmark: str,
+    modes: Iterable[Mode] = ALL_MODES,
+    fast: bool = False,
+) -> Dict[Mode, RunResult]:
+    """One benchmark across the given modes (one Figure 12 panel)."""
+    workload = make_benchmark(benchmark, fast)
+    return {mode: workload.run(setup, mode) for mode in modes}
+
+
+@dataclass
+class EvaluationGrid:
+    """Results for the full Figure 12 grid, indexed [setup][benchmark][mode]."""
+
+    results: Dict[str, Dict[str, Dict[Mode, RunResult]]] = field(default_factory=dict)
+
+    def get(self, setup_name: str, benchmark: str, mode: Mode) -> RunResult:
+        """One cell of the grid."""
+        return self.results[setup_name][benchmark][mode]
+
+    def panel(self, setup_name: str, benchmark: str) -> Dict[Mode, RunResult]:
+        """One benchmark's results across all modes."""
+        return self.results[setup_name][benchmark]
+
+    def to_dict(self) -> Dict[str, Dict[str, Dict[str, dict]]]:
+        """JSON-friendly nested dict of every cell."""
+        return {
+            setup: {
+                benchmark: {mode.label: result.to_dict() for mode, result in panel.items()}
+                for benchmark, panel in benchmarks.items()
+            }
+            for setup, benchmarks in self.results.items()
+        }
+
+    def save_json(self, path) -> None:
+        """Write the whole grid to a JSON file."""
+        import json
+
+        with open(path, "w") as handle:
+            json.dump(self.to_dict(), handle, indent=2)
+
+
+def run_figure12(
+    setups: Iterable[Setup] = ALL_SETUPS,
+    benchmarks: Iterable[str] = BENCHMARK_NAMES,
+    modes: Iterable[Mode] = ALL_MODES,
+    fast: bool = False,
+) -> EvaluationGrid:
+    """Run the complete evaluation grid of the paper's Figure 12."""
+    grid = EvaluationGrid()
+    for setup in setups:
+        per_setup: Dict[str, Dict[Mode, RunResult]] = {}
+        for benchmark in benchmarks:
+            per_setup[benchmark] = run_mode_sweep(setup, benchmark, modes, fast)
+        grid.results[setup.name] = per_setup
+    return grid

@@ -1,0 +1,98 @@
+"""Unit tests (small scale) for safety, ablations, micro and passthrough."""
+
+import pytest
+
+from repro.analysis import (
+    ablate_prefetch,
+    run_micro_validation,
+    run_passthrough,
+    run_safety,
+    sweep_alloc_pathology,
+    sweep_burst_length,
+    sweep_defer_threshold,
+)
+from repro.modes import Mode
+
+
+# -- safety (A6) -----------------------------------------------------------
+
+
+@pytest.fixture(scope="module")
+def safety():
+    return run_safety(packets=80, flush_threshold=32)
+
+
+def test_strict_never_exposed(safety):
+    assert safety.exposed_fraction["strict"] == 0.0
+    assert safety.mean_window_unmaps["strict"] == 0.0
+
+
+def test_defer_window_tracks_batch(safety):
+    assert safety.exposed_fraction["defer"] > 0.8
+    assert 5 < safety.mean_window_unmaps["defer"] < 32
+
+
+def test_riommu_window_is_single_entry(safety):
+    for label in ("riommu", "riommu-"):
+        assert safety.mean_window_unmaps[label] < 2.0
+
+
+def test_safety_render(safety):
+    text = safety.render()
+    assert "exposed after unmap" in text
+    assert "defer" in text
+
+
+# -- ablations ---------------------------------------------------------------
+
+
+def test_burst_sweep_monotone_improvement():
+    result = sweep_burst_length(bursts=(1, 8, 64), packets=120, warmup=30)
+    gbps = [g for _b, _c, g in result.points]
+    assert gbps == sorted(gbps)
+    assert "burst" in result.render()
+
+
+def test_defer_threshold_sweep_improves_then_flattens():
+    result = sweep_defer_threshold(thresholds=(1, 250), packets=120, warmup=30)
+    by_threshold = {t: g for t, _c, g in result.points}
+    assert by_threshold[250] > by_threshold[1]
+
+
+def test_prefetch_ablation_functional_only():
+    result = ablate_prefetch(packets=120)
+    assert result.with_prefetch_walk_fraction < result.without_prefetch_walk_fraction
+    assert result.with_prefetch_hits > 0
+    assert "rprefetch" in result.render()
+
+
+def test_alloc_pathology_monotone():
+    result = sweep_alloc_pathology(scales=(1.0, 4.0), requests=40)
+    ratios = dict(result.points)
+    assert ratios[4.0] > ratios[1.0]
+    assert "4.88" in result.render()
+
+
+# -- micro validation (A5) -------------------------------------------------------
+
+
+def test_micro_validation_small():
+    result = run_micro_validation(packets=120, warmup=30)
+    assert result.ordering_matches_paper()
+    # MICRO compresses ratios but never beats calibrated's none floor.
+    assert (
+        result.micro[Mode.NONE].cycles_per_packet
+        == result.calibrated[Mode.NONE].cycles_per_packet
+    )
+    assert "MICRO ordering matches the paper" in result.render()
+
+
+# -- passthrough (E10) ---------------------------------------------------------------
+
+
+def test_passthrough_small():
+    result = run_passthrough(packets=100, warmup=20)
+    assert result.stream_gbps["HWpt"] == result.stream_gbps["SWpt"]
+    assert result.stream_gbps["none"] > result.stream_gbps["HWpt"]
+    assert result.swpt_iotlb_miss_rate > 0.2
+    assert "HWpt == SWpt" in result.render()

@@ -1,0 +1,199 @@
+"""Tests for the memory-resident NVMe queues, SQE/CQE codecs and MMIO."""
+
+import pytest
+
+from repro.devices import (
+    CQE_BYTES,
+    DmaBus,
+    IdentityBackend,
+    NvmeCommand,
+    NvmeCompletion,
+    NvmeController,
+    NvmeMmio,
+    NvmeOpcode,
+    NvmeStatus,
+    SQE_BYTES,
+)
+from repro.kernel import Machine, NvmeDriver
+from repro.kernel.dma_api import SgEntry
+from repro.dma import DmaDirection
+from repro.memory import MemorySystem
+from repro.modes import Mode
+
+BDF = 0x0500
+
+
+@pytest.fixture
+def setup():
+    mem = MemorySystem(size_bytes=1 << 26)
+    bus = DmaBus(mem, IdentityBackend())
+    return mem, bus, NvmeController(bus, BDF)
+
+
+# -- SQE/CQE codecs ---------------------------------------------------------
+
+
+def test_sqe_roundtrip():
+    command = NvmeCommand(NvmeOpcode.WRITE, 42, lba=123456, blocks=7, data_addr=0xDEAD000)
+    raw = command.encode()
+    assert len(raw) == SQE_BYTES
+    again = NvmeCommand.decode(raw)
+    assert again == command
+
+
+def test_cqe_roundtrip():
+    cqe = NvmeCompletion(command_id=9, status=NvmeStatus.LBA_OUT_OF_RANGE, sq_head=3)
+    raw = cqe.encode()
+    assert len(raw) == CQE_BYTES
+    assert NvmeCompletion.decode(raw) == cqe
+
+
+def test_sqe_decode_rejects_short():
+    with pytest.raises(ValueError):
+        NvmeCommand.decode(b"\x00" * 8)
+
+
+# -- memory-resident queues ------------------------------------------------------
+
+
+def test_sqes_live_in_host_memory(setup):
+    mem, _bus, nvme = setup
+    qid = nvme.create_queue_pair(8)
+    buf = mem.alloc_dma_buffer(4096)
+    nvme.submit(qid, NvmeCommand(NvmeOpcode.WRITE, 5, lba=0, blocks=1, data_addr=buf))
+    qp = nvme.queue(qid)
+    raw = mem.ram.read(qp.sq_addr, SQE_BYTES)
+    assert NvmeCommand.decode(raw).command_id == 5
+
+
+def test_cqes_written_to_host_memory(setup):
+    mem, _bus, nvme = setup
+    qid = nvme.create_queue_pair(8)
+    buf = mem.alloc_dma_buffer(4096)
+    nvme.submit(qid, NvmeCommand(NvmeOpcode.WRITE, 7, lba=1, blocks=1, data_addr=buf))
+    nvme.ring_doorbell(qid)
+    qp = nvme.queue(qid)
+    cqe = NvmeCompletion.decode(mem.ram.read(qp.cq_addr, CQE_BYTES))
+    assert cqe.command_id == 7
+    assert cqe.status is NvmeStatus.SUCCESS
+
+
+def test_doorbell_tail_validation(setup):
+    _mem, _bus, nvme = setup
+    qid = nvme.create_queue_pair(4)
+    with pytest.raises(ValueError):
+        nvme.ring_doorbell(qid, sq_tail=4)
+
+
+def test_queue_wraps(setup):
+    mem, _bus, nvme = setup
+    qid = nvme.create_queue_pair(4)
+    buf = mem.alloc_dma_buffer(4096)
+    for round_ in range(6):  # > entries: exercises wrap
+        nvme.submit(
+            qid, NvmeCommand(NvmeOpcode.WRITE, round_, lba=round_, blocks=1, data_addr=buf)
+        )
+        nvme.ring_doorbell(qid)
+    assert nvme.commands_processed == 6
+
+
+# -- MMIO doorbells -----------------------------------------------------------------
+
+
+def test_mmio_cap_and_enable(setup):
+    _mem, _bus, nvme = setup
+    mmio = NvmeMmio(nvme)
+    assert mmio.read32(NvmeMmio.CAP_OFFSET) == (1 << 16) - 1
+    assert mmio.read32(NvmeMmio.CC_OFFSET) == 0
+    mmio.write32(NvmeMmio.CC_OFFSET, 1)
+    assert mmio.read32(NvmeMmio.CC_OFFSET) == 1
+
+
+def test_mmio_doorbell_processes_queue(setup):
+    mem, _bus, nvme = setup
+    qid = nvme.create_queue_pair(8)
+    mmio = NvmeMmio(nvme)
+    mmio.write32(NvmeMmio.CC_OFFSET, 1)
+    buf = mem.alloc_dma_buffer(4096)
+    mem.ram.write(buf, b"mmio path")
+    qp = nvme.queue(qid)
+    command = NvmeCommand(NvmeOpcode.WRITE, 1, lba=2, blocks=1, data_addr=buf)
+    mem.ram.write(qp.sq_addr, command.encode())
+    mmio.write32(NvmeMmio.DOORBELL_BASE + 8 * qid, 1)
+    assert nvme.block(2)[:9] == b"mmio path"
+
+
+def test_mmio_doorbell_requires_enable(setup):
+    _mem, _bus, nvme = setup
+    qid = nvme.create_queue_pair(4)
+    mmio = NvmeMmio(nvme)
+    with pytest.raises(RuntimeError):
+        mmio.write32(NvmeMmio.DOORBELL_BASE + 8 * qid, 0)
+
+
+def test_mmio_unmapped_offsets_rejected(setup):
+    _mem, _bus, nvme = setup
+    mmio = NvmeMmio(nvme)
+    with pytest.raises(ValueError):
+        mmio.read32(0x999)
+    with pytest.raises(ValueError):
+        mmio.write32(0x3, 1)
+
+
+# -- queues through protection (driver-level) -----------------------------------------
+
+
+def test_nvme_queues_translated_under_strict():
+    machine = Machine(Mode.STRICT)
+    nvme = NvmeController(machine.bus, BDF)
+    driver = NvmeDriver(machine, nvme)
+    driver.write(0, b"protected queues")
+    assert driver.read(0)[:16] == b"protected queues"
+    # The SQ/CQ addresses the device uses are IOVAs, not physical.
+    qp = nvme.queue(driver.qid)
+    assert qp.sq_addr != driver._sq_phys
+
+
+# -- scatter-gather API ------------------------------------------------------------------
+
+
+def test_map_sg_roundtrip():
+    machine = Machine(Mode.STRICT)
+    api = machine.dma_api(BDF)
+    segments = [
+        (machine.mem.alloc_dma_buffer(4096), 1000),
+        (machine.mem.alloc_dma_buffer(4096), 2000),
+        (machine.mem.alloc_dma_buffer(4096), 300),
+    ]
+    entries = api.map_sg(segments, DmaDirection.TO_DEVICE)
+    assert [e.length for e in entries] == [1000, 2000, 300]
+    for (phys, _length), entry in zip(segments, entries):
+        machine.mem.ram.write(phys, b"sg!")
+        assert machine.bus.dma_read(BDF, entry.device_addr, 3) == b"sg!"
+    api.unmap_sg(entries, end_of_burst=True)
+    assert machine.dma_api(BDF).driver.live_mappings() == 0
+
+
+def test_map_sg_rolls_back_on_failure():
+    machine = Machine(Mode.RIOMMU)
+    api = machine.dma_api(BDF)
+    ring = api.create_ring(2)
+    phys = machine.mem.alloc_dma_buffer(4096)
+    # Three segments cannot fit a 2-entry ring: the whole map must roll back.
+    from repro.core import RingOverflowError
+
+    with pytest.raises(RingOverflowError):
+        api.map_sg([(phys, 64)] * 3, DmaDirection.TO_DEVICE, ring=ring)
+    assert machine.dma_api(BDF).driver.live_mappings() == 0
+
+
+def test_map_sg_rejects_empty():
+    machine = Machine(Mode.NONE)
+    with pytest.raises(ValueError):
+        machine.dma_api(BDF).map_sg([], DmaDirection.TO_DEVICE)
+
+
+def test_sg_entry_is_frozen():
+    entry = SgEntry(device_addr=1, length=2)
+    with pytest.raises(Exception):
+        entry.device_addr = 5  # type: ignore[misc]

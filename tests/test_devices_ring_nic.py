@@ -1,0 +1,213 @@
+"""Unit tests for the descriptor ring and the simulated NIC."""
+
+import pytest
+
+from repro.devices import (
+    BRCM_PROFILE,
+    Descriptor,
+    DmaBus,
+    FLAG_VALID,
+    IdentityBackend,
+    MLX_PROFILE,
+    NicProfile,
+    Ring,
+    RingFullError,
+    SimulatedNic,
+)
+from repro.memory import MemorySystem
+
+BDF = 0x0400
+
+
+@pytest.fixture
+def mem():
+    return MemorySystem(size_bytes=1 << 25)
+
+
+@pytest.fixture
+def bus(mem):
+    return DmaBus(mem, IdentityBackend())
+
+
+def identity_ring(mem, entries=8):
+    ring = Ring(mem, entries)
+    ring.device_base = ring.base_phys  # identity mapping
+    return ring
+
+
+# -- Ring mechanics -----------------------------------------------------------
+
+
+def test_ring_rejects_zero_entries(mem):
+    with pytest.raises(ValueError):
+        Ring(mem, 0)
+
+
+def test_ring_post_and_fetch(mem, bus):
+    ring = identity_ring(mem)
+    desc = Descriptor(segments=[(0x5000, 64)], flags=FLAG_VALID)
+    index = ring.post(desc)
+    fetched = ring.device_fetch(bus, BDF, index)
+    assert fetched.segments == [(0x5000, 64)]
+    assert fetched.valid
+
+
+def test_ring_pending_and_free(mem):
+    ring = identity_ring(mem, entries=4)
+    assert ring.pending == 0 and ring.free_slots == 3
+    ring.post(Descriptor(segments=[(0, 1)], flags=FLAG_VALID))
+    assert ring.pending == 1 and ring.free_slots == 2
+
+
+def test_ring_full(mem):
+    ring = identity_ring(mem, entries=3)
+    ring.post(Descriptor(segments=[(0, 1)], flags=FLAG_VALID))
+    ring.post(Descriptor(segments=[(0, 1)], flags=FLAG_VALID))
+    with pytest.raises(RingFullError):
+        ring.post(Descriptor(segments=[(0, 1)], flags=FLAG_VALID))
+
+
+def test_ring_wraps(mem, bus):
+    ring = identity_ring(mem, entries=4)
+    for i in range(10):
+        index = ring.post(Descriptor(segments=[(0x1000 * (i + 1), 8)], flags=FLAG_VALID))
+        assert index == i % 4
+        assert ring.device_fetch(bus, BDF, index).segments[0][0] == 0x1000 * (i + 1)
+        ring.device_advance_head()
+
+
+def test_ring_head_tail_invariant(mem):
+    ring = identity_ring(mem, entries=8)
+    for _ in range(5):
+        ring.post(Descriptor(segments=[(0, 1)], flags=FLAG_VALID))
+    for _ in range(2):
+        ring.device_advance_head()
+    assert ring.pending == 3
+    assert 0 <= ring.pending <= ring.entries - 1
+
+
+def test_ring_requires_device_base(mem, bus):
+    ring = Ring(mem, 4)
+    ring.post(Descriptor(segments=[(0, 1)], flags=FLAG_VALID))
+    with pytest.raises(RuntimeError):
+        ring.device_fetch(bus, BDF, 0)
+
+
+def test_ring_slot_bounds(mem):
+    ring = identity_ring(mem, entries=4)
+    with pytest.raises(IndexError):
+        ring.slot_phys(4)
+
+
+# -- NIC profiles ----------------------------------------------------------------
+
+
+def test_profiles_match_paper():
+    assert MLX_PROFILE.buffers_per_packet == 2
+    assert MLX_PROFILE.line_rate_gbps == 40.0
+    assert BRCM_PROFILE.buffers_per_packet == 1
+    assert BRCM_PROFILE.line_rate_gbps == 10.0
+
+
+def test_profile_validation():
+    with pytest.raises(ValueError):
+        NicProfile("x", 10.0, 3, 0, 8, 8)
+    with pytest.raises(ValueError):
+        NicProfile("x", 10.0, 2, 0, 8, 8)
+
+
+# -- NIC receive/transmit ------------------------------------------------------------
+
+
+def nic_with_rings(mem, bus, profile=BRCM_PROFILE):
+    nic = SimulatedNic(bus, BDF, profile)
+    rx, tx = identity_ring(mem, 16), identity_ring(mem, 16)
+    nic.attach_rings(rx, tx)
+    return nic, rx, tx
+
+
+def test_rx_writes_payload_to_buffer(mem, bus):
+    nic, rx, _tx = nic_with_rings(mem, bus)
+    buf = mem.alloc_dma_buffer(2048)
+    rx.post(Descriptor(segments=[(buf, 2048)], flags=FLAG_VALID))
+    assert nic.deliver_frame(b"incoming packet")
+    assert mem.ram.read(buf, 15) == b"incoming packet"
+    assert nic.stats.frames_received == 1
+
+
+def test_rx_split_across_two_segments(mem, bus):
+    nic, rx, _tx = nic_with_rings(mem, bus, MLX_PROFILE)
+    header = mem.alloc_dma_buffer(128)
+    data = mem.alloc_dma_buffer(2048)
+    rx.post(Descriptor(segments=[(header, 128), (data, 2048)], flags=FLAG_VALID))
+    payload = bytes(range(256)) * 2  # 512 bytes
+    assert nic.deliver_frame(payload)
+    assert mem.ram.read(header, 128) == payload[:128]
+    assert mem.ram.read(data, 384) == payload[128:]
+
+
+def test_rx_drop_when_no_descriptor(mem, bus):
+    nic, _rx, _tx = nic_with_rings(mem, bus)
+    assert not nic.deliver_frame(b"no room")
+    assert nic.stats.rx_drops == 1
+
+
+def test_rx_drop_oversized_frame(mem, bus):
+    nic, rx, _tx = nic_with_rings(mem, bus)
+    buf = mem.alloc_dma_buffer(64)
+    rx.post(Descriptor(segments=[(buf, 64)], flags=FLAG_VALID))
+    assert not nic.deliver_frame(b"x" * 65)
+
+
+def test_rx_completion_callback_and_writeback(mem, bus):
+    nic, rx, _tx = nic_with_rings(mem, bus)
+    buf = mem.alloc_dma_buffer(128)
+    index = rx.post(Descriptor(segments=[(buf, 128)], flags=FLAG_VALID))
+    events = []
+    nic.on_rx_complete = lambda idx, n: events.append((idx, n))
+    nic.deliver_frame(b"hello")
+    assert events == [(index, 5)]
+    assert rx.read_descriptor(index).done
+
+
+def test_tx_reads_buffers_and_sends(mem, bus):
+    nic, _rx, tx = nic_with_rings(mem, bus)
+    buf = mem.alloc_dma_buffer(64)
+    mem.ram.write(buf, b"outbound")
+    tx.post(Descriptor(segments=[(buf, 8)], flags=FLAG_VALID))
+    assert nic.process_tx() == 1
+    assert nic.wire == [b"outbound"]
+    assert nic.stats.frames_transmitted == 1
+
+
+def test_tx_two_segment_frame_concatenated(mem, bus):
+    nic, _rx, tx = nic_with_rings(mem, bus, MLX_PROFILE)
+    a, b = mem.alloc_dma_buffer(16), mem.alloc_dma_buffer(16)
+    mem.ram.write(a, b"HEAD")
+    mem.ram.write(b, b"BODY")
+    tx.post(Descriptor(segments=[(a, 4), (b, 4)], flags=FLAG_VALID))
+    nic.process_tx()
+    assert nic.wire == [b"HEADBODY"]
+
+
+def test_tx_max_frames_limit(mem, bus):
+    nic, _rx, tx = nic_with_rings(mem, bus)
+    buf = mem.alloc_dma_buffer(64)
+    for _ in range(5):
+        tx.post(Descriptor(segments=[(buf, 4)], flags=FLAG_VALID))
+    assert nic.process_tx(max_frames=2) == 2
+    assert tx.pending == 3
+
+
+def test_attach_rings_requires_device_base(mem, bus):
+    nic = SimulatedNic(bus, BDF, BRCM_PROFILE)
+    with pytest.raises(ValueError):
+        nic.attach_rings(Ring(mem, 4), Ring(mem, 4))
+
+
+def test_nic_requires_rings(mem, bus):
+    nic = SimulatedNic(bus, BDF, BRCM_PROFILE)
+    with pytest.raises(RuntimeError):
+        nic.deliver_frame(b"x")
+    with pytest.raises(RuntimeError):
+        nic.process_tx()

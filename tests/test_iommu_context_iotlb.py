@@ -1,0 +1,158 @@
+"""Unit tests for context tables and the IOTLB."""
+
+import pytest
+
+from repro.faults import ContextFault
+from repro.iommu import ContextTables, Iotlb, IotlbEntry, make_bdf, split_bdf
+from repro.memory import CoherencyDomain, MemorySystem
+
+
+# -- BDF packing ----------------------------------------------------------
+
+
+def test_make_split_bdf_roundtrip():
+    bdf = make_bdf(3, 17, 5)
+    assert split_bdf(bdf) == (3, 17, 5)
+
+
+def test_make_bdf_validates():
+    with pytest.raises(ValueError):
+        make_bdf(256, 0, 0)
+    with pytest.raises(ValueError):
+        make_bdf(0, 32, 0)
+    with pytest.raises(ValueError):
+        make_bdf(0, 0, 8)
+
+
+def test_split_bdf_validates():
+    with pytest.raises(ValueError):
+        split_bdf(1 << 16)
+
+
+# -- context tables ----------------------------------------------------------
+
+
+@pytest.fixture
+def contexts():
+    mem = MemorySystem(size_bytes=1 << 24)
+    return ContextTables(mem, CoherencyDomain(coherent=True))
+
+
+def test_attach_lookup(contexts):
+    bdf = make_bdf(0, 3, 0)
+    contexts.attach(bdf, 0x8000)
+    assert contexts.lookup(bdf) == 0x8000
+
+
+def test_lookup_unattached_bus_faults(contexts):
+    with pytest.raises(ContextFault):
+        contexts.lookup(make_bdf(9, 0, 0))
+
+
+def test_lookup_unattached_devfn_faults(contexts):
+    contexts.attach(make_bdf(1, 2, 0), 0x9000)
+    with pytest.raises(ContextFault):
+        contexts.lookup(make_bdf(1, 3, 0))
+
+
+def test_detach(contexts):
+    bdf = make_bdf(2, 4, 1)
+    contexts.attach(bdf, 0xA000)
+    contexts.detach(bdf)
+    with pytest.raises(ContextFault):
+        contexts.lookup(bdf)
+
+
+def test_detach_unknown_bus_faults(contexts):
+    with pytest.raises(ContextFault):
+        contexts.detach(make_bdf(7, 0, 0))
+
+
+def test_multiple_devices_same_bus(contexts):
+    a, b = make_bdf(0, 1, 0), make_bdf(0, 2, 0)
+    contexts.attach(a, 0x1000)
+    contexts.attach(b, 0x2000)
+    assert contexts.lookup(a) == 0x1000
+    assert contexts.lookup(b) == 0x2000
+
+
+# -- IOTLB -----------------------------------------------------------------
+
+
+def entry(bdf=1, vpn=10, frame=0x4000, perms=0b110):
+    return IotlbEntry(tag=bdf, vpn=vpn, frame_addr=frame, perms=perms)
+
+
+def test_iotlb_miss_then_hit():
+    tlb = Iotlb(capacity=4)
+    assert tlb.lookup(1, 10) is None
+    tlb.insert(entry())
+    hit = tlb.lookup(1, 10)
+    assert hit is not None and hit.frame_addr == 0x4000
+    assert tlb.stats.misses == 1 and tlb.stats.hits == 1
+
+
+def test_iotlb_capacity_evicts_lru():
+    tlb = Iotlb(capacity=2)
+    tlb.insert(entry(vpn=1))
+    tlb.insert(entry(vpn=2))
+    tlb.lookup(1, 1)  # make vpn=1 most recent
+    tlb.insert(entry(vpn=3))  # evicts vpn=2
+    assert (1, 2) not in tlb
+    assert (1, 1) in tlb and (1, 3) in tlb
+    assert tlb.stats.evictions == 1
+
+
+def test_iotlb_invalidate_single():
+    tlb = Iotlb()
+    tlb.insert(entry(vpn=5))
+    assert tlb.invalidate(1, 5)
+    assert not tlb.invalidate(1, 5)
+    assert tlb.lookup(1, 5) is None
+
+
+def test_iotlb_invalidate_device_only_hits_that_device():
+    tlb = Iotlb()
+    tlb.insert(entry(bdf=1, vpn=5))
+    tlb.insert(entry(bdf=2, vpn=5))
+    assert tlb.invalidate_device(1) == 1
+    assert (2, 5) in tlb
+
+
+def test_iotlb_global_flush():
+    tlb = Iotlb()
+    for vpn in range(10):
+        tlb.insert(entry(vpn=vpn))
+    assert tlb.invalidate_all() == 10
+    assert len(tlb) == 0
+    assert tlb.stats.global_invalidations == 1
+
+
+def test_iotlb_stale_hit_accounting():
+    tlb = Iotlb()
+    tlb.insert(entry(vpn=8))
+    tlb.mark_backing_invalid(1, 8)
+    hit = tlb.lookup(1, 8)
+    assert hit is not None  # the stale entry still translates!
+    assert tlb.stats.stale_hits == 1
+
+
+def test_iotlb_hit_rate():
+    tlb = Iotlb()
+    tlb.insert(entry(vpn=1))
+    tlb.lookup(1, 1)
+    tlb.lookup(1, 2)
+    assert tlb.stats.hit_rate == 0.5
+
+
+def test_iotlb_rejects_bad_capacity():
+    with pytest.raises(ValueError):
+        Iotlb(capacity=0)
+
+
+def test_iotlb_reinsert_same_key_updates():
+    tlb = Iotlb(capacity=2)
+    tlb.insert(entry(vpn=1, frame=0x1000))
+    tlb.insert(entry(vpn=1, frame=0x2000))
+    assert len(tlb) == 1
+    assert tlb.lookup(1, 1).frame_addr == 0x2000

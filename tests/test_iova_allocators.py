@@ -1,0 +1,207 @@
+"""Unit + property tests for the Linux and magazine IOVA allocators."""
+
+import random
+from collections import deque
+
+import pytest
+from hypothesis import given, settings, strategies as st
+
+from repro.iova import (
+    IovaExhaustedError,
+    IovaNotFoundError,
+    IovaRange,
+    LinuxIovaAllocator,
+    MagazineIovaAllocator,
+)
+
+LIMIT = 1 << 20
+
+
+@pytest.fixture(params=[LinuxIovaAllocator, MagazineIovaAllocator])
+def allocator(request):
+    return request.param(limit_pfn=LIMIT)
+
+
+def test_iova_range_validation():
+    with pytest.raises(ValueError):
+        IovaRange(5, 4)
+    with pytest.raises(ValueError):
+        IovaRange(-1, 4)
+
+
+def test_iova_range_helpers():
+    rng = IovaRange(10, 13)
+    assert rng.pages == 4
+    assert rng.contains(10) and rng.contains(13)
+    assert not rng.contains(14)
+    assert rng.overlaps(IovaRange(13, 20))
+    assert not rng.overlaps(IovaRange(14, 20))
+
+
+def test_alloc_is_top_down(allocator):
+    rng = allocator.alloc(1)
+    assert rng.pfn_hi == LIMIT
+
+
+def test_alloc_rejects_nonpositive(allocator):
+    with pytest.raises(ValueError):
+        allocator.alloc(0)
+
+
+def test_allocations_never_overlap(allocator):
+    rngs = [allocator.alloc(random.Random(i).choice([1, 2, 4])) for i in range(200)]
+    for i, a in enumerate(rngs):
+        for b in rngs[i + 1 :]:
+            assert not a.overlaps(b)
+
+
+def test_find_returns_containing_range(allocator):
+    rng = allocator.alloc(4)
+    for pfn in range(rng.pfn_lo, rng.pfn_hi + 1):
+        assert allocator.find(pfn) == rng
+
+
+def test_find_missing_raises(allocator):
+    allocator.alloc(1)
+    with pytest.raises(IovaNotFoundError):
+        allocator.find(5)
+
+
+def test_free_then_live_count(allocator):
+    rngs = [allocator.alloc(1) for _ in range(10)]
+    assert allocator.live_count() == 10
+    for rng in rngs:
+        allocator.free(rng)
+    assert allocator.live_count() == 0
+
+
+def test_double_free_raises(allocator):
+    rng = allocator.alloc(1)
+    allocator.free(rng)
+    with pytest.raises(IovaNotFoundError):
+        allocator.free(rng)
+
+
+def test_free_pfn_roundtrip(allocator):
+    rng = allocator.alloc(2)
+    freed = allocator.free_pfn(rng.pfn_lo)
+    assert freed == rng
+    assert allocator.live_count() == 0
+
+
+def test_exhaustion():
+    alloc = LinuxIovaAllocator(limit_pfn=8)
+    for _ in range(4):
+        alloc.alloc(2)
+    with pytest.raises(IovaExhaustedError):
+        alloc.alloc(4)
+
+
+def test_linux_fifo_churn_reuses_space():
+    alloc = LinuxIovaAllocator(limit_pfn=1 << 14)
+    queue = deque(alloc.alloc(1) for _ in range(64))
+    for _ in range(5000):
+        alloc.free(queue.popleft())
+        queue.append(alloc.alloc(1))
+    assert alloc.live_count() == 64
+
+
+def test_magazine_cache_hit_is_constant_time():
+    alloc = MagazineIovaAllocator(limit_pfn=LIMIT)
+    rng = alloc.alloc(1)
+    alloc.free(rng)
+    again = alloc.alloc(1)
+    assert again == rng
+    assert alloc.stats.cache_hits == 1
+    assert alloc.stats.last_alloc_visits == 0
+
+
+def test_magazine_keeps_ranges_resident():
+    alloc = MagazineIovaAllocator(limit_pfn=LIMIT)
+    rngs = [alloc.alloc(1) for _ in range(20)]
+    for rng in rngs:
+        alloc.free(rng)
+    assert alloc.live_count() == 0
+    assert alloc.cached_count == 20
+    assert alloc.resident_count == 20  # the tree stays fuller -> slower find
+
+
+def test_magazine_find_rejects_cached_range():
+    alloc = MagazineIovaAllocator(limit_pfn=LIMIT)
+    rng = alloc.alloc(1)
+    alloc.free(rng)
+    with pytest.raises(IovaNotFoundError):
+        alloc.find(rng.pfn_lo)
+
+
+def test_magazine_size_classes_are_separate():
+    alloc = MagazineIovaAllocator(limit_pfn=LIMIT)
+    small = alloc.alloc(1)
+    big = alloc.alloc(4)
+    alloc.free(small)
+    alloc.free(big)
+    assert alloc.alloc(4) == big
+    assert alloc.alloc(1) == small
+
+
+def test_magazine_overflow_spills_to_tree():
+    alloc = MagazineIovaAllocator(limit_pfn=LIMIT, max_cached_per_size=2)
+    rngs = [alloc.alloc(1) for _ in range(4)]
+    for rng in rngs:
+        alloc.free(rng)
+    assert alloc.cached_count == 2  # third/fourth frees spilled
+
+
+def test_linux_alloc_visits_grow_with_fragmentation():
+    """The pathology: mixed-size churn inflates allocation walks."""
+    alloc = LinuxIovaAllocator(limit_pfn=LIMIT)
+    for _ in range(2000):
+        alloc.alloc(1)  # long-lived mappings
+    queue = deque()
+    for _ in range(256):
+        queue.append(alloc.alloc(1))
+        queue.append(alloc.alloc(4))
+    visits = []
+    for _ in range(1500):
+        old = queue.popleft()
+        alloc.free(old)
+        queue.append(alloc.alloc(old.pages))
+        visits.append(alloc.stats.last_alloc_visits)
+    linux_mean = sum(visits) / len(visits)
+
+    magazine = MagazineIovaAllocator(limit_pfn=LIMIT)
+    for _ in range(2000):
+        magazine.alloc(1)
+    queue = deque()
+    for _ in range(256):
+        queue.append(magazine.alloc(1))
+        queue.append(magazine.alloc(4))
+    mvisits = []
+    for _ in range(1500):
+        old = queue.popleft()
+        magazine.free(old)
+        queue.append(magazine.alloc(old.pages))
+        mvisits.append(magazine.stats.last_alloc_visits)
+    magazine_mean = sum(mvisits) / len(mvisits)
+
+    assert magazine_mean == 0  # pure cache hits
+    assert linux_mean > 5 * max(magazine_mean, 1e-9)
+
+
+@settings(max_examples=40, deadline=None)
+@given(
+    st.lists(st.integers(min_value=1, max_value=8), min_size=1, max_size=60),
+    st.randoms(use_true_random=False),
+)
+def test_property_alloc_free_roundtrip(sizes, rand):
+    for cls in (LinuxIovaAllocator, MagazineIovaAllocator):
+        alloc = cls(limit_pfn=LIMIT)
+        live = [alloc.alloc(s) for s in sizes]
+        # no overlaps
+        for i, a in enumerate(live):
+            for b in live[i + 1 :]:
+                assert not a.overlaps(b)
+        rand.shuffle(live)
+        for rng in live:
+            alloc.free(rng)
+        assert alloc.live_count() == 0

@@ -1,0 +1,137 @@
+"""Unit + property tests for the red-black interval tree."""
+
+import random
+
+import pytest
+from hypothesis import given, settings, strategies as st
+
+from repro.iova import IovaRange, RBTree
+
+
+def make_tree(ranges):
+    tree = RBTree()
+    for lo, hi in ranges:
+        tree.insert(IovaRange(lo, hi))
+    return tree
+
+
+def test_empty_tree():
+    tree = RBTree()
+    assert len(tree) == 0
+    assert tree.rightmost() is None
+    assert tree.leftmost() is None
+    assert tree.find_containing(5) is None
+    tree.check_invariants()
+
+
+def test_single_insert():
+    tree = make_tree([(10, 20)])
+    assert len(tree) == 1
+    assert tree.find_containing(15).rng == IovaRange(10, 20)
+    assert tree.find_containing(9) is None
+    assert tree.find_containing(21) is None
+    tree.check_invariants()
+
+
+def test_overlap_rejected():
+    tree = make_tree([(10, 20)])
+    with pytest.raises(ValueError):
+        tree.insert(IovaRange(15, 25))
+    with pytest.raises(ValueError):
+        tree.insert(IovaRange(5, 10))
+
+
+def test_iteration_sorted():
+    ranges = [(30, 35), (10, 15), (50, 55), (20, 25), (0, 5)]
+    tree = make_tree(ranges)
+    out = [r.pfn_lo for r in tree]
+    assert out == sorted(out)
+
+
+def test_rightmost_leftmost():
+    tree = make_tree([(30, 35), (10, 15), (50, 55)])
+    assert tree.rightmost().rng.pfn_hi == 55
+    assert tree.leftmost().rng.pfn_lo == 10
+
+
+def test_predecessor_successor_chain():
+    tree = make_tree([(i * 10, i * 10 + 5) for i in range(10)])
+    node = tree.rightmost()
+    seen = []
+    while node is not None:
+        seen.append(node.rng.pfn_lo)
+        node = RBTree.predecessor(node)
+    assert seen == [90, 80, 70, 60, 50, 40, 30, 20, 10, 0]
+
+
+def test_delete_leaf():
+    tree = make_tree([(10, 15), (20, 25), (30, 35)])
+    tree.delete(tree.find_containing(30))
+    assert tree.find_containing(30) is None
+    assert len(tree) == 2
+    tree.check_invariants()
+
+
+def test_delete_root_repeatedly():
+    tree = make_tree([(i, i) for i in range(50)])
+    while tree.root is not None:
+        tree.delete(tree.root)
+        tree.check_invariants()
+    assert len(tree) == 0
+
+
+def test_visits_counted():
+    tree = make_tree([(i * 2, i * 2) for i in range(100)])
+    before = tree.visits
+    tree.find_containing(100)
+    assert tree.visits > before
+
+
+def test_random_insert_delete_stress():
+    rng = random.Random(1234)
+    tree = RBTree()
+    live = []
+    for step in range(2000):
+        if live and rng.random() < 0.45:
+            victim = live.pop(rng.randrange(len(live)))
+            tree.delete(tree.find_containing(victim.pfn_lo))
+        else:
+            lo = rng.randrange(0, 1 << 20) * 4
+            candidate = IovaRange(lo, lo + rng.randrange(0, 3))
+            if any(candidate.overlaps(r) for r in live):
+                continue
+            tree.insert(candidate)
+            live.append(candidate)
+        if step % 100 == 0:
+            tree.check_invariants()
+    tree.check_invariants()
+    assert len(tree) == len(live)
+    assert [r.pfn_lo for r in tree] == sorted(r.pfn_lo for r in live)
+
+
+@settings(max_examples=60, deadline=None)
+@given(st.sets(st.integers(min_value=0, max_value=10_000), min_size=1, max_size=150))
+def test_property_insert_sorted_iteration(lows):
+    tree = RBTree()
+    for lo in lows:
+        tree.insert(IovaRange(lo, lo))
+    tree.check_invariants()
+    assert [r.pfn_lo for r in tree] == sorted(lows)
+
+
+@settings(max_examples=40, deadline=None)
+@given(
+    st.sets(st.integers(min_value=0, max_value=10_000), min_size=2, max_size=120),
+    st.randoms(use_true_random=False),
+)
+def test_property_delete_half_keeps_invariants(lows, rand):
+    lows = sorted(lows)
+    tree = RBTree()
+    for lo in lows:
+        tree.insert(IovaRange(lo, lo))
+    victims = lows[: len(lows) // 2]
+    rand.shuffle(victims)
+    for lo in victims:
+        tree.delete(tree.find_containing(lo))
+    tree.check_invariants()
+    assert [r.pfn_lo for r in tree] == sorted(set(lows) - set(victims))

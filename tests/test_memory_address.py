@@ -1,0 +1,112 @@
+"""Unit tests for address arithmetic."""
+
+import pytest
+from hypothesis import given, strategies as st
+
+from repro.memory import address as A
+
+
+def test_constants_consistent():
+    assert A.PAGE_SIZE == 4096
+    assert A.PAGE_SIZE == 1 << A.PAGE_SHIFT
+    assert A.CACHELINE_SIZE == 64
+    assert A.RADIX_FANOUT == 512
+    assert A.RADIX_LEVELS * A.RADIX_LEVEL_BITS + A.PAGE_SHIFT == A.IOVA_BITS
+
+
+def test_page_number_and_offset():
+    assert A.page_number(0) == 0
+    assert A.page_number(4095) == 0
+    assert A.page_number(4096) == 1
+    assert A.page_offset(4097) == 1
+    assert A.page_base(4097) == 4096
+
+
+def test_page_align_up():
+    assert A.page_align_up(0) == 0
+    assert A.page_align_up(1) == 4096
+    assert A.page_align_up(4096) == 4096
+    assert A.page_align_up(4097) == 8192
+
+
+def test_is_page_aligned():
+    assert A.is_page_aligned(0)
+    assert A.is_page_aligned(8192)
+    assert not A.is_page_aligned(12)
+
+
+def test_cacheline_base():
+    assert A.cacheline_base(0) == 0
+    assert A.cacheline_base(63) == 0
+    assert A.cacheline_base(64) == 64
+    assert A.cacheline_base(130) == 128
+
+
+def test_cachelines_spanned():
+    assert A.cachelines_spanned(0, 0) == 0
+    assert A.cachelines_spanned(0, 1) == 1
+    assert A.cachelines_spanned(0, 64) == 1
+    assert A.cachelines_spanned(0, 65) == 2
+    assert A.cachelines_spanned(63, 2) == 2
+
+
+def test_pages_spanned():
+    assert A.pages_spanned(0, 0) == 0
+    assert A.pages_spanned(0, 4096) == 1
+    assert A.pages_spanned(0, 4097) == 2
+    assert A.pages_spanned(4095, 2) == 2
+
+
+def test_radix_indices_zero():
+    assert A.radix_indices(0) == (0, 0, 0, 0)
+
+
+def test_radix_indices_low_page():
+    # vpn = 1 -> leaf index 1, everything else 0
+    assert A.radix_indices(A.PAGE_SIZE) == (0, 0, 0, 1)
+
+
+def test_radix_indices_level_boundaries():
+    vpn = 1 << (3 * A.RADIX_LEVEL_BITS)  # one step at the root level
+    assert A.radix_indices(A.iova_from_vpn(vpn)) == (1, 0, 0, 0)
+
+
+def test_radix_indices_max():
+    indices = A.radix_indices(A.MAX_IOVA)
+    assert indices == (511, 511, 511, 511)
+
+
+def test_iova_from_vpn_roundtrip():
+    assert A.page_number(A.iova_from_vpn(12345)) == 12345
+
+
+def test_check_addr_rejects_negative():
+    with pytest.raises(ValueError):
+        A.check_addr(-1)
+
+
+def test_check_addr_rejects_non_int():
+    with pytest.raises(TypeError):
+        A.check_addr("0x1000")
+
+
+@given(st.integers(min_value=0, max_value=A.MAX_IOVA))
+def test_radix_indices_in_range(iova):
+    for index in A.radix_indices(iova):
+        assert 0 <= index < A.RADIX_FANOUT
+
+
+@given(st.integers(min_value=0, max_value=A.MAX_IOVA))
+def test_page_decomposition_roundtrip(addr):
+    assert A.page_base(addr) + A.page_offset(addr) == addr
+
+
+@given(
+    st.integers(min_value=0, max_value=1 << 40),
+    st.integers(min_value=1, max_value=1 << 20),
+)
+def test_pages_spanned_covers_range(addr, size):
+    pages = A.pages_spanned(addr, size)
+    assert pages >= 1
+    # Every byte falls in one of the spanned pages.
+    assert A.page_number(addr + size - 1) == A.page_number(addr) + pages - 1

@@ -1,0 +1,82 @@
+"""Unit tests for the CPU-cache / walker coherency model."""
+
+import pytest
+
+from repro.memory import CACHELINE_SIZE, CoherencyDomain, StaleReadError
+
+
+def test_coherent_platform_never_stale():
+    domain = CoherencyDomain(coherent=True)
+    domain.cpu_write(0x100, 8)
+    domain.hardware_read(0x100, 8)  # no flush needed
+    assert domain.stats.stale_reads == 0
+
+
+def test_non_coherent_unflushed_read_raises():
+    domain = CoherencyDomain(coherent=False)
+    domain.cpu_write(0x100, 8)
+    with pytest.raises(StaleReadError):
+        domain.hardware_read(0x100, 8)
+
+
+def test_flush_clears_staleness():
+    domain = CoherencyDomain(coherent=False)
+    domain.cpu_write(0x100, 8)
+    domain.cache_line_flush(0x100, 8)
+    domain.hardware_read(0x100, 8)
+    assert domain.stats.stale_reads == 0
+
+
+def test_sync_mem_non_coherent_flushes_and_barriers():
+    domain = CoherencyDomain(coherent=False)
+    domain.cpu_write(0x200, 8)
+    domain.sync_mem(0x200, 8)
+    assert domain.stats.flushes == 1
+    assert domain.stats.barriers == 2
+    domain.hardware_read(0x200, 8)
+
+
+def test_sync_mem_coherent_is_barrier_only():
+    domain = CoherencyDomain(coherent=True)
+    domain.sync_mem(0x200, 8)
+    assert domain.stats.flushes == 0
+    assert domain.stats.barriers == 1
+
+
+def test_unenforced_mode_counts_instead_of_raising():
+    domain = CoherencyDomain(coherent=False, enforce=False)
+    domain.cpu_write(0x300, 8)
+    domain.hardware_read(0x300, 8)
+    assert domain.stats.stale_reads == 1
+
+
+def test_dirty_line_granularity_is_cacheline():
+    domain = CoherencyDomain(coherent=False)
+    domain.cpu_write(0x100, 4)
+    # Another address on the same cacheline is also stale.
+    with pytest.raises(StaleReadError):
+        domain.hardware_read(0x100 + 8, 4)
+
+
+def test_write_spanning_lines_dirties_both():
+    domain = CoherencyDomain(coherent=False)
+    domain.cpu_write(CACHELINE_SIZE - 4, 8)
+    assert domain.dirty_lines == 2
+    domain.cache_line_flush(CACHELINE_SIZE - 4, 8)
+    assert domain.dirty_lines == 0
+
+
+def test_read_of_clean_neighbour_ok():
+    domain = CoherencyDomain(coherent=False)
+    domain.cpu_write(0, 8)
+    domain.hardware_read(CACHELINE_SIZE, 8)  # different line
+    assert domain.stats.stale_reads == 0
+
+
+def test_stats_reset():
+    domain = CoherencyDomain(coherent=False)
+    domain.cpu_write(0, 8)
+    domain.memory_barrier()
+    domain.stats.reset()
+    assert domain.stats.barriers == 0
+    assert domain.stats.dirty_marks == 0

@@ -1,0 +1,157 @@
+"""Unit tests for the simulated DRAM and frame allocator."""
+
+import pytest
+from hypothesis import given, strategies as st
+
+from repro.memory import (
+    FrameAllocator,
+    MemorySystem,
+    OutOfMemoryError,
+    PAGE_SIZE,
+    PhysicalMemory,
+    PinError,
+)
+
+
+@pytest.fixture
+def mem():
+    return MemorySystem(size_bytes=1 << 24)  # 16 MB keeps tests snappy
+
+
+def test_memory_size_must_be_page_multiple():
+    with pytest.raises(ValueError):
+        PhysicalMemory(size_bytes=4097)
+    with pytest.raises(ValueError):
+        PhysicalMemory(size_bytes=0)
+
+
+def test_read_untouched_memory_is_zero(mem):
+    assert mem.ram.read(0x1000, 16) == bytes(16)
+
+
+def test_write_read_roundtrip(mem):
+    mem.ram.write(0x2000, b"hello world")
+    assert mem.ram.read(0x2000, 11) == b"hello world"
+
+
+def test_write_read_across_page_boundary(mem):
+    addr = PAGE_SIZE - 4
+    mem.ram.write(addr, b"spanning!")
+    assert mem.ram.read(addr, 9) == b"spanning!"
+
+
+def test_write_beyond_end_rejected(mem):
+    with pytest.raises(ValueError):
+        mem.ram.write(mem.ram.size_bytes - 2, b"toolong")
+
+
+def test_read_negative_size_rejected(mem):
+    with pytest.raises(ValueError):
+        mem.ram.read(0, -1)
+
+
+def test_u64_roundtrip(mem):
+    mem.ram.write_u64(0x3000, 0xDEADBEEFCAFEBABE)
+    assert mem.ram.read_u64(0x3000) == 0xDEADBEEFCAFEBABE
+
+
+def test_touched_frames_sparse(mem):
+    before = mem.ram.touched_frames()
+    mem.ram.write(5 * PAGE_SIZE, b"x")
+    assert mem.ram.touched_frames() == before + 1
+
+
+def test_alloc_frame_unique(mem):
+    frames = {mem.allocator.alloc_frame() for _ in range(100)}
+    assert len(frames) == 100
+
+
+def test_alloc_respects_reserved(mem):
+    assert mem.allocator.alloc_frame() >= mem.allocator.reserved_frames
+
+
+def test_free_and_reuse(mem):
+    frame = mem.allocator.alloc_frame()
+    mem.allocator.free_frame(frame)
+    assert mem.allocator.alloc_frame() == frame
+
+
+def test_double_free_rejected(mem):
+    frame = mem.allocator.alloc_frame()
+    mem.allocator.free_frame(frame)
+    with pytest.raises(ValueError):
+        mem.allocator.free_frame(frame)
+
+
+def test_alloc_contiguous(mem):
+    first = mem.allocator.alloc_contiguous(4)
+    for i in range(4):
+        assert mem.allocator.is_allocated((first + i) * PAGE_SIZE)
+
+
+def test_alloc_contiguous_rejects_nonpositive(mem):
+    with pytest.raises(ValueError):
+        mem.allocator.alloc_contiguous(0)
+
+
+def test_alloc_buffer_page_aligned(mem):
+    addr = mem.allocator.alloc_buffer(100)
+    assert addr % PAGE_SIZE == 0
+
+
+def test_out_of_memory():
+    small = MemorySystem(size_bytes=8 * PAGE_SIZE, reserved_frames=0)
+    for _ in range(8):
+        small.allocator.alloc_frame()
+    with pytest.raises(OutOfMemoryError):
+        small.allocator.alloc_frame()
+
+
+def test_pin_prevents_free(mem):
+    addr = mem.allocator.alloc_buffer(PAGE_SIZE)
+    mem.allocator.pin(addr, PAGE_SIZE)
+    with pytest.raises(PinError):
+        mem.allocator.free_buffer(addr, PAGE_SIZE)
+    mem.allocator.unpin(addr, PAGE_SIZE)
+    mem.allocator.free_buffer(addr, PAGE_SIZE)
+
+
+def test_pin_unallocated_rejected(mem):
+    with pytest.raises(PinError):
+        mem.allocator.pin(mem.ram.size_bytes - PAGE_SIZE)
+
+
+def test_pin_spans_pages(mem):
+    addr = mem.allocator.alloc_buffer(3 * PAGE_SIZE)
+    mem.allocator.pin(addr, 3 * PAGE_SIZE)
+    assert mem.allocator.is_pinned(addr + 2 * PAGE_SIZE)
+
+
+def test_dma_buffer_helper_pins(mem):
+    addr = mem.alloc_dma_buffer(2048)
+    assert mem.allocator.is_pinned(addr)
+    mem.free_dma_buffer(addr, 2048)
+    assert not mem.allocator.is_pinned(addr)
+    assert not mem.allocator.is_allocated(addr)
+
+
+def test_allocated_and_pinned_counts(mem):
+    base_alloc = mem.allocator.allocated_count
+    addr = mem.alloc_dma_buffer(PAGE_SIZE * 2)
+    assert mem.allocator.allocated_count == base_alloc + 2
+    assert mem.allocator.pinned_count == 2
+    mem.free_dma_buffer(addr, PAGE_SIZE * 2)
+    assert mem.allocator.pinned_count == 0
+
+
+@given(st.lists(st.binary(min_size=1, max_size=300), min_size=1, max_size=20))
+def test_sequential_writes_preserved(chunks):
+    mem = PhysicalMemory(size_bytes=1 << 20)
+    addr = 0
+    layout = []
+    for chunk in chunks:
+        mem.write(addr, chunk)
+        layout.append((addr, chunk))
+        addr += len(chunk)
+    for where, chunk in layout:
+        assert mem.read(where, len(chunk)) == chunk

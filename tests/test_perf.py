@@ -1,0 +1,227 @@
+"""Unit tests for cycle accounting, cost models and the performance model."""
+
+import pytest
+from hypothesis import given, strategies as st
+
+from repro.modes import BASELINE_MODES, Mode
+from repro.perf import (
+    CLOCK_HZ,
+    C_NONE_MLX,
+    Component,
+    CostModel,
+    CostPolicy,
+    CycleAccount,
+    MAP_COMPONENTS,
+    PrimitiveCosts,
+    TABLE1_CYCLES,
+    TABLE1_SUMS,
+    UNMAP_COMPONENTS,
+    cycles_from_gbps,
+    gbps_from_cycles,
+    packets_per_second,
+    request_response,
+    requests_per_second,
+    throughput_with_line_rate,
+    verify_table1_sums,
+)
+
+
+# -- CycleAccount ---------------------------------------------------------
+
+
+def test_account_charge_and_total():
+    account = CycleAccount()
+    account.charge(Component.IOVA_ALLOC, 100)
+    account.charge(Component.IOVA_ALLOC, 50)
+    account.charge(Component.PROCESSING, 1000)
+    assert account.total() == 1150
+    assert account.total([Component.IOVA_ALLOC]) == 150
+    assert account.average(Component.IOVA_ALLOC) == 75
+
+
+def test_account_map_unmap_split():
+    account = CycleAccount()
+    account.charge(Component.MAP_PAGE_TABLE, 588)
+    account.charge(Component.UNMAP_PAGE_TABLE, 438)
+    assert account.map_total() == 588
+    assert account.unmap_total() == 438
+
+
+def test_account_rejects_negative():
+    with pytest.raises(ValueError):
+        CycleAccount().charge(Component.MAP_OTHER, -1)
+
+
+def test_account_merge_and_reset():
+    a, b = CycleAccount(), CycleAccount()
+    a.charge(Component.MAP_OTHER, 10)
+    b.charge(Component.MAP_OTHER, 5)
+    a.merge(b)
+    assert a.total() == 15
+    a.reset()
+    assert a.total() == 0
+
+
+def test_account_per_packet():
+    account = CycleAccount()
+    account.charge(Component.PROCESSING, 2000)
+    per = account.per_packet(4)
+    assert per[Component.PROCESSING] == 500
+    with pytest.raises(ValueError):
+        account.per_packet(0)
+
+
+def test_component_map_unmap_predicates():
+    assert Component.IOVA_ALLOC.is_map
+    assert Component.IOTLB_INV.is_unmap
+    assert not Component.PROCESSING.is_map
+
+
+# -- Table 1 calibration --------------------------------------------------------
+
+
+def test_table1_sums_verify():
+    errors = verify_table1_sums()
+    assert all(err == 0 for err in errors.values())
+
+
+def test_table1_has_all_components():
+    for mode in BASELINE_MODES:
+        for component in MAP_COMPONENTS + UNMAP_COMPONENTS:
+            assert component in TABLE1_CYCLES[mode]
+
+
+def test_strict_alloc_dominates_map():
+    assert TABLE1_CYCLES[Mode.STRICT][Component.IOVA_ALLOC] > 3000
+    assert TABLE1_CYCLES[Mode.STRICT_PLUS][Component.IOVA_ALLOC] < 100
+
+
+# -- CostModel --------------------------------------------------------------------
+
+
+def test_calibrated_charges_constants():
+    model = CostModel(Mode.STRICT)
+    assert model.iova_alloc(0, False) == 3986
+    assert model.iotlb_invalidate_single() == 2127
+    assert model.map_other() == 44
+
+
+def test_calibrated_scale():
+    model = CostModel(Mode.STRICT, scale=0.5)
+    assert model.iova_alloc(0, False) == pytest.approx(1993)
+
+
+def test_scale_must_be_positive():
+    with pytest.raises(ValueError):
+        CostModel(Mode.STRICT, scale=0)
+
+
+def test_calibrated_rejects_riommu_table_lookup():
+    model = CostModel(Mode.RIOMMU)
+    with pytest.raises(ValueError):
+        model.iova_alloc(0, False)
+
+
+def test_micro_policy_scales_with_visits():
+    model = CostModel(Mode.STRICT, policy=CostPolicy.MICRO)
+    cheap = model.iova_alloc(tree_visits=1, cache_hit=False)
+    expensive = model.iova_alloc(tree_visits=100, cache_hit=False)
+    assert expensive > 10 * cheap
+
+
+def test_micro_cache_hit_is_flat():
+    model = CostModel(Mode.STRICT_PLUS, policy=CostPolicy.MICRO)
+    assert model.iova_alloc(0, cache_hit=True) == model.primitives.freelist_op
+
+
+def test_riommu_costs_compose_sync():
+    coherent = CostModel(Mode.RIOMMU)
+    non_coherent = CostModel(Mode.RIOMMU_NC)
+    p = PrimitiveCosts()
+    delta = non_coherent.riommu_map_pt() - coherent.riommu_map_pt()
+    assert delta == pytest.approx(p.memory_barrier + p.cacheline_flush)
+
+
+def test_riommu_totals_far_below_strict():
+    model = CostModel(Mode.RIOMMU)
+    assert model.riommu_map_total() + model.riommu_unmap_total() < 500
+    assert TABLE1_SUMS[Mode.STRICT]["map"] > 4000
+
+
+def test_sync_mem_cost():
+    p = PrimitiveCosts()
+    assert p.sync_mem(coherent=True) == p.memory_barrier
+    assert p.sync_mem(coherent=False) == 2 * p.memory_barrier + p.cacheline_flush
+
+
+# -- performance model ----------------------------------------------------------------
+
+
+def test_gbps_model_matches_paper_floor():
+    # C_none = 1816 at 3.1 GHz should be ~20.5 Gbps (paper Figure 8).
+    assert gbps_from_cycles(C_NONE_MLX, CLOCK_HZ) == pytest.approx(20.5, abs=0.2)
+
+
+def test_gbps_monotonically_decreasing():
+    values = [gbps_from_cycles(c, CLOCK_HZ) for c in (1000, 2000, 4000, 8000)]
+    assert values == sorted(values, reverse=True)
+
+
+def test_cycles_gbps_inverse():
+    cycles = 5000.0
+    assert cycles_from_gbps(gbps_from_cycles(cycles, CLOCK_HZ), CLOCK_HZ) == pytest.approx(cycles)
+
+
+def test_model_input_validation():
+    with pytest.raises(ValueError):
+        gbps_from_cycles(0, CLOCK_HZ)
+    with pytest.raises(ValueError):
+        packets_per_second(100, 0)
+    with pytest.raises(ValueError):
+        cycles_from_gbps(0, CLOCK_HZ)
+
+
+def test_line_rate_cap():
+    result = throughput_with_line_rate(1000, CLOCK_HZ, line_rate_gbps=10.0)
+    assert result.line_rate_limited
+    assert result.gbps == 10.0
+    assert result.cpu_utilization < 1.0
+
+
+def test_cpu_bound_case():
+    result = throughput_with_line_rate(20000, CLOCK_HZ, line_rate_gbps=10.0)
+    assert not result.line_rate_limited
+    assert result.cpu_utilization == 1.0
+    assert result.gbps < 10.0
+
+
+def test_request_response_model():
+    result = request_response(10.0, overhead_cycles_per_transaction=31000,
+                              busy_cycles_per_transaction=10000, clock_hz=CLOCK_HZ)
+    assert result.rtt_us == pytest.approx(20.0)
+    assert result.transactions_per_second == pytest.approx(50_000)
+    assert 0 < result.cpu_utilization <= 1.0
+
+
+def test_request_response_validation():
+    with pytest.raises(ValueError):
+        request_response(0, 0, 0, CLOCK_HZ)
+
+
+def test_requests_per_second_cpu_bound():
+    result = requests_per_second(310_000, CLOCK_HZ)
+    assert result.pps == pytest.approx(10_000)
+    assert result.cpu_utilization == 1.0
+
+
+def test_requests_per_second_line_limited():
+    result = requests_per_second(
+        31_000, CLOCK_HZ, line_rate_gbps=0.1, bytes_per_request=100_000
+    )
+    assert result.line_rate_limited
+    assert result.pps == pytest.approx(125)
+
+
+@given(st.floats(min_value=500, max_value=1e6), st.floats(min_value=1e8, max_value=1e10))
+def test_property_model_positive(cycles, clock):
+    assert gbps_from_cycles(cycles, clock) > 0

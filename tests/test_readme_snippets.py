@@ -1,0 +1,30 @@
+"""Guard: the code snippets in README.md must actually run."""
+
+import pathlib
+import re
+
+import pytest
+
+README = pathlib.Path(__file__).parent.parent / "README.md"
+
+
+def python_snippets():
+    text = README.read_text()
+    return re.findall(r"```python\n(.*?)```", text, flags=re.DOTALL)
+
+
+def test_readme_exists_and_has_snippets():
+    assert README.exists()
+    assert len(python_snippets()) >= 2
+
+
+@pytest.mark.parametrize("index", range(len(python_snippets())))
+def test_readme_snippet_runs(index, capsys):
+    snippet = python_snippets()[index]
+    exec(compile(snippet, f"README.md[snippet {index}]", "exec"), {})
+
+
+def test_readme_mentions_all_deliverables():
+    text = README.read_text()
+    for token in ("EXPERIMENTS.md", "DESIGN.md", "examples/", "pytest", "benchmarks/"):
+        assert token in text
