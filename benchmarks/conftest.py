@@ -7,11 +7,33 @@ rendered output is printed (visible with ``pytest -s``) and saved under
 
 from __future__ import annotations
 
+import os
 import pathlib
+import sys
 
 import pytest
 
 OUTPUT_DIR = pathlib.Path(__file__).parent / "output"
+
+# Make `import perf_harness` work however pytest is invoked.
+sys.path.insert(0, str(pathlib.Path(__file__).parent))
+
+
+def pytest_collection_modifyitems(config, items):
+    """Make ``@pytest.mark.perf`` timing tests opt-in.
+
+    They run only when explicitly selected (``-m perf`` / ``-m "perf
+    ..."``) or with ``REPRO_RUN_PERF=1``; otherwise they are skipped so
+    ordinary benchmark runs stay load-insensitive.
+    """
+    if os.environ.get("REPRO_RUN_PERF") == "1":
+        return
+    if "perf" in (config.getoption("-m") or ""):
+        return
+    skip = pytest.mark.skip(reason="perf test: opt in with -m perf or REPRO_RUN_PERF=1")
+    for item in items:
+        if "perf" in item.keywords:
+            item.add_marker(skip)
 
 
 @pytest.fixture(scope="session")

@@ -1,0 +1,164 @@
+"""Performance trajectory harness for the simulator itself.
+
+Times representative evaluation-grid cells and the serial-vs-parallel
+grid, then emits ``BENCH_runner.json`` so successive changes to the
+simulator have a comparable wall-clock record (the functional results
+are pinned elsewhere — this file is about *speed*, not correctness).
+
+Run directly::
+
+    PYTHONPATH=src python benchmarks/perf_harness.py [--jobs N] [--full]
+
+or through the smoke/perf tests in ``test_perf_harness.py``.  Output
+goes to ``benchmarks/output/BENCH_runner.json`` by default.
+"""
+
+from __future__ import annotations
+
+import argparse
+import json
+import os
+import pathlib
+import sys
+import time
+from typing import Dict, Iterable, List, Optional, Sequence, Tuple
+
+sys.path.insert(0, str(pathlib.Path(__file__).resolve().parent.parent / "src"))
+
+from repro.modes import ALL_MODES, Mode  # noqa: E402
+from repro.sim.parallel import grid_cells, resolve_jobs, run_cell, run_grid  # noqa: E402
+from repro.sim.runner import BENCHMARK_NAMES  # noqa: E402
+from repro.sim.setups import ALL_SETUPS, setup_by_name  # noqa: E402
+
+DEFAULT_OUTPUT = pathlib.Path(__file__).parent / "output" / "BENCH_runner.json"
+
+#: Cells timed individually: the paper's headline benchmark (stream)
+#: under the cheapest and the most expensive protection regimes, plus a
+#: request-server workload — enough spread to catch a regression in any
+#: of the map/unmap, translation, or byte-copy paths.
+REPRESENTATIVE_CELLS: Tuple[Tuple[str, str, str], ...] = (
+    ("mlx", "stream", "strict"),
+    ("mlx", "stream", "riommu"),
+    ("mlx", "stream", "none"),
+    ("mlx", "rr", "strict"),
+    ("mlx", "memcached", "defer"),
+)
+
+
+def time_call(fn, repeats: int = 3) -> float:
+    """Best-of-``repeats`` wall-clock seconds of ``fn()``."""
+    best = float("inf")
+    for _ in range(max(repeats, 1)):
+        started = time.perf_counter()
+        fn()
+        best = min(best, time.perf_counter() - started)
+    return best
+
+
+def time_representative_cells(
+    cells: Sequence[Tuple[str, str, str]] = REPRESENTATIVE_CELLS,
+    fast: bool = True,
+    repeats: int = 3,
+) -> List[Dict[str, object]]:
+    """Best-of wall-clock for each representative cell, in order."""
+    rows: List[Dict[str, object]] = []
+    for setup_name, benchmark, mode_label in cells:
+        seconds = time_call(
+            lambda: run_cell((setup_name, benchmark, mode_label, fast)), repeats
+        )
+        rows.append(
+            {
+                "setup": setup_name,
+                "benchmark": benchmark,
+                "mode": mode_label,
+                "fast": fast,
+                "seconds": round(seconds, 4),
+                "best_of": repeats,
+            }
+        )
+    return rows
+
+
+def time_grid(
+    jobs: Optional[int],
+    setups: Iterable[str] = ("mlx", "brcm"),
+    benchmarks: Sequence[str] = (),
+    modes: Sequence[str] = (),
+    fast: bool = True,
+) -> Dict[str, object]:
+    """Wall-clock the grid serially and with ``jobs`` workers."""
+    setup_objs = [setup_by_name(name) for name in setups] or list(ALL_SETUPS)
+    mode_objs = [Mode(label) for label in modes] if modes else list(ALL_MODES)
+    bench = tuple(benchmarks) or BENCHMARK_NAMES
+    n_cells = len(grid_cells(setup_objs, bench, mode_objs, fast))
+
+    workers = resolve_jobs(jobs)
+    serial_s = time_call(
+        lambda: run_grid(setup_objs, bench, mode_objs, fast, jobs=1), repeats=1
+    )
+    parallel_s = time_call(
+        lambda: run_grid(setup_objs, bench, mode_objs, fast, jobs=workers),
+        repeats=1,
+    )
+    return {
+        "cells": n_cells,
+        "jobs": workers,
+        "serial_seconds": round(serial_s, 3),
+        "parallel_seconds": round(parallel_s, 3),
+        "serial_cells_per_sec": round(n_cells / serial_s, 3),
+        "parallel_cells_per_sec": round(n_cells / parallel_s, 3),
+        "speedup_vs_serial": round(serial_s / parallel_s, 3),
+    }
+
+
+def run_harness(
+    jobs: Optional[int] = 0,
+    fast: bool = True,
+    repeats: int = 3,
+    setups: Iterable[str] = ("mlx", "brcm"),
+    benchmarks: Sequence[str] = (),
+    modes: Sequence[str] = (),
+    output: Optional[pathlib.Path] = DEFAULT_OUTPUT,
+) -> Dict[str, object]:
+    """Time representative cells + the grid; write ``BENCH_runner.json``."""
+    report: Dict[str, object] = {
+        "schema": "riommu-repro/bench-runner/v1",
+        "timestamp": time.strftime("%Y-%m-%dT%H:%M:%S"),
+        "cpu_count": os.cpu_count(),
+        "python": sys.version.split()[0],
+        "fastpath_enabled": "REPRO_DISABLE_FASTPATH" not in os.environ,
+        "cells": time_representative_cells(fast=fast, repeats=repeats),
+        "grid": time_grid(jobs, setups, benchmarks, modes, fast),
+    }
+    if output is not None:
+        output.parent.mkdir(parents=True, exist_ok=True)
+        output.write_text(json.dumps(report, indent=2) + "\n")
+        report["output_path"] = str(output)
+    return report
+
+
+def main(argv: Optional[Sequence[str]] = None) -> int:
+    parser = argparse.ArgumentParser(description=__doc__.splitlines()[0])
+    parser.add_argument(
+        "--jobs", type=int, default=0, help="parallel workers (0 = one per CPU)"
+    )
+    parser.add_argument(
+        "--full", action="store_true", help="full-size benchmark runs (slow)"
+    )
+    parser.add_argument("--repeats", type=int, default=3, help="best-of repeats")
+    parser.add_argument(
+        "-o", "--output", default=str(DEFAULT_OUTPUT), help="report path"
+    )
+    args = parser.parse_args(argv)
+    report = run_harness(
+        jobs=args.jobs,
+        fast=not args.full,
+        repeats=args.repeats,
+        output=pathlib.Path(args.output),
+    )
+    print(json.dumps(report, indent=2))
+    return 0
+
+
+if __name__ == "__main__":
+    sys.exit(main())

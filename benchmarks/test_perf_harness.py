@@ -1,0 +1,104 @@
+"""Tests for the perf trajectory harness.
+
+The smoke test always runs (tiny grid, asserts the report shape and
+that ``BENCH_runner.json`` lands on disk).  The timing assertions are
+``@pytest.mark.perf`` — opt-in, because wall-clock thresholds are
+meaningless on loaded or single-core CI machines.  Run them with
+``pytest -m perf benchmarks/test_perf_harness.py`` or
+``REPRO_RUN_PERF=1 pytest benchmarks/``.
+"""
+
+from __future__ import annotations
+
+import json
+import os
+import subprocess
+import sys
+
+import pytest
+
+from perf_harness import DEFAULT_OUTPUT, run_harness, time_call
+
+
+def test_harness_smoke_emits_report(tmp_path):
+    """A tiny harness run produces a well-formed BENCH_runner.json."""
+    out = tmp_path / "BENCH_runner.json"
+    report = run_harness(
+        jobs=2,
+        fast=True,
+        repeats=1,
+        setups=("mlx",),
+        benchmarks=("rr",),
+        modes=("strict", "none"),
+        output=out,
+    )
+    assert out.exists()
+    on_disk = json.loads(out.read_text())
+    assert on_disk["schema"] == "riommu-repro/bench-runner/v1"
+    assert on_disk["grid"]["cells"] == 2
+    assert on_disk["grid"]["serial_seconds"] > 0
+    assert on_disk["grid"]["parallel_seconds"] > 0
+    assert on_disk["grid"]["speedup_vs_serial"] > 0
+    assert len(on_disk["cells"]) == 5
+    for row in on_disk["cells"]:
+        assert row["seconds"] > 0
+    assert report["output_path"] == str(out)
+
+
+def test_default_output_location():
+    """The default report path sits under benchmarks/output/."""
+    assert DEFAULT_OUTPUT.name == "BENCH_runner.json"
+    assert DEFAULT_OUTPUT.parent.name == "output"
+
+
+@pytest.mark.perf
+def test_fastpath_speeds_up_single_cell():
+    """The stream cell must be >= 15% faster with fast paths enabled.
+
+    The slow path is forced in a subprocess via REPRO_DISABLE_FASTPATH
+    (the flag is read at import time), so both arms measure the same
+    code on the same machine back to back.  Note the flag only gates
+    the chunk-loop fast paths and the translation memo; the always-on
+    micro-optimisations (context-lookup cache, cached rbtree keys,
+    inlined cacheline arithmetic) speed up *both* arms, which is why
+    this toggle shows ~20% while the improvement against the
+    pre-optimisation tree is >= 25% (pinned at PR time: 0.40s vs the
+    0.57s baseline for this cell, ~30%).
+    """
+    code = (
+        "import time\n"
+        "from repro.sim.parallel import run_cell\n"
+        "cell = ('mlx', 'stream', 'strict', False)\n"
+        "best = min(\n"
+        "    (lambda t0: (run_cell(cell), time.perf_counter() - t0)[1])(\n"
+        "        time.perf_counter())\n"
+        "    for _ in range(3)\n"
+        ")\n"
+        "print(best)\n"
+    )
+
+    def run(extra_env):
+        env = dict(os.environ, **extra_env)
+        env["PYTHONPATH"] = os.pathsep.join(
+            filter(None, [os.path.abspath("src"), env.get("PYTHONPATH")])
+        )
+        out = subprocess.run(
+            [sys.executable, "-c", code], env=env, capture_output=True, text=True
+        )
+        assert out.returncode == 0, out.stderr
+        return float(out.stdout.strip())
+
+    fast = run({})
+    slow = run({"REPRO_DISABLE_FASTPATH": "1"})
+    assert fast <= slow * 0.85, f"fastpath {fast:.3f}s vs slowpath {slow:.3f}s"
+
+
+@pytest.mark.perf
+@pytest.mark.skipif((os.cpu_count() or 1) < 4, reason="needs >= 4 CPUs")
+def test_parallel_grid_speedup():
+    """jobs=4 must beat serial by >= 2x on a 4-core machine."""
+    from repro.sim.runner import run_figure12
+
+    serial = time_call(lambda: run_figure12(fast=True, jobs=1), repeats=1)
+    parallel = time_call(lambda: run_figure12(fast=True, jobs=4), repeats=1)
+    assert parallel <= serial / 2, f"serial {serial:.2f}s, jobs=4 {parallel:.2f}s"

@@ -20,7 +20,7 @@ Four knobs, each isolating one piece of the design:
 from __future__ import annotations
 
 from dataclasses import dataclass
-from typing import Dict, List, Sequence, Tuple
+from typing import Dict, List, Optional, Sequence, Tuple
 
 from repro.dma import DmaDirection
 from repro.analysis.report import format_table
@@ -31,9 +31,16 @@ from repro.modes import Mode
 from repro.perf.costs import TABLE1_CYCLES
 from repro.perf.cycles import Component
 from repro.perf.model import gbps_from_cycles, throughput_with_line_rate
-from repro.sim.netperf import NIC_BDF, NetperfStream, build_machine
+from repro.sim.netperf import NIC_BDF, build_machine
 from repro.sim.memcached import MemcachedBench
+from repro.sim.parallel import parallel_map, resolve_jobs
 from repro.sim.setups import MLX_SETUP
+
+# Every sweep below accepts ``jobs``: points are independent simulations,
+# so they fan out through repro.sim.parallel.parallel_map.  The point
+# workers are module-level functions taking plain-data tuples so they
+# pickle into worker processes; point order (and thus rendered output)
+# is preserved regardless of worker count.
 
 
 # -- 1. burst-length sweep ------------------------------------------------
@@ -64,45 +71,50 @@ class BurstSweepResult:
         raise KeyError(burst)
 
 
+def _burst_point(args: Tuple[int, int, int]) -> Tuple[int, float, float]:
+    """One burst-length sweep point: (burst, packets, warmup) -> row."""
+    burst, packets, warmup = args
+    machine = build_machine(MLX_SETUP, Mode.RIOMMU)
+    nic = SimulatedNic(machine.bus, NIC_BDF, MLX_SETUP.nic_profile)
+    driver = NetDriver(machine, nic, coalesce_threshold=burst)
+    driver.fill_rx()
+    payload = b"\x55" * 1500
+
+    def send(count: int) -> None:
+        sent = 0
+        while sent < count:
+            if driver.transmit(payload):
+                driver.account.charge(Component.PROCESSING, MLX_SETUP.c_none_stream)
+                sent += 1
+                if sent % 32 == 0:
+                    driver.pump_tx()
+            else:
+                driver.pump_tx()
+        driver.pump_tx()
+        driver.flush_tx()
+
+    send(warmup)
+    driver.account.reset()
+    base = driver.stats.packets_transmitted
+    send(packets)
+    measured = driver.stats.packets_transmitted - base
+    cycles = driver.account.total() / measured
+    perf = throughput_with_line_rate(
+        cycles, MLX_SETUP.clock_hz, MLX_SETUP.nic_profile.line_rate_gbps
+    )
+    return (burst, cycles, perf.gbps)
+
+
 def sweep_burst_length(
     bursts: Sequence[int] = (1, 2, 4, 8, 16, 32, 64, 128, 200, 400),
     packets: int = 300,
     warmup: int = 60,
+    jobs: Optional[int] = None,
 ) -> BurstSweepResult:
     """Run mlx/stream under riommu with varying coalescing thresholds."""
-    points: List[Tuple[int, float, float]] = []
-    for burst in bursts:
-        machine = build_machine(MLX_SETUP, Mode.RIOMMU)
-        nic = SimulatedNic(machine.bus, NIC_BDF, MLX_SETUP.nic_profile)
-        driver = NetDriver(machine, nic, coalesce_threshold=burst)
-        driver.fill_rx()
-        payload = b"\x55" * 1500
-
-        def send(count: int) -> None:
-            sent = 0
-            while sent < count:
-                if driver.transmit(payload):
-                    driver.account.charge(
-                        Component.PROCESSING, MLX_SETUP.c_none_stream
-                    )
-                    sent += 1
-                    if sent % 32 == 0:
-                        driver.pump_tx()
-                else:
-                    driver.pump_tx()
-            driver.pump_tx()
-            driver.flush_tx()
-
-        send(warmup)
-        driver.account.reset()
-        base = driver.stats.packets_transmitted
-        send(packets)
-        measured = driver.stats.packets_transmitted - base
-        cycles = driver.account.total() / measured
-        perf = throughput_with_line_rate(
-            cycles, MLX_SETUP.clock_hz, MLX_SETUP.nic_profile.line_rate_gbps
-        )
-        points.append((burst, cycles, perf.gbps))
+    points = parallel_map(
+        _burst_point, [(b, packets, warmup) for b in bursts], resolve_jobs(jobs)
+    )
     return BurstSweepResult(points=points)
 
 
@@ -128,10 +140,43 @@ class DeferThresholdResult:
         )
 
 
+def _defer_point(args: Tuple[int, int, int]) -> Tuple[int, float, float]:
+    """One defer-threshold sweep point: (threshold, packets, warmup) -> row."""
+    threshold, packets, warmup = args
+    machine = Machine(Mode.DEFER, flush_threshold=threshold)
+    nic = SimulatedNic(machine.bus, NIC_BDF, MLX_SETUP.nic_profile)
+    driver = NetDriver(machine, nic, coalesce_threshold=MLX_SETUP.stream_burst)
+    driver.fill_rx()
+    payload = b"\x66" * 1500
+    sent = 0
+    while sent < warmup + packets:
+        if driver.transmit(payload):
+            sent += 1
+            if sent == warmup:
+                driver.account.reset()
+            if sent % 32 == 0:
+                driver.pump_tx()
+        else:
+            driver.pump_tx()
+    driver.pump_tx()
+    driver.flush_tx()
+    # Amortized true cost: the charged per-unmap bookkeeping plus one
+    # 2,250-cycle global flush per `threshold` unmaps (2 unmaps/packet
+    # on mlx), plus the per-packet stack work.
+    extra_per_packet = 2 * 2250.0 / threshold
+    cycles = driver.account.total() / packets + MLX_SETUP.c_none_stream + extra_per_packet
+    gbps = min(
+        gbps_from_cycles(cycles, MLX_SETUP.clock_hz),
+        MLX_SETUP.nic_profile.line_rate_gbps,
+    )
+    return (threshold, cycles, gbps)
+
+
 def sweep_defer_threshold(
     thresholds: Sequence[int] = (1, 10, 50, 100, 250, 500),
     packets: int = 300,
     warmup: int = 60,
+    jobs: Optional[int] = None,
 ) -> DeferThresholdResult:
     """Vary Linux's deferred batch size.
 
@@ -140,40 +185,9 @@ def sweep_defer_threshold(
     functional output is how often the window closes — we also fold the
     MICRO-policy global-flush cost in to show the cost trend.
     """
-    points: List[Tuple[int, float, float]] = []
-    workload = NetperfStream(packets=packets, warmup=warmup)
-    for threshold in thresholds:
-        machine = Machine(Mode.DEFER, flush_threshold=threshold)
-        nic = SimulatedNic(machine.bus, NIC_BDF, MLX_SETUP.nic_profile)
-        driver = NetDriver(machine, nic, coalesce_threshold=MLX_SETUP.stream_burst)
-        driver.fill_rx()
-        payload = b"\x66" * 1500
-        sent = 0
-        while sent < warmup + packets:
-            if driver.transmit(payload):
-                sent += 1
-                if sent == warmup:
-                    driver.account.reset()
-                if sent % 32 == 0:
-                    driver.pump_tx()
-            else:
-                driver.pump_tx()
-        driver.pump_tx()
-        driver.flush_tx()
-        # Amortized true cost: the charged per-unmap bookkeeping plus one
-        # 2,250-cycle global flush per `threshold` unmaps (2 unmaps/packet
-        # on mlx), plus the per-packet stack work.
-        extra_per_packet = 2 * 2250.0 / threshold
-        cycles = (
-            driver.account.total() / packets
-            + MLX_SETUP.c_none_stream
-            + extra_per_packet
-        )
-        gbps = min(
-            gbps_from_cycles(cycles, MLX_SETUP.clock_hz),
-            MLX_SETUP.nic_profile.line_rate_gbps,
-        )
-        points.append((threshold, cycles, gbps))
+    points = parallel_map(
+        _defer_point, [(t, packets, warmup) for t in thresholds], resolve_jobs(jobs)
+    )
     return DeferThresholdResult(points=points)
 
 
@@ -201,30 +215,39 @@ class PrefetchAblationResult:
         )
 
 
-def ablate_prefetch(packets: int = 300) -> PrefetchAblationResult:
-    """Run the same traffic with rprefetch enabled and disabled."""
-    fractions: Dict[bool, Tuple[float, int, int]] = {}
-    for enabled in (True, False):
-        machine = Machine(Mode.RIOMMU)
-        assert machine.riommu is not None
-        machine.riommu.prefetch_enabled = enabled
-        nic = SimulatedNic(machine.bus, NIC_BDF, MLX_SETUP.nic_profile)
-        driver = NetDriver(machine, nic, coalesce_threshold=64)
-        driver.fill_rx()
-        sent = 0
-        payload = b"\x77" * 1500
-        while sent < packets:
-            if driver.transmit(payload):
-                sent += 1
-                if sent % 32 == 0:
-                    driver.pump_tx()
-            else:
+def _prefetch_point(args: Tuple[bool, int]) -> Tuple[float, int, int]:
+    """One prefetch ablation arm: (enabled, packets) -> stats triple."""
+    enabled, packets = args
+    machine = Machine(Mode.RIOMMU)
+    assert machine.riommu is not None
+    machine.riommu.prefetch_enabled = enabled
+    nic = SimulatedNic(machine.bus, NIC_BDF, MLX_SETUP.nic_profile)
+    driver = NetDriver(machine, nic, coalesce_threshold=64)
+    driver.fill_rx()
+    sent = 0
+    payload = b"\x77" * 1500
+    while sent < packets:
+        if driver.transmit(payload):
+            sent += 1
+            if sent % 32 == 0:
                 driver.pump_tx()
-        driver.pump_tx()
-        driver.flush_tx()
-        stats = machine.riommu.riotlb.stats
-        walk_fraction = (stats.walks + stats.sync_walks) / max(stats.translations, 1)
-        fractions[enabled] = (walk_fraction, stats.prefetch_hits, stats.sync_walks)
+        else:
+            driver.pump_tx()
+    driver.pump_tx()
+    driver.flush_tx()
+    stats = machine.riommu.riotlb.stats
+    walk_fraction = (stats.walks + stats.sync_walks) / max(stats.translations, 1)
+    return (walk_fraction, stats.prefetch_hits, stats.sync_walks)
+
+
+def ablate_prefetch(
+    packets: int = 300, jobs: Optional[int] = None
+) -> PrefetchAblationResult:
+    """Run the same traffic with rprefetch enabled and disabled."""
+    arms = parallel_map(
+        _prefetch_point, [(True, packets), (False, packets)], resolve_jobs(jobs)
+    )
+    fractions: Dict[bool, Tuple[float, int, int]] = {True: arms[0], False: arms[1]}
     return PrefetchAblationResult(
         with_prefetch_walk_fraction=fractions[True][0],
         without_prefetch_walk_fraction=fractions[False][0],
@@ -254,9 +277,23 @@ class PathologySensitivityResult:
         )
 
 
+def _pathology_point(args: Tuple[float, int]) -> Tuple[float, float]:
+    """One pathology sweep point: (scale, requests) -> strict throughput."""
+    scale, requests = args
+    base_alloc = TABLE1_CYCLES[Mode.STRICT][Component.IOVA_ALLOC]
+    scaled = MemcachedBench(
+        requests=requests,
+        warmup=20,
+        machine_kwargs={"cost_overrides": {Component.IOVA_ALLOC: base_alloc * scale}},
+    )
+    strict = scaled.run(MLX_SETUP, Mode.STRICT).throughput_metric
+    return (scale, strict)
+
+
 def sweep_alloc_pathology(
     scales: Sequence[float] = (1.0, 2.0, 4.0, 8.0),
     requests: int = 120,
+    jobs: Optional[int] = None,
 ) -> PathologySensitivityResult:
     """Scale strict's IOVA-alloc constant and re-measure Memcached.
 
@@ -268,18 +305,10 @@ def sweep_alloc_pathology(
     """
     bench = MemcachedBench(requests=requests, warmup=20)
     riommu = bench.run(MLX_SETUP, Mode.RIOMMU).throughput_metric
-    base_alloc = TABLE1_CYCLES[Mode.STRICT][Component.IOVA_ALLOC]
-    points: List[Tuple[float, float]] = []
-    for scale in scales:
-        scaled = MemcachedBench(
-            requests=requests,
-            warmup=20,
-            machine_kwargs={
-                "cost_overrides": {Component.IOVA_ALLOC: base_alloc * scale}
-            },
-        )
-        strict = scaled.run(MLX_SETUP, Mode.STRICT).throughput_metric
-        points.append((scale, riommu / strict))
+    strict_points = parallel_map(
+        _pathology_point, [(s, requests) for s in scales], resolve_jobs(jobs)
+    )
+    points = [(scale, riommu / strict) for scale, strict in strict_points]
     return PathologySensitivityResult(points=points)
 
 
@@ -308,11 +337,44 @@ class RingSizingResult:
         )
 
 
+def _ring_point(args: Tuple[int, int, int, int]) -> Tuple[int, float]:
+    """One ring-sizing point: (entries, live_window, burst, packets) -> row."""
+    from repro.core.driver import RingOverflowError
+
+    entries, live_window, burst, packets = args
+    machine = Machine(Mode.RIOMMU)
+    api = machine.dma_api(0x0300)
+    ring = api.create_ring(entries)
+    phys = machine.mem.alloc_dma_buffer(4096)
+    in_flight: List[int] = []
+    backpressure = 0
+    mapped = 0
+    while mapped < packets:
+        if len(in_flight) >= live_window:
+            for i in range(min(burst, len(in_flight))):
+                api.unmap(
+                    in_flight.pop(0),
+                    end_of_burst=(i == burst - 1 or not in_flight),
+                )
+        try:
+            in_flight.append(api.map(phys, 1500, DmaDirection.FROM_DEVICE, ring=ring))
+            mapped += 1
+        except RingOverflowError:
+            backpressure += 1
+            for i in range(min(burst, len(in_flight))):
+                api.unmap(
+                    in_flight.pop(0),
+                    end_of_burst=(i == burst - 1 or not in_flight),
+                )
+    return (entries, backpressure / packets)
+
+
 def sweep_ring_sizing(
     live_window: int = 64,
     burst: int = 16,
     packets: int = 600,
     ring_sizes: Sequence[int] = (64, 72, 80, 96, 128),
+    jobs: Optional[int] = None,
 ) -> RingSizingResult:
     """Run bursty map/unmap churn against shrinking flat tables.
 
@@ -322,37 +384,11 @@ def sweep_ring_sizing(
     (RingOverflowError) until completions free entries — exactly the
     "driver should slow down" behaviour the paper describes.
     """
-    from repro.core.driver import RingOverflowError
-
-    points: List[Tuple[int, float]] = []
-    for entries in ring_sizes:
-        machine = Machine(Mode.RIOMMU)
-        api = machine.dma_api(0x0300)
-        ring = api.create_ring(entries)
-        phys = machine.mem.alloc_dma_buffer(4096)
-        in_flight: List[int] = []
-        backpressure = 0
-        mapped = 0
-        while mapped < packets:
-            if len(in_flight) >= live_window:
-                for i in range(min(burst, len(in_flight))):
-                    api.unmap(
-                        in_flight.pop(0),
-                        end_of_burst=(i == burst - 1 or not in_flight),
-                    )
-            try:
-                in_flight.append(
-                    api.map(phys, 1500, DmaDirection.FROM_DEVICE, ring=ring)
-                )
-                mapped += 1
-            except RingOverflowError:
-                backpressure += 1
-                for i in range(min(burst, len(in_flight))):
-                    api.unmap(
-                        in_flight.pop(0),
-                        end_of_burst=(i == burst - 1 or not in_flight),
-                    )
-        points.append((entries, backpressure / packets))
+    points = parallel_map(
+        _ring_point,
+        [(entries, live_window, burst, packets) for entries in ring_sizes],
+        resolve_jobs(jobs),
+    )
     return RingSizingResult(live_window=live_window, burst=burst, points=points)
 
 
@@ -379,16 +415,25 @@ class IotlbCapacityResult:
         )
 
 
+def _iotlb_point(args: Tuple[int, int, int]) -> Tuple[int, float, float]:
+    """One IOTLB-capacity point: (capacity, pool_size, sends) -> row."""
+    from repro.analysis.miss_penalty import DRAM_REF_CYCLES, _run_experiment
+
+    capacity, pool_size, sends = args
+    hit_rate, walk_levels = _run_experiment(pool_size, sends, capacity, seed=21)
+    return (capacity, hit_rate, walk_levels * DRAM_REF_CYCLES)
+
+
 def sweep_iotlb_capacity(
     pool_size: int = 512,
     sends: int = 2500,
     capacities: Sequence[int] = (16, 64, 256, 512, 1024),
+    jobs: Optional[int] = None,
 ) -> IotlbCapacityResult:
     """Re-run the random-pool experiment across IOTLB sizes."""
-    from repro.analysis.miss_penalty import DRAM_REF_CYCLES, _run_experiment
-
-    points: List[Tuple[int, float, float]] = []
-    for capacity in capacities:
-        hit_rate, walk_levels = _run_experiment(pool_size, sends, capacity, seed=21)
-        points.append((capacity, hit_rate, walk_levels * DRAM_REF_CYCLES))
+    points = parallel_map(
+        _iotlb_point,
+        [(capacity, pool_size, sends) for capacity in capacities],
+        resolve_jobs(jobs),
+    )
     return IotlbCapacityResult(pool_size=pool_size, points=points)

@@ -8,7 +8,7 @@ runner does the work and this module renders it.
 from __future__ import annotations
 
 from dataclasses import dataclass
-from typing import List
+from typing import List, Optional
 
 from repro.analysis.ascii_plot import bar_chart
 from repro.analysis.report import format_table
@@ -60,6 +60,12 @@ class Figure12Result:
         return "\n\n".join(sections)
 
 
-def run_figure12_analysis(fast: bool = False) -> Figure12Result:
-    """Run the full grid (both setups, five benchmarks, seven modes)."""
-    return Figure12Result(grid=run_figure12(fast=fast))
+def run_figure12_analysis(
+    fast: bool = False, jobs: Optional[int] = None
+) -> Figure12Result:
+    """Run the full grid (both setups, five benchmarks, seven modes).
+
+    ``jobs`` distributes cells over worker processes; the rendered
+    artefact is identical for any value (see :mod:`repro.sim.parallel`).
+    """
+    return Figure12Result(grid=run_figure12(fast=fast, jobs=jobs))

@@ -9,7 +9,7 @@ printed values.
 from __future__ import annotations
 
 from dataclasses import dataclass
-from typing import Dict, List
+from typing import Dict, List, Optional
 
 from repro.analysis.paper_data import PAPER_TABLE2, TABLE2_DENOMINATORS
 from repro.analysis.report import format_table
@@ -80,6 +80,9 @@ def table2_from_grid(grid: EvaluationGrid) -> Table2Result:
     return Table2Result(ratios=ratios)
 
 
-def run_table2(fast: bool = False) -> Table2Result:
-    """Run the grid and derive Table 2."""
-    return table2_from_grid(run_figure12(fast=fast))
+def run_table2(fast: bool = False, jobs: Optional[int] = None) -> Table2Result:
+    """Run the grid and derive Table 2.
+
+    ``jobs`` parallelises the underlying grid; ratios are unchanged.
+    """
+    return table2_from_grid(run_figure12(fast=fast, jobs=jobs))

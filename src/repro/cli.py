@@ -29,8 +29,12 @@ EXPERIMENTS: Dict[str, str] = {
 }
 
 
-def _run_experiment(name: str, fast: bool) -> str:
-    """Dispatch one experiment; returns its rendered text."""
+def _run_experiment(name: str, fast: bool, jobs: Optional[int] = None) -> str:
+    """Dispatch one experiment; returns its rendered text.
+
+    ``jobs`` parallelises the grid-shaped experiments (figure12, table2,
+    ablations) over worker processes; the rest run serially regardless.
+    """
     # Imports are deferred so `repro list --help` stays instant.
     from repro import analysis
 
@@ -51,9 +55,9 @@ def _run_experiment(name: str, fast: bool) -> str:
     if name == "figure12":
         from repro.analysis.figure12 import run_figure12_analysis
 
-        return run_figure12_analysis(fast=fast).render()
+        return run_figure12_analysis(fast=fast, jobs=jobs).render()
     if name == "table2":
-        return analysis.run_table2(fast=fast).render()
+        return analysis.run_table2(fast=fast, jobs=jobs).render()
     if name == "table3":
         return analysis.run_table3(
             transactions=80 if fast else 200, warmup=20 if fast else 40
@@ -69,12 +73,16 @@ def _run_experiment(name: str, fast: bool) -> str:
     if name == "ablations":
         packets = 150 if fast else 300
         parts = [
-            analysis.sweep_burst_length(packets=packets).render(),
-            analysis.sweep_defer_threshold(packets=packets).render(),
-            analysis.ablate_prefetch(packets=packets).render(),
-            analysis.sweep_alloc_pathology(requests=60 if fast else 120).render(),
-            analysis.sweep_ring_sizing(packets=packets * 2).render(),
-            analysis.sweep_iotlb_capacity(sends=1000 if fast else 4000).render(),
+            analysis.sweep_burst_length(packets=packets, jobs=jobs).render(),
+            analysis.sweep_defer_threshold(packets=packets, jobs=jobs).render(),
+            analysis.ablate_prefetch(packets=packets, jobs=jobs).render(),
+            analysis.sweep_alloc_pathology(
+                requests=60 if fast else 120, jobs=jobs
+            ).render(),
+            analysis.sweep_ring_sizing(packets=packets * 2, jobs=jobs).render(),
+            analysis.sweep_iotlb_capacity(
+                sends=1000 if fast else 4000, jobs=jobs
+            ).render(),
         ]
         return "\n\n".join(parts)
     if name == "micro":
@@ -99,6 +107,16 @@ def build_parser() -> argparse.ArgumentParser:
         "--fast", action="store_true", help="smaller runs (noisier, quicker)"
     )
     parser.add_argument(
+        "-j",
+        "--jobs",
+        type=int,
+        default=None,
+        metavar="N",
+        help="worker processes for grid experiments (figure12, table2, "
+        "ablations); 0 = one per CPU, default serial — results are "
+        "identical for any value",
+    )
+    parser.add_argument(
         "-o", "--output", metavar="FILE", help="also write the artefact to FILE"
     )
     return parser
@@ -118,7 +136,7 @@ def main(argv: Optional[Sequence[str]] = None) -> int:
     chunks = []
     for name in names:
         started = time.time()
-        text = _run_experiment(name, args.fast)
+        text = _run_experiment(name, args.fast, args.jobs)
         chunks.append(text)
         print(text)
         print(f"[{name} in {time.time() - started:.1f}s]\n")

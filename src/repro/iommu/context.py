@@ -45,6 +45,13 @@ class ContextTables:
         self.coherency = coherency
         self.root_table_addr = self._alloc_table()
         self._context_tables: Dict[int, int] = {}  # bus -> table address
+        # Successful lookups cached as bdf -> (root entry addr, context
+        # entry addr, page-table root).  Entries are only ever written
+        # through _write_entry, which drops the cache, so a cached result
+        # always equals what re-reading the tables would produce; cached
+        # hits still perform both hardware_read calls, keeping coherency
+        # stats and staleness checking identical to the uncached path.
+        self._lookup_cache: Dict[int, tuple] = {}
 
     def _alloc_table(self) -> int:
         addr = self.mem.allocator.alloc_page()
@@ -76,6 +83,7 @@ class ContextTables:
         self._write_entry(ctx_addr + devfn * 8, 0)
 
     def _write_entry(self, entry_addr: int, value: int) -> None:
+        self._lookup_cache.clear()
         self.mem.ram.write_u64(entry_addr, value)
         self.coherency.cpu_write(entry_addr, 8)
         self.coherency.sync_mem(entry_addr, 8)
@@ -84,6 +92,12 @@ class ContextTables:
 
     def lookup(self, bdf: int) -> int:
         """Hardware lookup: requester ID to page-table root address."""
+        cached = self._lookup_cache.get(bdf)
+        if cached is not None:
+            root_entry_addr, ctx_entry_addr, root = cached
+            self.coherency.hardware_read(root_entry_addr, 8)
+            self.coherency.hardware_read(ctx_entry_addr, 8)
+            return root
         bus, device, function = split_bdf(bdf)
         root_entry_addr = self.root_table_addr + bus * 8
         self.coherency.hardware_read(root_entry_addr, 8)
@@ -97,4 +111,6 @@ class ContextTables:
         ctx_entry = self.mem.ram.read_u64(ctx_entry_addr)
         if not ctx_entry & ENTRY_PRESENT:
             raise ContextFault(f"no context entry for bdf {bdf:#06x}", bdf=bdf)
-        return ctx_entry & ENTRY_ADDR_MASK
+        root = ctx_entry & ENTRY_ADDR_MASK
+        self._lookup_cache[bdf] = (root_entry_addr, ctx_entry_addr, root)
+        return root

@@ -57,6 +57,9 @@ class Iommu:
         self.stats = TranslationStats()
         self._tables_by_root: Dict[int, RadixPageTable] = {}
         self._tables_by_bdf: Dict[int, RadixPageTable] = {}
+        #: bumped whenever the bdf -> page-table association changes;
+        #: translation memos include it in their validity token.
+        self.epoch = 0
         #: optional hook called as (bdf, vpn) on every translation — used
         #: by the DMA-trace recorder for the §5.4 prefetcher study
         self.trace_hook = None
@@ -65,6 +68,7 @@ class Iommu:
 
     def attach_device(self, bdf: int, page_table: RadixPageTable) -> None:
         """Associate ``bdf`` with a page table via the context tables."""
+        self.epoch += 1
         self.contexts.attach(bdf, page_table.root_addr)
         self._tables_by_root[page_table.root_addr] = page_table
         self._tables_by_bdf[bdf] = page_table
@@ -75,6 +79,7 @@ class Iommu:
         If other devices still share the domain, their next accesses
         simply re-walk and re-fill the cache.
         """
+        self.epoch += 1
         self.contexts.detach(bdf)
         table = self._tables_by_bdf.pop(bdf, None)
         if table is not None:

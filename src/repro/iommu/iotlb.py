@@ -83,6 +83,19 @@ class Iotlb:
         self.capacity = capacity
         self.stats = IotlbStats()
         self._entries: "OrderedDict[Tuple[int, int], IotlbEntry]" = OrderedDict()
+        #: bumped on every event that can withdraw a cached translation
+        #: (invalidations and backing-PTE teardown).  Translation memos
+        #: above the IOTLB compare this to decide whether their cached
+        #: results may still be served.
+        self.generation = 0
+
+    def peek(self, tag: int, vpn: int) -> Optional[IotlbEntry]:
+        """Like :meth:`lookup` but with no stats or LRU side effects.
+
+        Introspection helper for translation memos; never use it on the
+        hardware datapath proper.
+        """
+        return self._entries.get((tag, vpn))
 
     def lookup(self, tag: int, vpn: int) -> Optional[IotlbEntry]:
         """Return the cached entry for (tag, vpn) or None on a miss."""
@@ -108,11 +121,13 @@ class Iotlb:
 
     def invalidate(self, tag: int, vpn: int) -> bool:
         """Invalidate one entry; True if it was present."""
+        self.generation += 1
         self.stats.single_invalidations += 1
         return self._entries.pop((tag, vpn), None) is not None
 
     def invalidate_device(self, tag: int) -> int:
         """Invalidate all entries with one tag; returns the count removed."""
+        self.generation += 1
         keys = [k for k in self._entries if k[0] == tag]
         for key in keys:
             del self._entries[key]
@@ -121,6 +136,7 @@ class Iotlb:
 
     def invalidate_all(self) -> int:
         """Flush the whole IOTLB; returns the count removed."""
+        self.generation += 1
         removed = len(self._entries)
         self._entries.clear()
         self.stats.global_invalidations += 1
@@ -128,6 +144,7 @@ class Iotlb:
 
     def mark_backing_invalid(self, tag: int, vpn: int) -> None:
         """Flag a cached entry as stale (its PTE was cleared without inval)."""
+        self.generation += 1
         entry = self._entries.get((tag, vpn))
         if entry is not None:
             entry.backing_valid = False

@@ -44,9 +44,12 @@ def perms_from_direction(direction: DmaDirection) -> int:
 
 def direction_allowed(perms: int, access: DmaDirection) -> bool:
     """True if PTE permission bits allow an access of the given direction."""
-    if access.device_reads and not perms & PTE_READ:
+    # Raw-int form of access.device_reads/device_writes: this runs once
+    # per translation, and IntFlag ``&`` builds a new member each call.
+    bits = access.value
+    if bits & 1 and not perms & PTE_READ:  # device reads (TO_DEVICE)
         return False
-    if access.device_writes and not perms & PTE_WRITE:
+    if bits & 2 and not perms & PTE_WRITE:  # device writes (FROM_DEVICE)
         return False
     return True
 

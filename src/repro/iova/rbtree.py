@@ -19,19 +19,18 @@ BLACK = 1
 class RBNode:
     """One allocated IOVA range inside the tree."""
 
-    __slots__ = ("rng", "color", "left", "right", "parent")
+    __slots__ = ("rng", "key", "color", "left", "right", "parent")
 
     def __init__(self, rng: IovaRange) -> None:
         self.rng = rng
+        #: sort key — Linux keys the iova rbtree on ``pfn_hi``.  Stored
+        #: rather than computed: ranges never change once inserted, and
+        #: comparisons during descent dominate insert cost.
+        self.key = rng.pfn_hi
         self.color = RED
         self.left: Optional["RBNode"] = None
         self.right: Optional["RBNode"] = None
         self.parent: Optional["RBNode"] = None
-
-    @property
-    def key(self) -> int:
-        """Sort key — Linux keys the iova rbtree on ``pfn_hi``."""
-        return self.rng.pfn_hi
 
     def __repr__(self) -> str:  # pragma: no cover - debugging aid
         color = "R" if self.color == RED else "B"

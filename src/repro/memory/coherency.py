@@ -20,7 +20,7 @@ from __future__ import annotations
 from dataclasses import dataclass, field
 from typing import Set
 
-from repro.memory.address import cacheline_base, cachelines_spanned, CACHELINE_SIZE
+from repro.memory.address import CACHELINE_SIZE
 
 
 class StaleReadError(RuntimeError):
@@ -76,11 +76,16 @@ class CoherencyDomain:
         dirty until flushed.
         """
         self.stats.dirty_marks += 1
-        if self.coherent:
+        if self.coherent or size <= 0:
             return
-        base = cacheline_base(addr)
-        for i in range(cachelines_spanned(addr, size)):
-            self._dirty.add(base + i * CACHELINE_SIZE)
+        # Inline cacheline_base/cachelines_spanned — these three methods
+        # run on every simulated table write/walk.
+        base = addr & ~(CACHELINE_SIZE - 1)
+        last = (addr + size - 1) & ~(CACHELINE_SIZE - 1)
+        dirty = self._dirty
+        while base <= last:
+            dirty.add(base)
+            base += CACHELINE_SIZE
 
     def memory_barrier(self) -> None:
         """Order prior stores; counted for cycle charging."""
@@ -89,9 +94,14 @@ class CoherencyDomain:
     def cache_line_flush(self, addr: int, size: int = CACHELINE_SIZE) -> None:
         """Flush the cacheline(s) backing ``[addr, addr+size)`` to DRAM."""
         self.stats.flushes += 1
-        base = cacheline_base(addr)
-        for i in range(cachelines_spanned(addr, size)):
-            self._dirty.discard(base + i * CACHELINE_SIZE)
+        if size <= 0:
+            return
+        base = addr & ~(CACHELINE_SIZE - 1)
+        last = (addr + size - 1) & ~(CACHELINE_SIZE - 1)
+        dirty = self._dirty
+        while base <= last:
+            dirty.discard(base)
+            base += CACHELINE_SIZE
 
     def sync_mem(self, addr: int, size: int = CACHELINE_SIZE) -> None:
         """The paper's ``sync_mem`` (Figure 11, bottom right).
@@ -109,18 +119,23 @@ class CoherencyDomain:
     def hardware_read(self, addr: int, size: int = CACHELINE_SIZE) -> None:
         """A hardware walker reads ``[addr, addr+size)``; checks staleness."""
         self.stats.hardware_reads += 1
-        if self.coherent:
+        if self.coherent or size <= 0:
             return
-        base = cacheline_base(addr)
-        for i in range(cachelines_spanned(addr, size)):
-            if base + i * CACHELINE_SIZE in self._dirty:
+        dirty = self._dirty
+        if not dirty:
+            return
+        base = addr & ~(CACHELINE_SIZE - 1)
+        last = (addr + size - 1) & ~(CACHELINE_SIZE - 1)
+        while base <= last:
+            if base in dirty:
                 self.stats.stale_reads += 1
                 if self.enforce:
                     raise StaleReadError(
-                        f"hardware walker read dirty cacheline {base + i * CACHELINE_SIZE:#x}; "
+                        f"hardware walker read dirty cacheline {base:#x}; "
                         "driver missed a sync_mem/cache_line_flush"
                     )
                 return
+            base += CACHELINE_SIZE
 
     # -- introspection ----------------------------------------------------
 

@@ -9,14 +9,22 @@ that are actually touched consume space.
 
 from __future__ import annotations
 
-from typing import Dict, Iterable, List, Set
+import os
+from typing import Dict, Iterable, List, Optional, Set
 
 from repro.memory.address import (
+    PAGE_MASK,
+    PAGE_SHIFT,
     PAGE_SIZE,
     check_addr,
     page_number,
     page_offset,
 )
+
+#: Single-frame read/write fast paths (identical semantics, less Python
+#: overhead).  Set ``REPRO_DISABLE_FASTPATH`` to force the generic
+#: chunk loop everywhere; parity tests also toggle this at runtime.
+FASTPATH_ENABLED = "REPRO_DISABLE_FASTPATH" not in os.environ
 
 
 class OutOfMemoryError(RuntimeError):
@@ -56,7 +64,30 @@ class PhysicalMemory:
 
     def write(self, addr: int, data: bytes) -> None:
         """Write ``data`` starting at physical address ``addr``."""
-        self._check_range(addr, len(data))
+        size = len(data)
+        # Fast path: the access stays inside one frame (the overwhelmingly
+        # common case — descriptors, PTEs, sub-page buffers).  Byte-for-byte
+        # identical to the chunk loop below, which remains the slow path
+        # for frame-crossing accesses; the inline guards subsume
+        # ``_check_range`` (anything they reject falls through and gets
+        # the canonical error from the slow path).
+        if (
+            FASTPATH_ENABLED
+            and type(addr) is int
+            and 0 <= addr
+            and 0 < size
+            and (addr & PAGE_MASK) + size <= PAGE_SIZE
+            and addr + size <= self.size_bytes
+        ):
+            frame = addr >> PAGE_SHIFT
+            page = self._frames.get(frame)
+            if page is None:
+                page = bytearray(PAGE_SIZE)
+                self._frames[frame] = page
+            off = addr & PAGE_MASK
+            page[off : off + size] = data
+            return
+        self._check_range(addr, size)
         pos = 0
         while pos < len(data):
             frame = page_number(addr + pos)
@@ -71,6 +102,21 @@ class PhysicalMemory:
 
     def read(self, addr: int, size: int) -> bytes:
         """Read ``size`` bytes starting at physical address ``addr``."""
+        # Fast path: single-frame access (see ``write``).
+        if (
+            FASTPATH_ENABLED
+            and type(addr) is int
+            and type(size) is int
+            and 0 <= addr
+            and 0 < size
+            and (addr & PAGE_MASK) + size <= PAGE_SIZE
+            and addr + size <= self.size_bytes
+        ):
+            page = self._frames.get(addr >> PAGE_SHIFT)
+            if page is None:
+                return bytes(size)
+            off = addr & PAGE_MASK
+            return bytes(page[off : off + size])
         self._check_range(addr, size)
         out = bytearray(size)
         pos = 0
@@ -86,15 +132,54 @@ class PhysicalMemory:
 
     def write_u64(self, addr: int, value: int) -> None:
         """Write a little-endian 64-bit value at ``addr``."""
+        # Dedicated fast path: PTE/descriptor stores are the hottest
+        # writes in the simulator, worth skipping one call layer.
+        if (
+            FASTPATH_ENABLED
+            and type(addr) is int
+            and 0 <= addr
+            and (addr & PAGE_MASK) <= PAGE_SIZE - 8
+            and addr + 8 <= self.size_bytes
+        ):
+            frame = addr >> PAGE_SHIFT
+            page = self._frames.get(frame)
+            if page is None:
+                page = bytearray(PAGE_SIZE)
+                self._frames[frame] = page
+            off = addr & PAGE_MASK
+            page[off : off + 8] = value.to_bytes(8, "little")
+            return
         self.write(addr, value.to_bytes(8, "little"))
 
     def read_u64(self, addr: int) -> int:
         """Read a little-endian 64-bit value at ``addr``."""
+        if (
+            FASTPATH_ENABLED
+            and type(addr) is int
+            and 0 <= addr
+            and (addr & PAGE_MASK) <= PAGE_SIZE - 8
+            and addr + 8 <= self.size_bytes
+        ):
+            page = self._frames.get(addr >> PAGE_SHIFT)
+            if page is None:
+                return 0
+            off = addr & PAGE_MASK
+            return int.from_bytes(page[off : off + 8], "little")
         return int.from_bytes(self.read(addr, 8), "little")
 
     def touched_frames(self) -> int:
         """Number of frames that have been materialised by writes."""
         return len(self._frames)
+
+    def discard_frame(self, frame: int) -> None:
+        """Drop a frame's contents; subsequent reads return zeros.
+
+        The frame allocator calls this when handing a previously-freed
+        frame back out, so every allocation observes zero-filled memory
+        regardless of what the frame's prior owner left behind (the
+        analogue of the kernel's ``__GFP_ZERO``).
+        """
+        self._frames.pop(frame, None)
 
 
 class FrameAllocator:
@@ -117,9 +202,15 @@ class FrameAllocator:
     # -- allocation -----------------------------------------------------
 
     def alloc_frame(self) -> int:
-        """Allocate one frame; returns its frame number."""
+        """Allocate one frame; returns its frame number.
+
+        Reused frames are zero-filled (their stale contents discarded),
+        so allocation always hands out memory that reads as zeros — the
+        invariant the page-table and context-table layers rely on.
+        """
         if self._free:
             frame = self._free.pop()
+            self.memory.discard_frame(frame)
         else:
             if self._next_frame >= self.memory.num_frames:
                 raise OutOfMemoryError("no free physical frames")
@@ -137,9 +228,27 @@ class FrameAllocator:
 
         Returns the first frame number.  Ring buffers and page-table
         pages want contiguous backing.
+
+        Freed frames are reused: the free list is scanned for a run of
+        ``count`` consecutive frames before the high-water mark is
+        bumped, so a long-running simulation that continually allocates
+        and frees buffers no longer leaks contiguous space until it
+        hits :class:`OutOfMemoryError`.
         """
         if count <= 0:
             raise ValueError("count must be positive")
+        if count == 1 and self._free:
+            # A run of one is any free frame; same LIFO reuse as
+            # :meth:`alloc_frame`, without the run scan.
+            return self.alloc_frame()
+        first = self._find_free_run(count)
+        if first is not None:
+            run = set(range(first, first + count))
+            self._free = [f for f in self._free if f not in run]
+            for frame in sorted(run):
+                self.memory.discard_frame(frame)
+                self._allocated.add(frame)
+            return first
         if self._next_frame + count > self.memory.num_frames:
             raise OutOfMemoryError(f"no {count} contiguous frames available")
         first = self._next_frame
@@ -147,6 +256,23 @@ class FrameAllocator:
         for frame in range(first, first + count):
             self._allocated.add(frame)
         return first
+
+    def _find_free_run(self, count: int) -> Optional[int]:
+        """First frame of a run of ``count`` consecutive free frames, if any."""
+        if len(self._free) < count:
+            return None
+        ordered = sorted(self._free)
+        run_start = ordered[0]
+        run_len = 1
+        for prev, frame in zip(ordered, ordered[1:]):
+            if frame == prev + 1:
+                run_len += 1
+            else:
+                run_start = frame
+                run_len = 1
+            if run_len >= count:
+                return run_start
+        return None
 
     def alloc_page(self) -> int:
         """Allocate one frame and return its *physical address*."""

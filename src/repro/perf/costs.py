@@ -168,13 +168,16 @@ class CostModel:
         #: testbed ran Linux 3.11 with a leaner driver, so its per-call
         #: costs are lower (derived from the paper's brcm CPU ratios).
         self.scale = scale
+        # The mode's Table 1 row never changes after construction; cache
+        # the lookup off the per-charge hot path.
+        self._table1_row = TABLE1_CYCLES.get(mode)
 
     # -- baseline-IOMMU path ---------------------------------------------
 
     def _calibrated(self, component: Component) -> float:
-        if component in self.overrides:
+        if self.overrides and component in self.overrides:
             return self.overrides[component] * self.scale
-        table = TABLE1_CYCLES.get(self.mode)
+        table = self._table1_row
         if table is None:
             raise ValueError(
                 f"no Table 1 calibration for mode {self.mode.label}; "

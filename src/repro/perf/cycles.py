@@ -19,6 +19,10 @@ from typing import Dict, Iterable, Mapping, Optional, Tuple
 class Component(enum.Enum):
     """Cost components, matching the rows of the paper's Table 1."""
 
+    # Components key every per-charge dict; identity hashing (members
+    # are singletons) avoids re-hashing the value string on each charge.
+    __hash__ = object.__hash__
+
     # map() components
     IOVA_ALLOC = "map.iova_alloc"
     MAP_PAGE_TABLE = "map.page_table"

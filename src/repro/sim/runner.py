@@ -8,9 +8,10 @@ the whole evaluation grid.
 from __future__ import annotations
 
 from dataclasses import dataclass, field
-from typing import Dict, Iterable
+from typing import Dict, Iterable, Optional
 
 from repro.modes import ALL_MODES, Mode
+from repro.sim.parallel import resolve_jobs
 from repro.sim.apache import ApacheBench
 from repro.sim.memcached import MemcachedBench
 from repro.sim.netperf import NetperfRR, NetperfStream
@@ -65,9 +66,16 @@ def run_mode_sweep(
     modes: Iterable[Mode] = ALL_MODES,
     fast: bool = False,
 ) -> Dict[Mode, RunResult]:
-    """One benchmark across the given modes (one Figure 12 panel)."""
-    workload = make_benchmark(benchmark, fast)
-    return {mode: workload.run(setup, mode) for mode in modes}
+    """One benchmark across the given modes (one Figure 12 panel).
+
+    Each mode gets a freshly-instantiated workload.  Workloads are
+    parameter holders whose ``run()`` builds a new machine every call
+    (two consecutive ``run()`` calls on one instance give identical
+    results — tested), but per-mode instantiation makes each cell
+    structurally identical to the parallel runner's, and keeps any
+    future stateful workload from bleeding counters between modes.
+    """
+    return {mode: run_benchmark(setup, mode, benchmark, fast) for mode in modes}
 
 
 @dataclass
@@ -107,8 +115,18 @@ def run_figure12(
     benchmarks: Iterable[str] = BENCHMARK_NAMES,
     modes: Iterable[Mode] = ALL_MODES,
     fast: bool = False,
+    jobs: Optional[int] = None,
 ) -> EvaluationGrid:
-    """Run the complete evaluation grid of the paper's Figure 12."""
+    """Run the complete evaluation grid of the paper's Figure 12.
+
+    ``jobs`` fans independent cells out over worker processes (``None``
+    or 1 = serial, 0 = one per CPU); results are identical for any
+    value — see :mod:`repro.sim.parallel`.
+    """
+    if resolve_jobs(jobs) > 1:
+        from repro.sim.parallel import run_grid
+
+        return run_grid(setups, benchmarks, modes, fast, jobs)
     grid = EvaluationGrid()
     for setup in setups:
         per_setup: Dict[str, Dict[Mode, RunResult]] = {}

@@ -94,6 +94,70 @@ def test_alloc_contiguous_rejects_nonpositive(mem):
         mem.allocator.alloc_contiguous(0)
 
 
+def test_alloc_contiguous_reuses_freed_runs():
+    """Regression: contiguous allocation must recycle freed runs.
+
+    It used to only bump the high-water mark, so a steady
+    alloc/free cycle leaked contiguous space until OutOfMemoryError
+    even though most of memory was free.
+    """
+    small = MemorySystem(size_bytes=16 * PAGE_SIZE, reserved_frames=0)
+    for _ in range(100):
+        first = small.allocator.alloc_contiguous(4)
+        for frame in range(first, first + 4):
+            small.allocator.free_frame(frame)
+    # Interleaved sizes across the same recycled space.
+    a = small.allocator.alloc_contiguous(8)
+    b = small.allocator.alloc_contiguous(4)
+    assert a != b
+
+
+def test_alloc_contiguous_reuse_prefers_free_run_over_bump():
+    small = MemorySystem(size_bytes=64 * PAGE_SIZE, reserved_frames=0)
+    first = small.allocator.alloc_contiguous(4)
+    high_water = small.allocator._next_frame
+    for frame in range(first, first + 4):
+        small.allocator.free_frame(frame)
+    again = small.allocator.alloc_contiguous(4)
+    assert again == first
+    assert small.allocator._next_frame == high_water
+
+
+def test_alloc_contiguous_skips_too_small_runs():
+    small = MemorySystem(size_bytes=64 * PAGE_SIZE, reserved_frames=0)
+    frames = [small.allocator.alloc_frame() for _ in range(6)]
+    # Free 0,1 and 3,4,5 — a 2-run and a 3-run, but no 4-run.
+    for frame in (frames[0], frames[1], frames[3], frames[4], frames[5]):
+        small.allocator.free_frame(frame)
+    first = small.allocator.alloc_contiguous(4)
+    assert first >= frames[5] + 1  # must have come from the bump path
+    run3 = small.allocator.alloc_contiguous(3)
+    assert run3 == frames[3]  # the 3-run is found on the next fit
+
+
+def test_reused_frames_read_as_zero():
+    """Freed-then-reallocated frames must not leak prior contents."""
+    small = MemorySystem(size_bytes=16 * PAGE_SIZE, reserved_frames=0)
+    frame = small.allocator.alloc_frame()
+    small.ram.write(frame * PAGE_SIZE, b"\xab" * 64)
+    small.allocator.free_frame(frame)
+    again = small.allocator.alloc_frame()
+    assert again == frame
+    assert small.ram.read(frame * PAGE_SIZE, 64) == bytes(64)
+
+
+def test_reused_contiguous_frames_read_as_zero():
+    small = MemorySystem(size_bytes=16 * PAGE_SIZE, reserved_frames=0)
+    first = small.allocator.alloc_contiguous(3)
+    for frame in range(first, first + 3):
+        small.ram.write(frame * PAGE_SIZE, b"\xcd" * 32)
+        small.allocator.free_frame(frame)
+    again = small.allocator.alloc_contiguous(3)
+    assert again == first
+    for frame in range(first, first + 3):
+        assert small.ram.read(frame * PAGE_SIZE, 32) == bytes(32)
+
+
 def test_alloc_buffer_page_aligned(mem):
     addr = mem.allocator.alloc_buffer(100)
     assert addr % PAGE_SIZE == 0

@@ -124,6 +124,22 @@ def test_run_benchmark_and_sweep():
     assert normalized(sweep, Mode.NONE, Mode.STRICT) > 1.0
 
 
+def test_workload_run_is_stateless():
+    """Two consecutive .run() calls on one instance give identical results.
+
+    run_mode_sweep and the parallel grid runner rely on workloads being
+    pure parameter holders: run() builds a fresh machine every call.
+    """
+    for workload in (
+        NetperfStream(packets=200, warmup=40),
+        NetperfRR(transactions=50),
+        MemcachedBench(requests=100, warmup=20),
+    ):
+        first = workload.run(MLX_SETUP, Mode.STRICT)
+        second = workload.run(MLX_SETUP, Mode.STRICT)
+        assert first.to_dict() == second.to_dict()
+
+
 def test_result_describe_mentions_key_fields():
     result = run_benchmark(MLX_SETUP, Mode.NONE, "rr", fast=True)
     text = result.describe()
