@@ -111,6 +111,30 @@ def time_grid(
     }
 
 
+def load_previous_cells(
+    output: Optional[pathlib.Path],
+) -> Dict[Tuple[str, str, str, bool], float]:
+    """Per-cell seconds from an earlier ``BENCH_runner.json``, if any.
+
+    Read *before* the new report overwrites the file, so every run can
+    carry a ``speedup_vs_previous`` trajectory marker.  A missing or
+    malformed report just yields no baselines.
+    """
+    if output is None or not output.exists():
+        return {}
+    try:
+        previous = json.loads(output.read_text())
+        return {
+            (row["setup"], row["benchmark"], row["mode"], bool(row["fast"])): float(
+                row["seconds"]
+            )
+            for row in previous.get("cells", ())
+            if float(row["seconds"]) > 0
+        }
+    except (ValueError, KeyError, TypeError):
+        return {}
+
+
 def run_harness(
     jobs: Optional[int] = 0,
     fast: bool = True,
@@ -119,22 +143,66 @@ def run_harness(
     benchmarks: Sequence[str] = (),
     modes: Sequence[str] = (),
     output: Optional[pathlib.Path] = DEFAULT_OUTPUT,
+    quick: bool = False,
 ) -> Dict[str, object]:
-    """Time representative cells + the grid; write ``BENCH_runner.json``."""
+    """Time representative cells + the grid; write ``BENCH_runner.json``.
+
+    ``quick`` times only the representative cells (skipping the
+    serial-vs-parallel grid sweep) — the CI perf-smoke configuration.
+    """
+    baselines = load_previous_cells(output)
+    cells = time_representative_cells(fast=fast, repeats=repeats)
+    for row in cells:
+        prev = baselines.get(
+            (row["setup"], row["benchmark"], row["mode"], bool(row["fast"]))
+        )
+        if prev is not None and row["seconds"] > 0:
+            # > 1.0 means this tree is faster than the committed report.
+            row["speedup_vs_previous"] = round(prev / row["seconds"], 3)
     report: Dict[str, object] = {
         "schema": "riommu-repro/bench-runner/v1",
         "timestamp": time.strftime("%Y-%m-%dT%H:%M:%S"),
         "cpu_count": os.cpu_count(),
         "python": sys.version.split()[0],
         "fastpath_enabled": "REPRO_DISABLE_FASTPATH" not in os.environ,
-        "cells": time_representative_cells(fast=fast, repeats=repeats),
-        "grid": time_grid(jobs, setups, benchmarks, modes, fast),
+        "quick": quick,
+        "cells": cells,
+        "grid": None if quick else time_grid(jobs, setups, benchmarks, modes, fast),
     }
     if output is not None:
         output.parent.mkdir(parents=True, exist_ok=True)
         output.write_text(json.dumps(report, indent=2) + "\n")
         report["output_path"] = str(output)
     return report
+
+
+def check_regression(
+    report: Dict[str, object],
+    max_regression: float,
+    cell: Tuple[str, str, str] = ("mlx", "stream", "strict"),
+) -> Optional[str]:
+    """Error string if ``cell`` slowed by more than ``max_regression``.
+
+    Uses ``speedup_vs_previous`` (present only when the previous report
+    had the cell): a speedup below ``1 / (1 + max_regression)`` means
+    the new time exceeds the old by more than the allowed fraction.
+    Returns None when within bounds or when there is no baseline.
+    """
+    setup_name, benchmark, mode_label = cell
+    for row in report["cells"]:
+        if (row["setup"], row["benchmark"], row["mode"]) == cell:
+            speedup = row.get("speedup_vs_previous")
+            if speedup is None:
+                return None
+            floor = 1.0 / (1.0 + max_regression)
+            if speedup < floor:
+                return (
+                    f"{setup_name}/{benchmark}/{mode_label} regressed: "
+                    f"speedup_vs_previous {speedup} < {floor:.3f} "
+                    f"(> {max_regression:.0%} slower than the committed baseline)"
+                )
+            return None
+    return None
 
 
 def main(argv: Optional[Sequence[str]] = None) -> int:
@@ -149,14 +217,33 @@ def main(argv: Optional[Sequence[str]] = None) -> int:
     parser.add_argument(
         "-o", "--output", default=str(DEFAULT_OUTPUT), help="report path"
     )
+    parser.add_argument(
+        "--quick",
+        action="store_true",
+        help="representative cells only, no grid sweep (CI perf smoke)",
+    )
+    parser.add_argument(
+        "--max-regression",
+        type=float,
+        default=None,
+        metavar="FRACTION",
+        help="exit 1 if mlx/stream/strict is more than FRACTION slower "
+        "than the previous report (e.g. 0.25 allows +25%%)",
+    )
     args = parser.parse_args(argv)
     report = run_harness(
         jobs=args.jobs,
         fast=not args.full,
         repeats=args.repeats,
         output=pathlib.Path(args.output),
+        quick=args.quick,
     )
     print(json.dumps(report, indent=2))
+    if args.max_regression is not None:
+        error = check_regression(report, args.max_regression)
+        if error is not None:
+            print(error, file=sys.stderr)
+            return 1
     return 0
 
 

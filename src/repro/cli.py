@@ -92,6 +92,30 @@ def _run_experiment(name: str, fast: bool, jobs: Optional[int] = None) -> str:
     raise KeyError(name)
 
 
+def _run_profiled(name: str, fast: bool, jobs: Optional[int], top: int) -> str:
+    """Run one experiment under cProfile; append the hot-spot table.
+
+    Profiles the *simulator*, not the simulated hardware — the cycle
+    model's numbers are unaffected.  Worker subprocesses of the grid
+    experiments are not profiled (cProfile is per-process), so profile
+    those serially (no ``--jobs``) for a complete picture.
+    """
+    import cProfile
+    import io
+    import pstats
+
+    profiler = cProfile.Profile()
+    profiler.enable()
+    try:
+        text = _run_experiment(name, fast, jobs)
+    finally:
+        profiler.disable()
+    table = io.StringIO()
+    stats = pstats.Stats(profiler, stream=table)
+    stats.sort_stats("cumulative").print_stats(max(top, 1))
+    return f"{text}\n\n--- cProfile: top {max(top, 1)} by cumulative time ---\n{table.getvalue().rstrip()}"
+
+
 def build_parser() -> argparse.ArgumentParser:
     """The CLI argument parser."""
     parser = argparse.ArgumentParser(
@@ -119,6 +143,16 @@ def build_parser() -> argparse.ArgumentParser:
     parser.add_argument(
         "-o", "--output", metavar="FILE", help="also write the artefact to FILE"
     )
+    parser.add_argument(
+        "--profile",
+        nargs="?",
+        const=20,
+        default=None,
+        type=int,
+        metavar="N",
+        help="profile the run under cProfile and print the top N "
+        "functions by cumulative time (default 20)",
+    )
     return parser
 
 
@@ -136,7 +170,10 @@ def main(argv: Optional[Sequence[str]] = None) -> int:
     chunks = []
     for name in names:
         started = time.time()
-        text = _run_experiment(name, args.fast, args.jobs)
+        if args.profile is not None:
+            text = _run_profiled(name, args.fast, args.jobs, args.profile)
+        else:
+            text = _run_experiment(name, args.fast, args.jobs)
         chunks.append(text)
         print(text)
         print(f"[{name} in {time.time() - started:.1f}s]\n")

@@ -159,20 +159,24 @@ class RIommuHardware:
 
     def rtranslate(self, bdf: int, iova: RIova, direction: DmaDirection) -> int:
         """Translate a rIOVA to a physical address, or raise an IOPF."""
-        self.riotlb.stats.translations += 1
-        entry = self.riotlb.find(bdf, iova.rid)
+        riotlb = self.riotlb
+        stats = riotlb.stats
+        stats.translations += 1
+        entry = riotlb.find(bdf, iova.rid)
         if entry is None:
-            self.riotlb.stats.misses += 1
+            stats.misses += 1
             entry = self.rtable_walk(bdf, iova)
-            self.riotlb.insert(entry)
+            riotlb.insert(entry)
         else:
-            self.riotlb.stats.hits += 1
+            stats.hits += 1
             if entry.rentry != iova.rentry:
                 entry = self.riotlb_entry_sync(bdf, iova, entry)
-                self.riotlb.insert(entry)
-        if iova.offset >= entry.rpte.size or not entry.rpte.direction.permits(direction):
+                riotlb.insert(entry)
+        rpte = entry.rpte
+        offset = iova.offset
+        if offset >= rpte.size or not rpte.direction.permits(direction):
             self._io_page_fault(bdf, iova, entry, direction)
-        return entry.rpte.phys_addr + iova.offset
+        return rpte.phys_addr + offset
 
     def rtable_walk(self, bdf: int, iova: RIova) -> RIotlbEntry:
         """Validate the rIOVA against the structures and fetch its rPTE.

@@ -17,6 +17,7 @@ from repro.devices.descriptor import (
 from repro.devices.dma import (
     DmaBus,
     DmaBusStats,
+    DmaEngine,
     IdentityBackend,
     IommuBackend,
     RIommuBackend,
@@ -56,6 +57,7 @@ __all__ = [
     "Descriptor",
     "DmaBus",
     "DmaBusStats",
+    "DmaEngine",
     "FLAG_DONE",
     "FLAG_INTERRUPT",
     "FLAG_VALID",

@@ -17,7 +17,7 @@ import random
 from dataclasses import dataclass
 from typing import Callable, Dict, List, Optional
 
-from repro.devices.dma import DmaBus
+from repro.devices.dma import DmaBus, DmaEngine
 
 AHCI_COMMAND_SLOTS = 32
 SECTOR_BYTES = 512
@@ -73,6 +73,7 @@ class AhciController:
     ) -> None:
         self.bus = bus
         self.bdf = bdf
+        self.engine = DmaEngine(bus, bdf)
         self.capacity_sectors = capacity_sectors
         self.device_latency_us = device_latency_us
         self._disk: Dict[int, bytes] = {}
@@ -126,7 +127,8 @@ class AhciController:
         if command.lba < 0 or command.lba + command.sectors > self.capacity_sectors:
             return False
         if command.op is AhciOp.WRITE:
-            data = self.bus.dma_read(self.bdf, command.data_addr, command.byte_count)
+            # One bulk gather for the whole transfer.
+            data = self.engine.read(command.data_addr, command.byte_count)
             for i in range(command.sectors):
                 self._disk[command.lba + i] = bytes(
                     data[i * SECTOR_BYTES : (i + 1) * SECTOR_BYTES]
@@ -135,7 +137,7 @@ class AhciController:
         out = bytearray()
         for i in range(command.sectors):
             out += self._disk.get(command.lba + i, bytes(SECTOR_BYTES))
-        self.bus.dma_write(self.bdf, command.data_addr, bytes(out))
+        self.engine.write(command.data_addr, bytes(out))
         return True
 
     # -- introspection ------------------------------------------------------------

@@ -9,10 +9,15 @@ driver posts one.
 
 from __future__ import annotations
 
+import struct
 from dataclasses import dataclass, field
 from typing import List, Tuple
 
 DESCRIPTOR_BYTES = 32
+
+#: u64 addr0, u32 len0, u32 flags, u64 addr1, u32 len1, 4 pad bytes
+_CODEC = struct.Struct("<QIIQI4x")
+assert _CODEC.size == DESCRIPTOR_BYTES
 
 #: descriptor contains a DMA the device should execute
 FLAG_VALID = 1 << 0
@@ -59,25 +64,14 @@ class Descriptor:
         """Serialize to the 32-byte in-memory format."""
         addr0, len0 = self.segments[0] if self.segments else (0, 0)
         addr1, len1 = self.segments[1] if len(self.segments) > 1 else (0, 0)
-        return (
-            addr0.to_bytes(8, "little")
-            + len0.to_bytes(4, "little")
-            + self.flags.to_bytes(4, "little")
-            + addr1.to_bytes(8, "little")
-            + len1.to_bytes(4, "little")
-            + b"\x00\x00\x00\x00"
-        )
+        return _CODEC.pack(addr0, len0, self.flags, addr1, len1)
 
     @classmethod
     def decode(cls, raw: bytes) -> "Descriptor":
         """Deserialize from the 32-byte in-memory format."""
         if len(raw) != DESCRIPTOR_BYTES:
             raise ValueError(f"descriptor must be {DESCRIPTOR_BYTES} bytes")
-        addr0 = int.from_bytes(raw[0:8], "little")
-        len0 = int.from_bytes(raw[8:12], "little")
-        flags = int.from_bytes(raw[12:16], "little")
-        addr1 = int.from_bytes(raw[16:24], "little")
-        len1 = int.from_bytes(raw[24:28], "little")
+        addr0, len0, flags, addr1, len1 = _CODEC.unpack(raw)
         segments: List[Tuple[int, int]] = []
         if len0:
             segments.append((addr0, len0))

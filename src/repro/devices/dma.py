@@ -38,6 +38,12 @@ from repro.memory.physical import MemorySystem
 #: force the generic per-page loop; parity tests also toggle this.
 FASTPATH_ENABLED = "REPRO_DISABLE_FASTPATH" not in os.environ
 
+#: Scatter-gather bulk datapath (batched translation + bulk copies —
+#: identical model cycles and fault behaviour, fewer Python dispatches).
+#: Set ``REPRO_DISABLE_BATCH`` to force the scalar per-page/per-segment
+#: paths; parity tests also toggle this at runtime.
+BATCH_ENABLED = "REPRO_DISABLE_BATCH" not in os.environ
+
 
 class TranslationBackend(abc.ABC):
     """Maps a device-visible address range to physical ranges."""
@@ -47,6 +53,19 @@ class TranslationBackend(abc.ABC):
         self, bdf: int, addr: int, size: int, direction: DmaDirection
     ) -> List[Tuple[int, int]]:
         """Return [(phys_addr, length), ...] covering ``size`` bytes at ``addr``."""
+
+    def translate_sg(
+        self, bdf: int, addr: int, size: int, direction: DmaDirection
+    ) -> List[Tuple[int, int]]:
+        """Scatter-gather translation: extents for a bulk copy.
+
+        Like :meth:`translate_range`, but backends that translate
+        page-by-page merge physically-contiguous runs into single
+        extents so the copy layer touches each run once.  Identity and
+        rIOMMU backends already produce one extent per access, so the
+        default simply defers to :meth:`translate_range`.
+        """
+        return self.translate_range(bdf, addr, size, direction)
 
 
 class IdentityBackend(TranslationBackend):
@@ -101,6 +120,85 @@ class IommuBackend(TranslationBackend):
             phys = translate(bdf, addr + pos, direction)
             ranges.append((phys, chunk))
             pos += chunk
+        return ranges
+
+    def translate_sg(
+        self, bdf: int, addr: int, size: int, direction: DmaDirection
+    ) -> List[Tuple[int, int]]:
+        """Batched per-page translation with contiguous-extent merging.
+
+        One IOTLB (or memo) probe per 4 KiB page — every observable side
+        effect of the scalar loop is replayed per page, and faults still
+        raise at the exact faulting page — but the per-page Python
+        dispatch through ``translate``/``translate_range`` is inlined,
+        and pages that resolve to adjacent frames are merged into one
+        extent for the bulk copy layer.
+        """
+        if not BATCH_ENABLED:
+            return self.translate_range(bdf, addr, size, direction)
+        iommu = self.iommu
+        memo = None
+        if FASTPATH_ENABLED and self.memo_enabled:
+            token = (iommu.epoch, iommu.iotlb.generation)
+            if token != self._memo_token:
+                self._memo.clear()
+                self._memo_token = token
+            memo = self._memo
+        translate = iommu.translate
+        iommu_stats = iommu.stats
+        iotlb = iommu.iotlb
+        iotlb_stats = iotlb.stats
+        coherency_stats = iommu.coherency.stats
+        trace_hook = iommu.trace_hook
+        ranges: List[Tuple[int, int]] = []
+        run_phys = 0  # physical start of the extent being built
+        run_len = 0
+        next_phys = -1  # phys addr the next chunk must hit to extend the run
+        pos = 0
+        while pos < size:
+            a = addr + pos
+            chunk = PAGE_SIZE - (a & PAGE_MASK)
+            rem = size - pos
+            if chunk > rem:
+                chunk = rem
+            if memo is not None:
+                vpn = a >> PAGE_SHIFT
+                entry = memo.get((bdf, vpn))
+                if entry is not None:
+                    # Memo hit: replay the IOTLB-hit path's observables
+                    # (see _translate_memo).
+                    iommu_stats.translations += 1
+                    if trace_hook is not None:
+                        trace_hook(bdf, vpn)
+                    coherency_stats.hardware_reads += 2
+                    iotlb_stats.hits += 1
+                    if not entry.backing_valid:
+                        iotlb_stats.stale_hits += 1
+                    if not direction_allowed(entry.perms, direction):
+                        raise PermissionFault(
+                            f"IOVA {a:#x} does not permit {direction!r}",
+                            bdf=bdf,
+                            iova=a,
+                        )
+                    phys = entry.frame_addr | (a & PAGE_MASK)
+                else:
+                    phys = translate(bdf, a, direction)
+                    cached = iotlb.peek(iommu.page_table_of(bdf).domain_id, vpn)
+                    if cached is not None:
+                        memo[(bdf, vpn)] = cached
+            else:
+                phys = translate(bdf, a, direction)
+            if phys == next_phys:
+                run_len += chunk
+            else:
+                if run_len:
+                    ranges.append((run_phys, run_len))
+                run_phys = phys
+                run_len = chunk
+            next_phys = phys + chunk
+            pos += chunk
+        if run_len:
+            ranges.append((run_phys, run_len))
         return ranges
 
     def _translate_memo(self, bdf: int, iova: int, direction: DmaDirection) -> int:
@@ -259,24 +357,123 @@ class DmaBus:
         """Device reads ``size`` bytes from device-address ``addr`` (Tx)."""
         if size <= 0:
             raise ValueError("size must be positive")
-        out = bytearray()
-        for phys, length in self.backend.translate_range(
-            bdf, addr, size, DmaDirection.TO_DEVICE
-        ):
-            out += self.mem.ram.read(phys, length)
+        if BATCH_ENABLED:
+            data = self.mem.ram.read_bulk(
+                self.backend.translate_sg(bdf, addr, size, DmaDirection.TO_DEVICE)
+            )
+        else:
+            out = bytearray()
+            for phys, length in self.backend.translate_range(
+                bdf, addr, size, DmaDirection.TO_DEVICE
+            ):
+                out += self.mem.ram.read(phys, length)
+            data = bytes(out)
         self.stats.reads += 1
         self.stats.bytes_read += size
-        return bytes(out)
+        return data
 
     def dma_write(self, bdf: int, addr: int, data: bytes) -> None:
         """Device writes ``data`` to device-address ``addr`` (Rx)."""
         if not data:
             raise ValueError("data must be non-empty")
-        pos = 0
-        for phys, length in self.backend.translate_range(
-            bdf, addr, len(data), DmaDirection.FROM_DEVICE
-        ):
-            self.mem.ram.write(phys, data[pos : pos + length])
-            pos += length
+        if BATCH_ENABLED:
+            # Translate the whole access first (faults before any byte
+            # lands, as the scalar path's eager translate_range does),
+            # then copy every extent in one bulk call.
+            self.mem.ram.write_bulk(
+                self.backend.translate_sg(
+                    bdf, addr, len(data), DmaDirection.FROM_DEVICE
+                ),
+                data,
+            )
+        else:
+            pos = 0
+            for phys, length in self.backend.translate_range(
+                bdf, addr, len(data), DmaDirection.FROM_DEVICE
+            ):
+                self.mem.ram.write(phys, data[pos : pos + length])
+                pos += length
         self.stats.writes += 1
         self.stats.bytes_written += len(data)
+
+    # -- scatter-gather bulk calls (one call per descriptor) ------------
+
+    def dma_read_sg(self, bdf: int, segments: List[Tuple[int, int]]) -> bytes:
+        """Device gathers ``[(addr, size), ...]`` segments into one buffer.
+
+        Equivalent to concatenating :meth:`dma_read` per segment — same
+        per-segment stats, same fault points (segment ``i`` translates
+        fully before segment ``i+1`` is touched) — in one call.
+        """
+        if not BATCH_ENABLED:
+            return b"".join(self.dma_read(bdf, addr, size) for addr, size in segments)
+        backend = self.backend
+        ram = self.mem.ram
+        stats = self.stats
+        parts: List[bytes] = []
+        for addr, size in segments:
+            if size <= 0:
+                raise ValueError("size must be positive")
+            parts.append(
+                ram.read_bulk(
+                    backend.translate_sg(bdf, addr, size, DmaDirection.TO_DEVICE)
+                )
+            )
+            stats.reads += 1
+            stats.bytes_read += size
+        return b"".join(parts)
+
+    def dma_write_sg(self, bdf: int, parts: List[Tuple[int, bytes]]) -> None:
+        """Device scatters ``[(addr, data), ...]`` chunks in order.
+
+        Equivalent to :meth:`dma_write` per chunk: each segment is
+        translated in full before its bytes land, so a fault leaves
+        exactly the earlier segments written — the scalar behaviour.
+        """
+        if not BATCH_ENABLED:
+            for addr, chunk in parts:
+                self.dma_write(bdf, addr, chunk)
+            return
+        backend = self.backend
+        ram = self.mem.ram
+        stats = self.stats
+        for addr, chunk in parts:
+            if not chunk:
+                raise ValueError("data must be non-empty")
+            ram.write_bulk(
+                backend.translate_sg(bdf, addr, len(chunk), DmaDirection.FROM_DEVICE),
+                chunk,
+            )
+            stats.writes += 1
+            stats.bytes_written += len(chunk)
+
+
+class DmaEngine:
+    """A device's bulk DMA front-end: one call per descriptor.
+
+    Thin per-device binding of a :class:`DmaBus` — device models hold
+    one and issue whole-descriptor gathers/scatters instead of looping
+    over segments (and, inside the bus, pages) themselves.
+    """
+
+    __slots__ = ("bus", "bdf")
+
+    def __init__(self, bus: DmaBus, bdf: int) -> None:
+        self.bus = bus
+        self.bdf = bdf
+
+    def read(self, addr: int, size: int) -> bytes:
+        """Bulk-read one contiguous device-address range."""
+        return self.bus.dma_read(self.bdf, addr, size)
+
+    def write(self, addr: int, data: bytes) -> None:
+        """Bulk-write one contiguous device-address range."""
+        self.bus.dma_write(self.bdf, addr, data)
+
+    def read_gather(self, segments: List[Tuple[int, int]]) -> bytes:
+        """Gather a descriptor's ``[(addr, size), ...]`` segment list."""
+        return self.bus.dma_read_sg(self.bdf, segments)
+
+    def write_scatter(self, parts: List[Tuple[int, bytes]]) -> None:
+        """Scatter ``[(addr, data), ...]`` chunks across a descriptor."""
+        self.bus.dma_write_sg(self.bdf, parts)

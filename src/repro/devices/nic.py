@@ -19,7 +19,7 @@ from dataclasses import dataclass
 from typing import Callable, List, Optional
 
 from repro.devices.descriptor import FLAG_DONE
-from repro.devices.dma import DmaBus
+from repro.devices.dma import DmaBus, DmaEngine
 from repro.devices.ring import Ring
 from repro.faults import IoPageFault
 
@@ -88,6 +88,7 @@ class SimulatedNic:
     def __init__(self, bus: DmaBus, bdf: int, profile: NicProfile) -> None:
         self.bus = bus
         self.bdf = bdf
+        self.engine = DmaEngine(bus, bdf)
         self.profile = profile
         self.stats = NicStats()
         self.rx_ring: Optional[Ring] = None
@@ -139,14 +140,18 @@ class SimulatedNic:
             self.stats.rx_drops += 1
             return False
 
+        # One scatter call for the whole descriptor: each (addr, chunk)
+        # pair is exactly what the per-segment dma_write loop would send.
+        parts = []
         pos = 0
+        for seg_addr, seg_len in descriptor.segments:
+            if pos >= len(payload):
+                break
+            chunk = payload[pos : pos + seg_len]
+            parts.append((seg_addr, chunk))
+            pos += len(chunk)
         try:
-            for seg_addr, seg_len in descriptor.segments:
-                if pos >= len(payload):
-                    break
-                chunk = payload[pos : pos + seg_len]
-                self.bus.dma_write(self.bdf, seg_addr, chunk)
-                pos += len(chunk)
+            self.engine.write_scatter(parts)
         except IoPageFault as fault:
             self._fault(fault)
             return False
@@ -175,13 +180,12 @@ class SimulatedNic:
             if not descriptor.valid:
                 break
             try:
-                frame = bytearray()
-                for seg_addr, seg_len in descriptor.segments:
-                    frame += self.bus.dma_read(self.bdf, seg_addr, seg_len)
+                # One gather call covering the whole descriptor.
+                frame = self.engine.read_gather(descriptor.segments)
             except IoPageFault as fault:
                 self._fault(fault)
                 break
-            self.wire.append(bytes(frame))
+            self.wire.append(frame)
             descriptor.flags |= FLAG_DONE
             ring.device_writeback(self.bus, self.bdf, index, descriptor)
             ring.device_advance_head()

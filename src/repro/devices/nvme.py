@@ -20,7 +20,7 @@ import enum
 from dataclasses import dataclass, field
 from typing import Callable, Dict, List, Optional
 
-from repro.devices.dma import DmaBus
+from repro.devices.dma import DmaBus, DmaEngine
 
 NVME_BLOCK_BYTES = 4096
 SQE_BYTES = 64
@@ -157,6 +157,7 @@ class NvmeController:
             raise ValueError("capacity must be positive")
         self.bus = bus
         self.bdf = bdf
+        self.engine = DmaEngine(bus, bdf)
         self.capacity_blocks = capacity_blocks
         self._flash: Dict[int, bytes] = {}
         self._queues: Dict[int, NvmeQueuePair] = {}
@@ -261,7 +262,8 @@ class NvmeController:
         if command.lba < 0 or command.lba + command.blocks > self.capacity_blocks:
             return NvmeStatus.LBA_OUT_OF_RANGE
         if command.opcode is NvmeOpcode.WRITE:
-            data = self.bus.dma_read(self.bdf, command.data_addr, command.byte_count)
+            # One bulk gather for the whole transfer.
+            data = self.engine.read(command.data_addr, command.byte_count)
             for i in range(command.blocks):
                 block = data[i * NVME_BLOCK_BYTES : (i + 1) * NVME_BLOCK_BYTES]
                 self._flash[command.lba + i] = bytes(block)
@@ -270,7 +272,7 @@ class NvmeController:
         out = bytearray()
         for i in range(command.blocks):
             out += self._flash.get(command.lba + i, bytes(NVME_BLOCK_BYTES))
-        self.bus.dma_write(self.bdf, command.data_addr, bytes(out))
+        self.engine.write(command.data_addr, bytes(out))
         return NvmeStatus.SUCCESS
 
     # -- introspection ---------------------------------------------------------------

@@ -92,22 +92,23 @@ class ContextTables:
 
     def lookup(self, bdf: int) -> int:
         """Hardware lookup: requester ID to page-table root address."""
+        hardware_read = self.coherency.hardware_read
         cached = self._lookup_cache.get(bdf)
         if cached is not None:
             root_entry_addr, ctx_entry_addr, root = cached
-            self.coherency.hardware_read(root_entry_addr, 8)
-            self.coherency.hardware_read(ctx_entry_addr, 8)
+            hardware_read(root_entry_addr, 8)
+            hardware_read(ctx_entry_addr, 8)
             return root
         bus, device, function = split_bdf(bdf)
         root_entry_addr = self.root_table_addr + bus * 8
-        self.coherency.hardware_read(root_entry_addr, 8)
+        hardware_read(root_entry_addr, 8)
         root_entry = self.mem.ram.read_u64(root_entry_addr)
         if not root_entry & ENTRY_PRESENT:
             raise ContextFault(f"no context table for bus {bus}", bdf=bdf)
         ctx_addr = root_entry & ENTRY_ADDR_MASK
         devfn = (device << 3) | function
         ctx_entry_addr = ctx_addr + devfn * 8
-        self.coherency.hardware_read(ctx_entry_addr, 8)
+        hardware_read(ctx_entry_addr, 8)
         ctx_entry = self.mem.ram.read_u64(ctx_entry_addr)
         if not ctx_entry & ENTRY_PRESENT:
             raise ContextFault(f"no context entry for bdf {bdf:#06x}", bdf=bdf)

@@ -28,22 +28,18 @@ from repro.iommu.page_table import RadixPageTable
 from repro.iova.base import IovaNotFoundError, IovaRange
 from repro.iova.linux_allocator import LinuxIovaAllocator
 from repro.iova.magazine import MagazineIovaAllocator
-from repro.memory.address import (
-    iova_from_vpn,
-    page_number,
-    page_offset,
-    pages_spanned,
-)
+from repro.memory.address import PAGE_MASK, PAGE_SHIFT, PAGE_SIZE
 from repro.memory.physical import MemorySystem
 from repro.modes import Mode
 from repro.perf.costs import CostModel, CostPolicy
 from repro.perf.cycles import Component, CycleAccount
+import repro.perf.cycles as perf_cycles
 
 #: default IOVA space limit: the 32-bit DMA boundary, in pages.
 DMA_32BIT_PFN = (1 << 32) >> 12
 
 
-@dataclass
+@dataclass(slots=True)
 class LiveMapping:
     """Book-keeping for one live IOVA mapping."""
 
@@ -97,6 +93,31 @@ class BaselineIommuDriver:
                 iommu.iotlb, self.allocator, qi=iommu.qi
             )
 
+        # Per-invocation constants for the staged-charge fast path.
+        # Under the CALIBRATED policy every cost method returns an
+        # argument-independent constant, so the hot map/unmap paths can
+        # stage pre-computed charges (folded in bulk by the account)
+        # instead of re-deriving each one.  MICRO costs vary with the
+        # observed operation counts, so they keep the scalar path.
+        if self.cost_model.policy is CostPolicy.CALIBRATED:
+            cm = self.cost_model
+            self._staged_costs = (
+                cm.iova_alloc(0, False),
+                cm.page_table_update(1, 0, 0, is_map=True),
+                cm.map_other(),
+                cm.iova_find(0),
+                cm.page_table_update(1, 0, 0, is_map=False),
+                (
+                    cm.iotlb_deferred_bookkeeping()
+                    if mode.deferred_invalidation
+                    else cm.iotlb_invalidate_single()
+                ),
+                cm.iova_free(0, False),
+                cm.unmap_other(),
+            )
+        else:
+            self._staged_costs = None
+
         self._live: Dict[int, LiveMapping] = {}
         self.maps = 0
         self.unmaps = 0
@@ -120,42 +141,57 @@ class BaselineIommuDriver:
         """Map ``[phys_addr, phys_addr + size)`` and return its IOVA."""
         if size <= 0:
             raise ValueError("size must be positive")
-        pages = pages_spanned(phys_addr, size)
+        # Inline pages_spanned/page_offset/iova_from_vpn: this function
+        # runs twice per packet and the helper-call overhead shows.
+        pages = ((phys_addr + size - 1) >> PAGE_SHIFT) - (phys_addr >> PAGE_SHIFT) + 1
 
         # Step 3: IOVA allocation.
         rng = self.allocator.alloc(pages)
-        stats = self.allocator.stats
-        cache_hit = self.mode.uses_magazine_allocator and stats.last_alloc_visits == 0
-        self.account.charge(
-            Component.IOVA_ALLOC,
-            self.cost_model.iova_alloc(stats.last_alloc_visits, cache_hit),
-        )
+        account = self.account
+        costs = self._staged_costs if perf_cycles.BATCH_ENABLED else None
+        if costs is None:
+            stats = self.allocator.stats
+            cache_hit = (
+                self.mode.uses_magazine_allocator and stats.last_alloc_visits == 0
+            )
+            account.charge(
+                Component.IOVA_ALLOC,
+                self.cost_model.iova_alloc(stats.last_alloc_visits, cache_hit),
+            )
+        else:
+            account.stage(Component.IOVA_ALLOC, costs[0])
 
         # Step 4: insert the translation(s) into the page table hierarchy.
         entries = 0
         tables = 0
+        pfn_lo = rng.pfn_lo
+        phys_base = phys_addr & ~PAGE_MASK
+        map_page = self.page_table.map_page
         for i in range(pages):
-            op = self.page_table.map_page(
-                iova_from_vpn(rng.pfn_lo + i),
-                phys_addr - page_offset(phys_addr) + i * 4096,
-                direction,
-            )
+            op = map_page((pfn_lo + i) << PAGE_SHIFT, phys_base + i * PAGE_SIZE, direction)
             entries += op.entries_written
             tables += op.tables_allocated
-        self.account.charge(
-            Component.MAP_PAGE_TABLE,
-            self.cost_model.page_table_update(pages, entries, tables, is_map=True),
-            events=pages,
-        )
+        if costs is None:
+            account.charge(
+                Component.MAP_PAGE_TABLE,
+                self.cost_model.page_table_update(pages, entries, tables, is_map=True),
+                events=pages,
+            )
+            # Steps 1/2/5: pinning, wrapper glue ("other" in Table 1).
+            account.charge(Component.MAP_OTHER, self.cost_model.map_other())
+        else:
+            account.stage(
+                Component.MAP_PAGE_TABLE,
+                costs[1] if pages == 1 else costs[1] * pages,
+                events=pages,
+            )
+            account.stage(Component.MAP_OTHER, costs[2])
 
-        # Steps 1/2/5: pinning, wrapper glue ("other" in Table 1).
-        self.account.charge(Component.MAP_OTHER, self.cost_model.map_other())
-
-        iova = iova_from_vpn(rng.pfn_lo) | page_offset(phys_addr)
-        self._live[rng.pfn_lo] = LiveMapping(rng, phys_addr, size, direction)
+        iova = (pfn_lo << PAGE_SHIFT) | (phys_addr & PAGE_MASK)
+        self._live[pfn_lo] = LiveMapping(rng, phys_addr, size, direction)
         self.maps += 1
         if self.map_hook is not None:
-            self.map_hook(rng.pfn_lo, rng.pages)
+            self.map_hook(pfn_lo, rng.pages)
         return iova
 
     # -- unmap (Figure 6) ---------------------------------------------------
@@ -167,14 +203,19 @@ class BaselineIommuDriver:
         rIOMMU driver; the baseline modes ignore it (strict invalidates
         every entry, deferred batches globally).
         """
-        pfn = page_number(iova)
+        pfn = iova >> PAGE_SHIFT
 
         # Step: find the IOVA in the allocator's tree.
         rng = self.allocator.find(pfn)
-        self.account.charge(
-            Component.IOVA_FIND,
-            self.cost_model.iova_find(self.allocator.stats.last_find_visits),
-        )
+        account = self.account
+        costs = self._staged_costs if perf_cycles.BATCH_ENABLED else None
+        if costs is None:
+            account.charge(
+                Component.IOVA_FIND,
+                self.cost_model.iova_find(self.allocator.stats.last_find_visits),
+            )
+        else:
+            account.stage(Component.IOVA_FIND, costs[3])
         mapping = self._live.pop(rng.pfn_lo, None)
         if mapping is None:
             raise IovaNotFoundError(f"IOVA {iova:#x} is not a live mapping")
@@ -182,42 +223,66 @@ class BaselineIommuDriver:
         # Step 2: remove the translation from the page table hierarchy.
         entries = 0
         domain_id = self.page_table.domain_id
+        pfn_lo = rng.pfn_lo
+        unmap_page = self.page_table.unmap_page
+        mark_backing_invalid = self.iommu.iotlb.mark_backing_invalid
         for i in range(rng.pages):
-            op = self.page_table.unmap_page(iova_from_vpn(rng.pfn_lo + i))
+            op = unmap_page((pfn_lo + i) << PAGE_SHIFT)
             entries += op.entries_written
-            self.iommu.iotlb.mark_backing_invalid(domain_id, rng.pfn_lo + i)
-        self.account.charge(
-            Component.UNMAP_PAGE_TABLE,
-            self.cost_model.page_table_update(rng.pages, entries, 0, is_map=False),
-            events=rng.pages,
-        )
+            mark_backing_invalid(domain_id, pfn_lo + i)
+        if costs is None:
+            account.charge(
+                Component.UNMAP_PAGE_TABLE,
+                self.cost_model.page_table_update(rng.pages, entries, 0, is_map=False),
+                events=rng.pages,
+            )
+        else:
+            account.stage(
+                Component.UNMAP_PAGE_TABLE,
+                costs[4] if rng.pages == 1 else costs[4] * rng.pages,
+                events=rng.pages,
+            )
 
         # Steps 3+4: IOTLB invalidation and IOVA free, per policy.
         if self.mode.deferred_invalidation:
-            self.account.charge(
-                Component.IOTLB_INV, self.cost_model.iotlb_deferred_bookkeeping()
-            )
-            flushed = self.invalidation.on_unmap(domain_id, rng)
-            if flushed and self.cost_model.policy is CostPolicy.MICRO:
-                self.account.charge(
-                    Component.IOTLB_INV, self.cost_model.iotlb_global_flush(), events=0
+            if costs is None:
+                account.charge(
+                    Component.IOTLB_INV, self.cost_model.iotlb_deferred_bookkeeping()
                 )
+                flushed = self.invalidation.on_unmap(domain_id, rng)
+                if flushed and self.cost_model.policy is CostPolicy.MICRO:
+                    account.charge(
+                        Component.IOTLB_INV,
+                        self.cost_model.iotlb_global_flush(),
+                        events=0,
+                    )
+            else:
+                # The MICRO-only flush surcharge cannot apply here: the
+                # staged path runs only under CALIBRATED.
+                account.stage(Component.IOTLB_INV, costs[5])
+                self.invalidation.on_unmap(domain_id, rng)
         else:
             # One page-selective invalidation covers the whole range
             # (multi-page unmaps issue a single ranged IOTLB flush).
-            self.account.charge(
-                Component.IOTLB_INV, self.cost_model.iotlb_invalidate_single()
-            )
+            if costs is None:
+                account.charge(
+                    Component.IOTLB_INV, self.cost_model.iotlb_invalidate_single()
+                )
+            else:
+                account.stage(Component.IOTLB_INV, costs[5])
             self.invalidation.on_unmap(domain_id, rng)
-        free_stats = self.allocator.stats
-        cached = self.mode.uses_magazine_allocator
-        self.account.charge(
-            Component.IOVA_FREE,
-            self.cost_model.iova_free(free_stats.last_free_visits, cached),
-        )
-
-        # Step 5: hand the buffer back up the stack ("other").
-        self.account.charge(Component.UNMAP_OTHER, self.cost_model.unmap_other())
+        if costs is None:
+            free_stats = self.allocator.stats
+            cached = self.mode.uses_magazine_allocator
+            account.charge(
+                Component.IOVA_FREE,
+                self.cost_model.iova_free(free_stats.last_free_visits, cached),
+            )
+            # Step 5: hand the buffer back up the stack ("other").
+            account.charge(Component.UNMAP_OTHER, self.cost_model.unmap_other())
+        else:
+            account.stage(Component.IOVA_FREE, costs[6])
+            account.stage(Component.UNMAP_OTHER, costs[7])
         self.unmaps += 1
         if self.unmap_hook is not None:
             self.unmap_hook(rng.pfn_lo, rng.pages)

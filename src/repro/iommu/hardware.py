@@ -16,7 +16,7 @@ from repro.faults import ContextFault, PermissionFault
 from repro.iommu.context import ContextTables
 from repro.iommu.iotlb import Iotlb, IotlbEntry, DEFAULT_IOTLB_CAPACITY
 from repro.iommu.page_table import RadixPageTable, direction_allowed
-from repro.memory.address import page_number, page_offset
+from repro.memory.address import PAGE_MASK, PAGE_SHIFT
 from repro.memory.coherency import CoherencyDomain
 from repro.memory.physical import MemorySystem
 
@@ -106,8 +106,9 @@ class Iommu:
         a stale entry therefore still grants access, which is precisely
         the deferred mode's vulnerability window.
         """
-        self.stats.translations += 1
-        vpn = page_number(iova)
+        stats = self.stats
+        stats.translations += 1
+        vpn = iova >> PAGE_SHIFT
         if self.trace_hook is not None:
             self.trace_hook(bdf, vpn)
 
@@ -123,11 +124,11 @@ class Iommu:
                 raise PermissionFault(
                     f"IOVA {iova:#x} does not permit {access!r}", bdf=bdf, iova=iova
                 )
-            return entry.frame_addr | page_offset(iova)
+            return entry.frame_addr | (iova & PAGE_MASK)
 
         result = table.walk(iova, access)
-        self.stats.walks += 1
-        self.stats.walk_levels += result.levels_read
+        stats.walks += 1
+        stats.walk_levels += result.levels_read
         self.iotlb.insert(
             IotlbEntry(
                 tag=table.domain_id,
@@ -136,4 +137,4 @@ class Iommu:
                 perms=result.perms,
             )
         )
-        return result.frame_addr | page_offset(iova)
+        return result.frame_addr | (iova & PAGE_MASK)

@@ -55,7 +55,7 @@ class IotlbStats:
         return self.hits / self.lookups
 
 
-@dataclass
+@dataclass(slots=True)
 class IotlbEntry:
     """One cached translation: (tag, vpn) -> frame address + permissions.
 
@@ -99,24 +99,28 @@ class Iotlb:
 
     def lookup(self, tag: int, vpn: int) -> Optional[IotlbEntry]:
         """Return the cached entry for (tag, vpn) or None on a miss."""
-        entry = self._entries.get((tag, vpn))
+        key = (tag, vpn)
+        entries = self._entries
+        stats = self.stats
+        entry = entries.get(key)
         if entry is None:
-            self.stats.misses += 1
+            stats.misses += 1
             return None
-        self._entries.move_to_end((tag, vpn))
-        self.stats.hits += 1
+        entries.move_to_end(key)
+        stats.hits += 1
         if not entry.backing_valid:
-            self.stats.stale_hits += 1
+            stats.stale_hits += 1
         return entry
 
     def insert(self, entry: IotlbEntry) -> None:
         """Cache a translation, evicting the LRU entry if full."""
         key = (entry.tag, entry.vpn)
-        if key not in self._entries and len(self._entries) >= self.capacity:
-            self._entries.popitem(last=False)
+        entries = self._entries
+        if key not in entries and len(entries) >= self.capacity:
+            entries.popitem(last=False)
             self.stats.evictions += 1
-        self._entries[key] = entry
-        self._entries.move_to_end(key)
+        entries[key] = entry
+        entries.move_to_end(key)
         self.stats.insertions += 1
 
     def invalidate(self, tag: int, vpn: int) -> bool:

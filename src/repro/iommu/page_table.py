@@ -12,11 +12,14 @@ from __future__ import annotations
 
 import itertools
 from dataclasses import dataclass
+from typing import Dict
 
 from repro.dma import DmaDirection
 from repro.faults import PermissionFault, TranslationFault
 from repro.memory.address import (
+    PAGE_SHIFT,
     PAGE_SIZE,
+    RADIX_LEVEL_BITS,
     RADIX_LEVELS,
     page_base,
     page_offset,
@@ -32,14 +35,29 @@ PTE_FLAG_MASK = PTE_PRESENT | PTE_READ | PTE_WRITE
 PTE_ADDR_MASK = ~(PAGE_SIZE - 1)
 
 
+#: address bits above one leaf table's reach (4 KiB pages x 512 entries)
+_LEAF_TABLE_SHIFT = PAGE_SHIFT + RADIX_LEVEL_BITS
+_LEAF_INDEX_MASK = (1 << RADIX_LEVEL_BITS) - 1
+
+
 def perms_from_direction(direction: DmaDirection) -> int:
     """Convert a DMA direction into PTE permission bits."""
-    perms = 0
-    if direction.device_reads:
-        perms |= PTE_READ
-    if direction.device_writes:
-        perms |= PTE_WRITE
-    return perms
+    # Table lookup: the IntFlag property accessors build a new member
+    # per call, and this runs on every mapped page.
+    return _PERMS_BY_DIRECTION[direction.value]
+
+
+# Enumerated explicitly: iterating an IntFlag yields only the single-bit
+# members, which would miss the composite BIDIRECTIONAL.
+_PERMS_BY_DIRECTION = {
+    direction.value: (PTE_READ if direction.device_reads else 0)
+    | (PTE_WRITE if direction.device_writes else 0)
+    for direction in (
+        DmaDirection.TO_DEVICE,
+        DmaDirection.FROM_DEVICE,
+        DmaDirection.BIDIRECTIONAL,
+    )
+}
 
 
 def direction_allowed(perms: int, access: DmaDirection) -> bool:
@@ -54,7 +72,7 @@ def direction_allowed(perms: int, access: DmaDirection) -> bool:
     return True
 
 
-@dataclass
+@dataclass(slots=True)
 class PageTableOpStats:
     """What one map/unmap page-table operation actually did."""
 
@@ -63,7 +81,7 @@ class PageTableOpStats:
     levels_touched: int = 0
 
 
-@dataclass
+@dataclass(slots=True)
 class WalkResult:
     """Outcome of a successful hardware table walk."""
 
@@ -93,6 +111,14 @@ class RadixPageTable:
         self.domain_id = next(_domain_ids)
         #: number of currently-present leaf mappings
         self.mapped_pages = 0
+        #: resolved leaf-table addresses keyed by ``iova >> 21``.
+        #: Intermediate tables are only reclaimed when the domain dies
+        #: (see :meth:`unmap_page`), so a resolved leaf-table address
+        #: stays valid for this object's whole lifetime; the cache skips
+        #: re-reading three intermediate entries per map/unmap without
+        #: changing any observable stat (those reads go through the OS
+        #: view of memory, not the coherency domain).
+        self._leaf_tables: Dict[int, int] = {}
 
     def _alloc_table(self) -> int:
         """Allocate and zero one table page; returns its physical address."""
@@ -116,22 +142,30 @@ class RadixPageTable:
         walker sees the update.
         """
         stats = PageTableOpStats()
-        indices = radix_indices(iova)
-        table_addr = self.root_addr
-        for level in range(RADIX_LEVELS - 1):
+        key = iova >> _LEAF_TABLE_SHIFT
+        table_addr = self._leaf_tables.get(key)
+        if table_addr is not None:
+            # Cached leaf table: the intermediates exist (they are never
+            # freed), so the walk below would read them back unchanged.
+            stats.levels_touched = RADIX_LEVELS
+        else:
+            indices = radix_indices(iova)
+            table_addr = self.root_addr
+            for level in range(RADIX_LEVELS - 1):
+                stats.levels_touched += 1
+                entry_addr = table_addr + indices[level] * 8
+                entry = self.mem.ram.read_u64(entry_addr)
+                if not entry & PTE_PRESENT:
+                    child = self._alloc_table()
+                    stats.tables_allocated += 1
+                    entry = child | PTE_PRESENT
+                    self._write_entry(entry_addr, entry)
+                    stats.entries_written += 1
+                table_addr = entry & PTE_ADDR_MASK
+            self._leaf_tables[key] = table_addr
             stats.levels_touched += 1
-            entry_addr = table_addr + indices[level] * 8
-            entry = self.mem.ram.read_u64(entry_addr)
-            if not entry & PTE_PRESENT:
-                child = self._alloc_table()
-                stats.tables_allocated += 1
-                entry = child | PTE_PRESENT
-                self._write_entry(entry_addr, entry)
-                stats.entries_written += 1
-            table_addr = entry & PTE_ADDR_MASK
 
-        stats.levels_touched += 1
-        leaf_addr = table_addr + indices[RADIX_LEVELS - 1] * 8
+        leaf_addr = table_addr + ((iova >> PAGE_SHIFT) & _LEAF_INDEX_MASK) * 8
         existing = self.mem.ram.read_u64(leaf_addr)
         if existing & PTE_PRESENT:
             raise ValueError(f"IOVA page {iova:#x} is already mapped")
@@ -148,18 +182,26 @@ class RadixPageTable:
         on the hot path (they are reclaimed only when the domain dies).
         """
         stats = PageTableOpStats()
-        indices = radix_indices(iova)
-        table_addr = self.root_addr
-        for level in range(RADIX_LEVELS - 1):
+        key = iova >> _LEAF_TABLE_SHIFT
+        table_addr = self._leaf_tables.get(key)
+        if table_addr is not None:
+            stats.levels_touched = RADIX_LEVELS
+        else:
+            indices = radix_indices(iova)
+            table_addr = self.root_addr
+            for level in range(RADIX_LEVELS - 1):
+                stats.levels_touched += 1
+                entry_addr = table_addr + indices[level] * 8
+                entry = self.mem.ram.read_u64(entry_addr)
+                if not entry & PTE_PRESENT:
+                    raise TranslationFault(
+                        f"IOVA page {iova:#x} is not mapped", iova=iova
+                    )
+                table_addr = entry & PTE_ADDR_MASK
+            self._leaf_tables[key] = table_addr
             stats.levels_touched += 1
-            entry_addr = table_addr + indices[level] * 8
-            entry = self.mem.ram.read_u64(entry_addr)
-            if not entry & PTE_PRESENT:
-                raise TranslationFault(f"IOVA page {iova:#x} is not mapped", iova=iova)
-            table_addr = entry & PTE_ADDR_MASK
 
-        stats.levels_touched += 1
-        leaf_addr = table_addr + indices[RADIX_LEVELS - 1] * 8
+        leaf_addr = table_addr + ((iova >> PAGE_SHIFT) & _LEAF_INDEX_MASK) * 8
         existing = self.mem.ram.read_u64(leaf_addr)
         if not existing & PTE_PRESENT:
             raise TranslationFault(f"IOVA page {iova:#x} is not mapped", iova=iova)
@@ -180,27 +222,32 @@ class RadixPageTable:
         """Hardware page walk: resolve ``iova`` or raise an I/O page fault."""
         indices = radix_indices(iova)
         table_addr = self.root_addr
-        levels = 0
-        for level in range(RADIX_LEVELS):
-            levels += 1
+        hardware_read = self.coherency.hardware_read
+        read_u64 = self.mem.ram.read_u64
+        # Intermediate levels first, leaf handling after the loop: one
+        # per-level branch fewer on every strict-mode IOTLB miss.
+        for level in range(RADIX_LEVELS - 1):
             entry_addr = table_addr + indices[level] * 8
-            self.coherency.hardware_read(entry_addr, 8)
-            entry = self.mem.ram.read_u64(entry_addr)
+            hardware_read(entry_addr, 8)
+            entry = read_u64(entry_addr)
             if not entry & PTE_PRESENT:
                 raise TranslationFault(
                     f"walk failed at level {level + 1} for IOVA {iova:#x}", iova=iova
                 )
-            if level == RADIX_LEVELS - 1:
-                perms = entry & PTE_FLAG_MASK
-                if not direction_allowed(perms, access):
-                    raise PermissionFault(
-                        f"IOVA {iova:#x} does not permit {access!r}", iova=iova
-                    )
-                return WalkResult(
-                    frame_addr=entry & PTE_ADDR_MASK, perms=perms, levels_read=levels
-                )
             table_addr = entry & PTE_ADDR_MASK
-        raise AssertionError("unreachable")
+        entry_addr = table_addr + indices[RADIX_LEVELS - 1] * 8
+        hardware_read(entry_addr, 8)
+        entry = read_u64(entry_addr)
+        if not entry & PTE_PRESENT:
+            raise TranslationFault(
+                f"walk failed at level {RADIX_LEVELS} for IOVA {iova:#x}", iova=iova
+            )
+        perms = entry & PTE_FLAG_MASK
+        if not direction_allowed(perms, access):
+            raise PermissionFault(f"IOVA {iova:#x} does not permit {access!r}", iova=iova)
+        return WalkResult(
+            frame_addr=entry & PTE_ADDR_MASK, perms=perms, levels_read=RADIX_LEVELS
+        )
 
     # -- introspection -----------------------------------------------------------
 

@@ -16,12 +16,17 @@ and the status write, and the driver polls the status word.
 from __future__ import annotations
 
 import enum
+import struct
 from dataclasses import dataclass
 
 from repro.iommu.iotlb import Iotlb
 from repro.memory.physical import MemorySystem
 
 QI_DESCRIPTOR_BYTES = 16
+
+#: 16-byte descriptor layout: u32 opcode, u64 operand0, u32 operand1.
+_DESC = struct.Struct("<IQI")
+assert _DESC.size == QI_DESCRIPTOR_BYTES
 
 
 class QiOpcode(enum.Enum):
@@ -35,6 +40,14 @@ class QiOpcode(enum.Enum):
     IOTLB_GLOBAL = 3
     #: write a status value to memory once prior descriptors retire
     WAIT = 4
+
+
+#: raw opcode values for the drain loop's dispatch (comparing ints avoids
+#: constructing an enum member per descriptor on the QI hot path)
+_OP_PAGE = QiOpcode.IOTLB_PAGE.value
+_OP_DEVICE = QiOpcode.IOTLB_DEVICE.value
+_OP_GLOBAL = QiOpcode.IOTLB_GLOBAL.value
+_OP_WAIT = QiOpcode.WAIT.value
 
 
 @dataclass
@@ -73,34 +86,33 @@ class QueuedInvalidation:
     def _slot_addr(self, index: int) -> int:
         return self.base_addr + index * QI_DESCRIPTOR_BYTES
 
-    def _submit(self, opcode: QiOpcode, operand0: int, operand1: int) -> None:
+    def _submit(self, opcode_value: int, operand0: int, operand1: int) -> None:
+        # Takes the raw opcode value: the submit wrappers pass the module
+        # constants, sparing an enum ``.value`` descriptor read per
+        # descriptor on the strict-mode unmap path.
         next_tail = (self.tail + 1) % self.entries
         if next_tail == self.head:
             raise QueueFullError("invalidation queue is full")
-        raw = (
-            opcode.value.to_bytes(4, "little")
-            + operand0.to_bytes(8, "little")
-            + operand1.to_bytes(4, "little")
-        )
-        self.mem.ram.write(self._slot_addr(self.tail), raw)
+        raw = _DESC.pack(opcode_value, operand0, operand1)
+        self.mem.ram.write(self.base_addr + self.tail * QI_DESCRIPTOR_BYTES, raw)
         self.tail = next_tail
         self.stats.submitted += 1
 
     def submit_page_invalidation(self, bdf: int, vpn: int) -> None:
         """Queue an invalidation of one cached translation."""
-        self._submit(QiOpcode.IOTLB_PAGE, vpn, bdf)
+        self._submit(_OP_PAGE, vpn, bdf)
 
     def submit_device_invalidation(self, bdf: int) -> None:
         """Queue an invalidation of all of one device's translations."""
-        self._submit(QiOpcode.IOTLB_DEVICE, 0, bdf)
+        self._submit(_OP_DEVICE, 0, bdf)
 
     def submit_global_invalidation(self) -> None:
         """Queue a full IOTLB flush."""
-        self._submit(QiOpcode.IOTLB_GLOBAL, 0, 0)
+        self._submit(_OP_GLOBAL, 0, 0)
 
     def submit_wait(self, status_addr: int, status_value: int) -> None:
         """Queue a wait descriptor: hardware writes the value when done."""
-        self._submit(QiOpcode.WAIT, status_addr, status_value)
+        self._submit(_OP_WAIT, status_addr, status_value)
 
     def ring_doorbell(self) -> int:
         """Tell the hardware the tail moved; it drains the queue.
@@ -113,12 +125,14 @@ class QueuedInvalidation:
 
     def invalidate_page_sync(self, bdf: int, vpn: int, status_addr: int) -> None:
         """The full strict-mode handshake: inv + wait + doorbell + poll."""
-        self.mem.ram.write_u64(status_addr, 0)
-        self.submit_page_invalidation(bdf, vpn)
-        self.submit_wait(status_addr, 1)
-        self.ring_doorbell()
+        ram = self.mem.ram
+        ram.write_u64(status_addr, 0)
+        self._submit(_OP_PAGE, vpn, bdf)
+        self._submit(_OP_WAIT, status_addr, 1)
+        self.stats.doorbells += 1
+        self._drain()
         # Poll the status word the hardware wrote.
-        if self.mem.ram.read_u64(status_addr) != 1:
+        if ram.read_u64(status_addr) != 1:
             raise RuntimeError("wait descriptor did not complete")
 
     def alloc_status_addr(self) -> int:
@@ -131,21 +145,25 @@ class QueuedInvalidation:
 
     def _drain(self) -> int:
         processed = 0
+        ram = self.mem.ram
+        stats = self.stats
+        base = self.base_addr
         while self.head != self.tail:
-            raw = self.mem.ram.read(self._slot_addr(self.head), QI_DESCRIPTOR_BYTES)
-            opcode = QiOpcode(int.from_bytes(raw[0:4], "little"))
-            operand0 = int.from_bytes(raw[4:12], "little")
-            operand1 = int.from_bytes(raw[12:16], "little")
-            if opcode is QiOpcode.IOTLB_PAGE:
+            raw = ram.read(base + self.head * QI_DESCRIPTOR_BYTES, QI_DESCRIPTOR_BYTES)
+            opcode, operand0, operand1 = _DESC.unpack(raw)
+            if opcode == _OP_PAGE:
                 self.iotlb.invalidate(operand1, operand0)
-            elif opcode is QiOpcode.IOTLB_DEVICE:
+            elif opcode == _OP_WAIT:
+                ram.write_u64(operand0, operand1)
+                stats.waits_completed += 1
+            elif opcode == _OP_DEVICE:
                 self.iotlb.invalidate_device(operand1)
-            elif opcode is QiOpcode.IOTLB_GLOBAL:
+            elif opcode == _OP_GLOBAL:
                 self.iotlb.invalidate_all()
-            else:  # WAIT
-                self.mem.ram.write_u64(operand0, operand1)
-                self.stats.waits_completed += 1
+            else:
+                # Same rejection the enum constructor used to raise.
+                raise ValueError(f"{opcode} is not a valid QiOpcode")
             self.head = (self.head + 1) % self.entries
             processed += 1
-            self.stats.processed += 1
+            stats.processed += 1
         return processed

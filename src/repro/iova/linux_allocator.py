@@ -51,6 +51,7 @@ class LinuxIovaAllocator(IovaAllocator):
         limit_pfn, curr = self._get_cached_node()
         walk_steps = 0
         found: Optional[int] = None
+        predecessor = RBTree.predecessor
         while curr is not None:
             walk_steps += 1
             rng = curr.rng
@@ -66,7 +67,7 @@ class LinuxIovaAllocator(IovaAllocator):
                     found = limit_pfn
                     break
                 limit_pfn = rng.pfn_lo - 1
-            curr = RBTree.predecessor(curr)
+            curr = predecessor(curr)
         if curr is None:
             # Ran past the lowest node: the region below is all free.
             if limit_pfn - pages + 1 >= 0:

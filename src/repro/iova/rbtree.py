@@ -75,15 +75,19 @@ class RBTree:
     def find_containing(self, pfn: int) -> Optional[RBNode]:
         """Binary search for the node whose range contains ``pfn``."""
         node = self.root
+        visits = 0
         while node is not None:
-            self.visits += 1
-            if pfn < node.rng.pfn_lo:
-                node = node.left
-            elif pfn > node.rng.pfn_hi:
+            visits += 1
+            # node.key is pfn_hi; checking it first avoids loading the
+            # range object on the descend-right half of the search.
+            if pfn > node.key:
                 node = node.right
+            elif pfn < node.rng.pfn_lo:
+                node = node.left
             else:
-                return node
-        return None
+                break
+        self.visits += visits
+        return node
 
     @staticmethod
     def predecessor(node: RBNode) -> Optional[RBNode]:
@@ -127,12 +131,21 @@ class RBTree:
         node = RBNode(rng)
         parent: Optional[RBNode] = None
         curr = self.root
+        key = node.key
+        pfn_lo = rng.pfn_lo
+        pfn_hi = rng.pfn_hi
+        visits = 0
         while curr is not None:
-            self.visits += 1
+            visits += 1
             parent = curr
-            if rng.overlaps(curr.rng):
-                raise ValueError(f"range {rng} overlaps existing {curr.rng}")
-            curr = curr.left if node.key < curr.key else curr.right
+            # Inline of rng.overlaps(curr.rng) — this loop dominates
+            # allocation time and the attribute/method dispatch shows.
+            crng = curr.rng
+            if pfn_lo <= crng.pfn_hi and crng.pfn_lo <= pfn_hi:
+                self.visits += visits
+                raise ValueError(f"range {rng} overlaps existing {crng}")
+            curr = curr.left if key < curr.key else curr.right
+        self.visits += visits
         node.parent = parent
         if parent is None:
             self.root = node

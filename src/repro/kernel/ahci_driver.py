@@ -108,8 +108,10 @@ class AhciDriver:
             if not completion.ok:
                 failures.append(completion.slot)
             elif state.op is AhciOp.READ:
-                results[completion.slot] = self.machine.mem.ram.read(
-                    state.phys_addr, state.byte_count
+                # Bulk copy: multi-sector reads span pages, and the
+                # extent path walks each frame once.
+                results[completion.slot] = self.machine.mem.ram.read_bulk(
+                    [(state.phys_addr, state.byte_count)]
                 )
             else:
                 results[completion.slot] = None

@@ -25,7 +25,7 @@ from repro.kernel.interrupts import InterruptCoalescer
 from repro.kernel.machine import Machine
 
 
-@dataclass
+@dataclass(slots=True)
 class MappedBuffer:
     """One mapped DMA target buffer behind a posted descriptor."""
 
@@ -146,9 +146,11 @@ class NetDriver:
     def _post_rx_descriptor(self, mtu: int) -> None:
         buffers: List[MappedBuffer] = []
         segments: List[Tuple[int, int]] = []
+        mem = self.machine.mem
+        api_map = self.api.map
         for size in self._segment_sizes(mtu):
-            phys = self.machine.mem.alloc_dma_buffer(size)
-            device_addr = self.api.map(
+            phys = mem.alloc_dma_buffer(size)
+            device_addr = api_map(
                 phys, size, DmaDirection.FROM_DEVICE, ring=self._rx_buf_rid
             )
             buffers.append(MappedBuffer(device_addr, phys, size))
@@ -180,15 +182,17 @@ class NetDriver:
         self.fill_rx()
 
     def _gather(self, buffers: List[MappedBuffer], nbytes: int) -> bytes:
-        out = bytearray()
+        # One bulk copy across the packet's buffers instead of a
+        # read-and-concatenate loop.
+        extents = []
         remaining = nbytes
         for buf in buffers:
             if remaining <= 0:
                 break
             take = min(buf.size, remaining)
-            out += self.machine.mem.ram.read(buf.phys_addr, take)
+            extents.append((buf.phys_addr, take))
             remaining -= take
-        return bytes(out)
+        return self.machine.mem.ram.read_bulk(extents)
 
     def flush_rx(self) -> None:
         """Deliver any coalesced-but-pending Rx completions (timer fired)."""
@@ -209,13 +213,15 @@ class NetDriver:
         buffers: List[MappedBuffer] = []
         segments: List[Tuple[int, int]] = []
         pos = 0
+        mem = self.machine.mem
+        api_map = self.api.map
         for size in self._segment_sizes(len(payload)):
-            phys = self.machine.mem.alloc_dma_buffer(size)
+            phys = mem.alloc_dma_buffer(size)
             chunk = payload[pos : pos + size]
             if chunk:
-                self.machine.mem.ram.write(phys, chunk)
+                mem.ram.write(phys, chunk)
             pos += size
-            device_addr = self.api.map(
+            device_addr = api_map(
                 phys, size, DmaDirection.TO_DEVICE, ring=self._tx_buf_rid
             )
             buffers.append(MappedBuffer(device_addr, phys, size))

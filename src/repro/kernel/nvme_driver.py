@@ -176,7 +176,11 @@ class NvmeDriver:
             if completion is None or completion.status is not NvmeStatus.SUCCESS:
                 failures.append(cmd.command_id)
             elif cmd.opcode is NvmeOpcode.READ:
-                reads.append(self.machine.mem.ram.read(cmd.phys_addr, cmd.byte_count))
+                # Bulk copy: a multi-block read spans pages, and the
+                # extent path walks each frame once.
+                reads.append(
+                    self.machine.mem.ram.read_bulk([(cmd.phys_addr, cmd.byte_count)])
+                )
             self.machine.mem.free_dma_buffer(cmd.phys_addr, cmd.byte_count)
             self.commands_completed += 1
         self._inflight.clear()

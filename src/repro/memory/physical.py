@@ -167,6 +167,103 @@ class PhysicalMemory:
             return int.from_bytes(page[off : off + 8], "little")
         return int.from_bytes(self.read(addr, 8), "little")
 
+    # -- bulk extent access (scatter-gather datapath) -------------------
+
+    def read_bulk(self, extents: Iterable[tuple]) -> bytes:
+        """Read ``[(addr, size), ...]`` extents into one byte string.
+
+        Equivalent to concatenating :meth:`read` over the extents, but
+        fills a single preallocated buffer through ``memoryview`` slices
+        so a multi-page extent costs one Python iteration per frame and
+        no intermediate ``bytes`` objects.
+        """
+        extents = list(extents)
+        total = 0
+        for _, size in extents:
+            total += size
+        out = bytearray(total)
+        view = memoryview(out)
+        frames = self._frames
+        pos = 0
+        for addr, size in extents:
+            # Single-frame extent: one slice assignment (common case).
+            if (
+                type(addr) is int
+                and type(size) is int
+                and 0 <= addr
+                and 0 < size
+                and (addr & PAGE_MASK) + size <= PAGE_SIZE
+                and addr + size <= self.size_bytes
+            ):
+                page = frames.get(addr >> PAGE_SHIFT)
+                if page is not None:
+                    off = addr & PAGE_MASK
+                    view[pos : pos + size] = page[off : off + size]
+                pos += size
+                continue
+            self._check_range(addr, size)
+            done = 0
+            while done < size:
+                off = (addr + done) & PAGE_MASK
+                chunk = min(PAGE_SIZE - off, size - done)
+                page = frames.get((addr + done) >> PAGE_SHIFT)
+                if page is not None:
+                    view[pos : pos + chunk] = page[off : off + chunk]
+                done += chunk
+                pos += chunk
+        return bytes(out)
+
+    def write_bulk(self, extents: Iterable[tuple], data: bytes) -> None:
+        """Write ``data`` across ``[(addr, size), ...]`` extents in order.
+
+        Equivalent to slicing ``data`` and calling :meth:`write` per
+        extent, but consumes a ``memoryview`` so no per-extent ``bytes``
+        copies are made.  ``data`` must be exactly as long as the
+        extents' combined size.
+        """
+        extents = list(extents)
+        total = 0
+        for _, size in extents:
+            total += size
+        if total != len(data):
+            raise ValueError(
+                f"data length {len(data)} does not match extents ({total} bytes)"
+            )
+        view = memoryview(data)
+        frames = self._frames
+        pos = 0
+        for addr, size in extents:
+            if (
+                type(addr) is int
+                and type(size) is int
+                and 0 <= addr
+                and 0 < size
+                and (addr & PAGE_MASK) + size <= PAGE_SIZE
+                and addr + size <= self.size_bytes
+            ):
+                frame = addr >> PAGE_SHIFT
+                page = frames.get(frame)
+                if page is None:
+                    page = bytearray(PAGE_SIZE)
+                    frames[frame] = page
+                off = addr & PAGE_MASK
+                page[off : off + size] = view[pos : pos + size]
+                pos += size
+                continue
+            self._check_range(addr, size)
+            done = 0
+            while done < size:
+                frame = (addr + done) >> PAGE_SHIFT
+                off = (addr + done) & PAGE_MASK
+                chunk = min(PAGE_SIZE - off, size - done)
+                page = frames.get(frame)
+                if page is None:
+                    page = bytearray(PAGE_SIZE)
+                    frames[frame] = page
+                page[off : off + chunk] = view[pos : pos + chunk]
+                done += chunk
+                pos += chunk
+
     def touched_frames(self) -> int:
         """Number of frames that have been materialised by writes."""
         return len(self._frames)

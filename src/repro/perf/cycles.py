@@ -7,13 +7,31 @@ datapath runs in parallel and is never the bottleneck.  The authors
 therefore evaluate rIOMMU by spending cycles in software.  We mirror
 that: every driver operation charges cycles to a :class:`CycleAccount`
 under a :class:`Component` label matching the paper's Table 1 taxonomy.
+
+Accounting is event-count-based, not call-count-based: a component's
+observable state is (total cycles, event count), so ``k`` identical
+charges may be *staged* as a counter and folded in one step — provided
+the fold reproduces the exact float sum the charge-by-charge loop would
+have produced.  :meth:`CycleAccount.stage` and
+:meth:`CycleAccount.charge_many` implement that; ``REPRO_DISABLE_BATCH``
+forces every staged charge through the scalar path for differential
+testing.
 """
 
 from __future__ import annotations
 
 import enum
-from dataclasses import dataclass, field
-from typing import Dict, Iterable, Mapping, Optional, Tuple
+import os
+from typing import Dict, Iterable, List, Mapping, Optional, Tuple
+
+#: Counter-based charge staging (identical model cycles, fewer Python
+#: dict operations per burst).  Set ``REPRO_DISABLE_BATCH`` to force the
+#: scalar charge-per-event path; parity tests also toggle this.
+BATCH_ENABLED = "REPRO_DISABLE_BATCH" not in os.environ
+
+#: Largest magnitude at which float addition of integers is exact, so a
+#: fold ``total += cycles * n`` is bit-identical to ``n`` repeated adds.
+_EXACT_LIMIT = float(1 << 53)
 
 
 class Component(enum.Enum):
@@ -62,30 +80,157 @@ UNMAP_COMPONENTS: Tuple[Component, ...] = (
 )
 
 
-@dataclass
 class CycleAccount:
     """Accumulates cycles per :class:`Component`.
 
     ``cycles[c]`` is the total cycles charged to component ``c``;
     ``events[c]`` counts individual charges so averages can be reported
     in the same per-invocation units as Table 1.
+
+    Repeated identical charges can be *staged*: :meth:`stage` keeps a
+    per-component ``[cycles, events, count]`` counter and folds it into
+    the totals only when the component is next read or charged a
+    different amount.  The fold is exact — it multiplies only when the
+    running total and the per-charge cost are both integral and within
+    the float-exact range, and replays the addition loop otherwise — so
+    staging can never change an observable number, only wall-clock time.
     """
 
-    cycles: Dict[Component, float] = field(default_factory=dict)
-    events: Dict[Component, int] = field(default_factory=dict)
+    __slots__ = ("_cycles", "_events", "_staged")
+
+    def __init__(
+        self,
+        cycles: Optional[Dict[Component, float]] = None,
+        events: Optional[Dict[Component, int]] = None,
+    ) -> None:
+        self._cycles: Dict[Component, float] = dict(cycles) if cycles else {}
+        self._events: Dict[Component, int] = dict(events) if events else {}
+        #: Component -> [cycles_per_charge, events_per_charge, count]
+        self._staged: Dict[Component, List] = {}
+
+    # -- staged-fold plumbing -------------------------------------------
+
+    def _fold(self, component: Component, pending: List) -> None:
+        """Fold a staged ``[cycles, events, count]`` into the totals.
+
+        Must produce the bit-exact float the scalar loop would: when the
+        running total and the per-charge cost are both integral and the
+        result stays within 2^53, integer addition commutes with
+        multiplication in binary64 and one fused add is exact; otherwise
+        replay the per-charge additions.
+        """
+        cycles, events, count = pending
+        cyc = self._cycles
+        total = cyc.get(component, 0.0)
+        if count == 1:
+            total += cycles
+        else:
+            bulk = cycles * count
+            if (
+                float(total).is_integer()
+                and float(cycles).is_integer()
+                and -_EXACT_LIMIT <= total + bulk <= _EXACT_LIMIT
+            ):
+                total += bulk
+            else:
+                for _ in range(count):
+                    total += cycles
+        cyc[component] = total
+        self._events[component] = self._events.get(component, 0) + events * count
+
+    def _flush(self) -> None:
+        """Fold every staged counter into the totals."""
+        staged = self._staged
+        if not staged:
+            return
+        for component, pending in staged.items():
+            self._fold(component, pending)
+        staged.clear()
+
+    # -- dict views (flush-on-read keeps staging invisible) -------------
+
+    @property
+    def cycles(self) -> Dict[Component, float]:
+        """Total cycles per component (staged charges folded in)."""
+        if self._staged:
+            self._flush()
+        return self._cycles
+
+    @property
+    def events(self) -> Dict[Component, int]:
+        """Charge counts per component (staged charges folded in)."""
+        if self._staged:
+            self._flush()
+        return self._events
+
+    # -- charging -------------------------------------------------------
 
     def charge(self, component: Component, cycles: float, events: int = 1) -> None:
         """Charge ``cycles`` to ``component`` (``events`` invocations)."""
         if cycles < 0:
             raise ValueError(f"cannot charge negative cycles ({cycles})")
-        self.cycles[component] = self.cycles.get(component, 0.0) + cycles
-        self.events[component] = self.events.get(component, 0) + events
+        staged = self._staged
+        if staged:
+            pending = staged.pop(component, None)
+            if pending is not None:
+                self._fold(component, pending)
+        self._cycles[component] = self._cycles.get(component, 0.0) + cycles
+        self._events[component] = self._events.get(component, 0) + events
+
+    def charge_many(self, component: Component, cycles: float, events: int) -> None:
+        """Charge ``events`` identical invocations of ``cycles`` each.
+
+        Equivalent to ``events`` calls of ``charge(component, cycles)``,
+        bit-for-bit, but folded in one step where float-exact.
+        """
+        if cycles < 0:
+            raise ValueError(f"cannot charge negative cycles ({cycles})")
+        if events <= 0:
+            raise ValueError("events must be positive")
+        staged = self._staged
+        if staged:
+            pending = staged.pop(component, None)
+            if pending is not None:
+                self._fold(component, pending)
+        self._fold(component, [cycles, 1, events])
+
+    def stage(self, component: Component, cycles: float, events: int = 1) -> None:
+        """Stage one charge, coalescing repeats into a counter.
+
+        Observably identical to :meth:`charge`; the fold happens at the
+        next read (or differing charge) of the component.  With batching
+        disabled this *is* :meth:`charge`.
+        """
+        if not BATCH_ENABLED:
+            self.charge(component, cycles, events)
+            return
+        staged = self._staged
+        pending = staged.get(component)
+        if pending is not None:
+            if pending[0] == cycles and pending[1] == events:
+                pending[2] += 1
+                return
+            del staged[component]
+            self._fold(component, pending)
+        if cycles < 0:
+            raise ValueError(f"cannot charge negative cycles ({cycles})")
+        # Pin the component's position in dict insertion order now, so
+        # total() sums components in the same order as the scalar path.
+        cyc = self._cycles
+        if component not in cyc:
+            cyc[component] = 0.0
+            self._events[component] = 0
+        staged[component] = [cycles, events, 1]
+
+    # -- reads ----------------------------------------------------------
 
     def total(self, components: Optional[Iterable[Component]] = None) -> float:
         """Total cycles, optionally restricted to ``components``."""
+        if self._staged:
+            self._flush()
         if components is None:
-            return sum(self.cycles.values())
-        return sum(self.cycles.get(c, 0.0) for c in components)
+            return sum(self._cycles.values())
+        return sum(self._cycles.get(c, 0.0) for c in components)
 
     def map_total(self) -> float:
         """Total cycles spent in map()."""
@@ -97,35 +242,45 @@ class CycleAccount:
 
     def average(self, component: Component) -> float:
         """Average cycles per invocation of ``component`` (0 if never charged)."""
-        n = self.events.get(component, 0)
+        if self._staged:
+            self._flush()
+        n = self._events.get(component, 0)
         if n == 0:
             return 0.0
-        return self.cycles.get(component, 0.0) / n
+        return self._cycles.get(component, 0.0) / n
 
     def merge(self, other: "CycleAccount") -> None:
         """Fold another account into this one."""
+        if self._staged:
+            self._flush()
         for comp, cyc in other.cycles.items():
-            self.cycles[comp] = self.cycles.get(comp, 0.0) + cyc
+            self._cycles[comp] = self._cycles.get(comp, 0.0) + cyc
         for comp, n in other.events.items():
-            self.events[comp] = self.events.get(comp, 0) + n
+            self._events[comp] = self._events.get(comp, 0) + n
 
     def reset(self) -> None:
         """Zero the account."""
-        self.cycles.clear()
-        self.events.clear()
+        self._staged.clear()
+        self._cycles.clear()
+        self._events.clear()
 
     def breakdown(self) -> Mapping[str, float]:
         """Totals keyed by the Table 1 component names."""
-        return {c.value: self.cycles.get(c, 0.0) for c in Component}
+        if self._staged:
+            self._flush()
+        return {c.value: self._cycles.get(c, 0.0) for c in Component}
 
     def per_packet(self, packets: int) -> Dict[Component, float]:
         """Average cycles per packet for each component (Figure 7 units)."""
         if packets <= 0:
             raise ValueError("packets must be positive")
-        return {c: self.cycles.get(c, 0.0) / packets for c in Component}
+        if self._staged:
+            self._flush()
+        return {c: self._cycles.get(c, 0.0) / packets for c in Component}
 
     def __repr__(self) -> str:  # pragma: no cover - debugging aid
         parts = ", ".join(
-            f"{c.value}={cyc:.0f}" for c, cyc in sorted(self.cycles.items(), key=lambda kv: kv[0].value)
+            f"{c.value}={cyc:.0f}"
+            for c, cyc in sorted(self.cycles.items(), key=lambda kv: kv[0].value)
         )
         return f"CycleAccount({parts})"

@@ -105,7 +105,7 @@ class ApacheBench:
             # Inbound: SYN, request, FIN.
             for frame in (b"S" * 60, b"G" * REQUEST_BYTES, b"F" * 60):
                 driver.nic.deliver_frame(frame)
-                driver.account.charge(Component.PROCESSING, setup.c_none_stream)
+                driver.account.stage(Component.PROCESSING, setup.c_none_stream)
             # Outbound: SYN-ACK, the file, FIN-ACK.
             frames = [b"A" * 60]
             remaining = self.file_bytes
@@ -117,10 +117,10 @@ class ApacheBench:
             for frame in frames:
                 while not driver.transmit(frame):
                     driver.pump_tx()
-                driver.account.charge(Component.PROCESSING, setup.c_none_stream)
+                driver.account.stage(Component.PROCESSING, setup.c_none_stream)
             driver.pump_tx()
             # The application work for this request.
-            driver.account.charge(Component.PROCESSING, self.app_cycles)
+            driver.account.stage(Component.PROCESSING, self.app_cycles)
         driver.pump_tx()
         driver.flush_tx()
         driver.flush_rx()

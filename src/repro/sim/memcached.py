@@ -82,13 +82,13 @@ class MemcachedBench:
             # Query in: a key for gets, key+value for sets.
             query = b"g" * KEY_BYTES if is_get else b"s" * (KEY_BYTES + VALUE_BYTES)
             driver.nic.deliver_frame(query)
-            driver.account.charge(Component.PROCESSING, setup.c_none_stream)
+            driver.account.stage(Component.PROCESSING, setup.c_none_stream)
             # Response out: the value for gets, a short STORED ack for sets.
             response = b"v" * VALUE_BYTES if is_get else b"ok"
             while not driver.transmit(response):
                 driver.pump_tx()
-            driver.account.charge(Component.PROCESSING, setup.c_none_stream)
-            driver.account.charge(Component.PROCESSING, self.app_cycles)
+            driver.account.stage(Component.PROCESSING, setup.c_none_stream)
+            driver.account.stage(Component.PROCESSING, self.app_cycles)
         driver.pump_tx()
         driver.flush_tx()
         driver.flush_rx()

@@ -92,7 +92,7 @@ class NetperfStream:
         sent = 0
         while sent < count:
             if driver.transmit(payload):
-                driver.account.charge(Component.PROCESSING, setup.c_none_stream)
+                driver.account.stage(Component.PROCESSING, setup.c_none_stream)
                 sent += 1
                 if sent % self.pump_interval == 0:
                     driver.pump_tx()
@@ -165,12 +165,12 @@ class NetperfRR:
             while not driver.transmit(b"\x01"):
                 driver.pump_tx()
             driver.pump_tx()
-            driver.account.charge(
+            driver.account.stage(
                 Component.PROCESSING, setup.rr_stack_cycles_per_packet
             )
             # ... and receive the 1-byte response.
             driver.nic.deliver_frame(b"\x02")
-            driver.account.charge(
+            driver.account.stage(
                 Component.PROCESSING, setup.rr_stack_cycles_per_packet
             )
             # Interrupt moderation delivers completions every few messages.
