@@ -230,6 +230,15 @@ def main(argv: Optional[Sequence[str]] = None) -> int:
         help="exit 1 if mlx/stream/strict is more than FRACTION slower "
         "than the previous report (e.g. 0.25 allows +25%%)",
     )
+    parser.add_argument(
+        "--trace",
+        metavar="FILE",
+        default=None,
+        help="after the timed runs, replay the representative cells once "
+        "with the event tracer on and write FILE (JSONL) plus its "
+        ".chrome.json/.metrics.json siblings; the timed numbers above "
+        "are never taken with tracing enabled",
+    )
     args = parser.parse_args(argv)
     report = run_harness(
         jobs=args.jobs,
@@ -239,6 +248,17 @@ def main(argv: Optional[Sequence[str]] = None) -> int:
         quick=args.quick,
     )
     print(json.dumps(report, indent=2))
+    if args.trace is not None:
+        from repro.obs import TRACE, export_all
+
+        TRACE.enable()
+        try:
+            for setup_name, benchmark, mode_label in REPRESENTATIVE_CELLS:
+                run_cell((setup_name, benchmark, mode_label, not args.full))
+        finally:
+            TRACE.disable()
+        for kind, path in export_all(TRACE, args.trace).items():
+            print(f"trace {kind} written to {path}", file=sys.stderr)
     if args.max_regression is not None:
         error = check_regression(report, args.max_regression)
         if error is not None:

@@ -13,8 +13,15 @@ the paper discusses:
 Run:  python examples/nic_protection_demo.py
 """
 
-from repro import DmaDirection, IoPageFault, Machine, Mode, NetDriver
+from repro import IoPageFault, NetDriver
+from repro.api import DmaDirection, Machine, MapRequest, Mode, UnmapRequest
 from repro.devices import MLX_PROFILE, SimulatedNic
+
+
+def _map(api, phys, size, direction, ring=None):
+    return api.map_request(
+        MapRequest(phys_addr=phys, size=size, direction=direction, ring=ring)
+    ).device_addr
 
 BDF = 0x0300
 
@@ -39,9 +46,9 @@ def scenario_deferred_window() -> None:
     machine = Machine(Mode.DEFER, flush_threshold=250)
     api = machine.dma_api(BDF)
     phys = machine.mem.alloc_dma_buffer(4096)
-    handle = api.map(phys, 1500, DmaDirection.BIDIRECTIONAL)
+    handle = _map(api, phys, 1500, DmaDirection.BIDIRECTIONAL)
     machine.bus.dma_write(BDF, handle, b"legitimate packet")  # warms the IOTLB
-    api.unmap(handle)
+    api.unmap_request(UnmapRequest(device_addr=handle))
     print("buffer unmapped and handed back to the kernel ...")
     machine.bus.dma_write(BDF, handle, b"late DMA wins race")
     print(f"... yet the device wrote: {machine.mem.ram.read(phys, 18)!r}")
@@ -56,9 +63,10 @@ def scenario_fine_grained() -> None:
     machine = Machine(Mode.STRICT)
     api = machine.dma_api(BDF)
     page = machine.mem.alloc_dma_buffer(4096)
-    a = api.map(page, 128, DmaDirection.BIDIRECTIONAL)
-    b = api.map(page + 2048, 128, DmaDirection.BIDIRECTIONAL)
-    api.unmap(a)  # a is gone — but its bytes are still device-reachable,
+    a = _map(api, page, 128, DmaDirection.BIDIRECTIONAL)
+    b = _map(api, page + 2048, 128, DmaDirection.BIDIRECTIONAL)
+    api.unmap_request(UnmapRequest(device_addr=a))
+    # a is gone — but its bytes are still device-reachable,
     # because b's IOVA page maps the whole shared physical page.
     machine.bus.dma_write(BDF, (b & ~0xFFF), b"A overwritten via B's page")
     print(f"baseline: unmapped buffer clobbered -> {machine.mem.ram.read(page, 26)!r}")
@@ -67,9 +75,9 @@ def scenario_fine_grained() -> None:
     api2 = machine2.dma_api(BDF)
     ring = api2.create_ring(8)
     page2 = machine2.mem.alloc_dma_buffer(4096)
-    a2 = api2.map(page2, 128, DmaDirection.BIDIRECTIONAL, ring=ring)
-    b2 = api2.map(page2 + 2048, 128, DmaDirection.BIDIRECTIONAL, ring=ring)
-    api2.unmap(a2, end_of_burst=True)
+    a2 = _map(api2, page2, 128, DmaDirection.BIDIRECTIONAL, ring=ring)
+    b2 = _map(api2, page2 + 2048, 128, DmaDirection.BIDIRECTIONAL, ring=ring)
+    api2.unmap_request(UnmapRequest(device_addr=a2, end_of_burst=True))
     try:
         machine2.bus.dma_write(BDF, b2 + 128, b"x")
     except IoPageFault:

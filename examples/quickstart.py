@@ -8,12 +8,8 @@ IOMMU, rIOMMU), printing what each map/unmap costs in CPU cycles.
 Run:  python examples/quickstart.py
 """
 
-from repro import (
-    DmaDirection,
-    IoPageFault,
-    Machine,
-    Mode,
-)
+from repro import IoPageFault
+from repro.api import DmaDirection, Machine, MapRequest, Mode, UnmapRequest
 
 BDF = 0x0300  # PCI bus 3, device 0, function 0
 
@@ -29,7 +25,12 @@ def demo(mode: Mode) -> None:
     # The OS allocates and pins a DMA target buffer ...
     buffer_phys = machine.mem.alloc_dma_buffer(4096)
     # ... and maps it for the device (Figure 4 of the paper).
-    handle = api.map(buffer_phys, 1500, DmaDirection.FROM_DEVICE, ring=ring)
+    handle = api.map_request(
+        MapRequest(
+            phys_addr=buffer_phys, size=1500,
+            direction=DmaDirection.FROM_DEVICE, ring=ring,
+        )
+    ).device_addr
     print(f"mapped phys {buffer_phys:#x} -> device address {handle:#x}")
 
     # The device DMAs a packet through the (r)IOMMU (Figure 5).
@@ -37,7 +38,7 @@ def demo(mode: Mode) -> None:
     print("device wrote:", machine.mem.ram.read(buffer_phys, 21))
 
     # The driver tears the mapping down (Figure 6).
-    api.unmap(handle, end_of_burst=True)
+    api.unmap_request(UnmapRequest(device_addr=handle, end_of_burst=True))
     try:
         machine.bus.dma_write(BDF, handle, b"use after unmap")
         print("device could still write (UNPROTECTED)")

@@ -15,7 +15,7 @@ Run:  python examples/userlevel_io.py
 
 import random
 
-from repro import DmaDirection, Machine, Mode
+from repro.api import DmaDirection, Machine, MapRequest, Mode
 from repro.analysis.miss_penalty import DRAM_REF_CYCLES
 from repro.perf import CLOCK_HZ
 
@@ -31,7 +31,13 @@ def run_pool(pool_size: int) -> tuple:
     handles = []
     for _ in range(pool_size):
         phys = machine.mem.alloc_dma_buffer(2048)
-        handles.append(api.map(phys, 2048, DmaDirection.TO_DEVICE))
+        handles.append(
+            api.map_request(
+                MapRequest(
+                    phys_addr=phys, size=2048, direction=DmaDirection.TO_DEVICE
+                )
+            ).device_addr
+        )
     iommu = machine.iommu
     iommu.iotlb.stats.reset()
     iommu.stats.reset()
@@ -53,7 +59,13 @@ def run_riommu_ring() -> tuple:
     ring = api.create_ring(POOL)
     phys = machine.mem.alloc_dma_buffer(2048)
     handles = [
-        api.map(phys, 2048, DmaDirection.TO_DEVICE, ring=ring) for _ in range(POOL)
+        api.map_request(
+            MapRequest(
+                phys_addr=phys, size=2048,
+                direction=DmaDirection.TO_DEVICE, ring=ring,
+            )
+        ).device_addr
+        for _ in range(POOL)
     ]
     for i in range(SENDS):
         machine.bus.dma_read(BDF, handles[i % POOL], 1024)

@@ -22,7 +22,7 @@ from __future__ import annotations
 from dataclasses import dataclass
 from typing import Dict, List, Optional, Sequence, Tuple
 
-from repro.dma import DmaDirection
+from repro.dma import DmaDirection, MapRequest, UnmapRequest
 from repro.analysis.report import format_table
 from repro.devices.nic import SimulatedNic
 from repro.kernel.machine import Machine
@@ -352,19 +352,32 @@ def _ring_point(args: Tuple[int, int, int, int]) -> Tuple[int, float]:
     while mapped < packets:
         if len(in_flight) >= live_window:
             for i in range(min(burst, len(in_flight))):
-                api.unmap(
-                    in_flight.pop(0),
-                    end_of_burst=(i == burst - 1 or not in_flight),
+                api.unmap_request(
+                    UnmapRequest(
+                        device_addr=in_flight.pop(0),
+                        end_of_burst=(i == burst - 1 or not in_flight),
+                    )
                 )
         try:
-            in_flight.append(api.map(phys, 1500, DmaDirection.FROM_DEVICE, ring=ring))
+            in_flight.append(
+                api.map_request(
+                    MapRequest(
+                        phys_addr=phys,
+                        size=1500,
+                        direction=DmaDirection.FROM_DEVICE,
+                        ring=ring,
+                    )
+                ).device_addr
+            )
             mapped += 1
         except RingOverflowError:
             backpressure += 1
             for i in range(min(burst, len(in_flight))):
-                api.unmap(
-                    in_flight.pop(0),
-                    end_of_burst=(i == burst - 1 or not in_flight),
+                api.unmap_request(
+                    UnmapRequest(
+                        device_addr=in_flight.pop(0),
+                        end_of_burst=(i == burst - 1 or not in_flight),
+                    )
                 )
     return (entries, backpressure / packets)
 

@@ -20,7 +20,7 @@ from typing import List
 
 from repro.analysis.report import format_table
 from repro.devices.dma import DmaBus, IommuBackend
-from repro.dma import DmaDirection
+from repro.dma import DmaDirection, MapRequest
 from repro.iommu.driver import BaselineIommuDriver
 from repro.iommu.hardware import Iommu
 from repro.memory.physical import MemorySystem
@@ -89,7 +89,13 @@ def _run_experiment(pool_size: int, sends: int, iotlb_entries: int, seed: int):
     iovas = []
     for _ in range(pool_size):
         phys = mem.alloc_dma_buffer(2048)
-        iovas.append(driver.map(phys, 2048, DmaDirection.TO_DEVICE))
+        iovas.append(
+            driver.map_request(
+                MapRequest(
+                    phys_addr=phys, size=2048, direction=DmaDirection.TO_DEVICE
+                )
+            ).device_addr
+        )
 
     iommu.iotlb.stats.reset()
     iommu.stats.reset()

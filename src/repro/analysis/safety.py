@@ -22,7 +22,7 @@ from dataclasses import dataclass
 from typing import Dict, List
 
 from repro.analysis.report import format_table
-from repro.dma import DmaDirection
+from repro.dma import DmaDirection, MapRequest, UnmapRequest
 from repro.faults import IoPageFault
 from repro.kernel.machine import Machine
 from repro.modes import Mode
@@ -80,10 +80,19 @@ def _probe_mode(mode: Mode, packets: int, flush_threshold: int) -> tuple:
 
     for i in range(packets):
         phys = machine.mem.alloc_dma_buffer(4096)
-        handle = api.map(phys, 1500, DmaDirection.BIDIRECTIONAL, ring=ring)
+        handle = api.map_request(
+            MapRequest(
+                phys_addr=phys,
+                size=1500,
+                direction=DmaDirection.BIDIRECTIONAL,
+                ring=ring,
+            )
+        ).device_addr
         machine.bus.dma_write(NIC_BDF, handle, b"legit")  # warm the (r)IOTLB
         end_of_burst = (i + 1) % 16 == 0
-        api.unmap(handle, end_of_burst=end_of_burst)
+        api.unmap_request(
+            UnmapRequest(device_addr=handle, end_of_burst=end_of_burst)
+        )
         unmap_index += 1
         machine.mem.free_dma_buffer(phys, 4096)
 

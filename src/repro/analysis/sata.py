@@ -18,7 +18,7 @@ from typing import List
 from repro.analysis.report import format_table
 from repro.devices.ahci import AhciCommand, AhciController, AhciOp, SECTOR_BYTES
 from repro.devices.dma import DmaBus, IdentityBackend, IommuBackend
-from repro.dma import DmaDirection
+from repro.dma import DmaDirection, MapRequest, UnmapRequest
 from repro.iommu.driver import BaselineIommuDriver
 from repro.iommu.hardware import Iommu
 from repro.memory.physical import MemorySystem
@@ -89,7 +89,13 @@ def _run_mode(protected: bool, requests: int) -> tuple:
         phys = mem.alloc_dma_buffer(REQUEST_BYTES)
         mem.ram.write(phys, b"B" * 4096)
         if driver is not None:
-            addr = driver.map(phys, REQUEST_BYTES, DmaDirection.TO_DEVICE)
+            addr = driver.map_request(
+                MapRequest(
+                    phys_addr=phys,
+                    size=REQUEST_BYTES,
+                    direction=DmaDirection.TO_DEVICE,
+                )
+            ).device_addr
         else:
             addr = phys
         slot = ahci.issue(AhciCommand(AhciOp.WRITE, lba, sectors, addr))
@@ -97,7 +103,7 @@ def _run_mode(protected: bool, requests: int) -> tuple:
         completions = ahci.process(shuffle=True)
         completion_order.extend(c.slot for c in completions)
         if driver is not None:
-            driver.unmap(addr)
+            driver.unmap_request(UnmapRequest(device_addr=addr))
             total_cycles += driver.account.total()
             driver.account.reset()
         mem.free_dma_buffer(phys, REQUEST_BYTES)
@@ -108,7 +114,13 @@ def _run_mode(protected: bool, requests: int) -> tuple:
     for i in range(8):
         phys = mem.alloc_dma_buffer(REQUEST_BYTES)
         if driver is not None:
-            addr = driver.map(phys, REQUEST_BYTES, DmaDirection.TO_DEVICE)
+            addr = driver.map_request(
+                MapRequest(
+                    phys_addr=phys,
+                    size=REQUEST_BYTES,
+                    direction=DmaDirection.TO_DEVICE,
+                )
+            ).device_addr
         else:
             addr = phys
         batch_addrs.append((addr, phys))
@@ -117,7 +129,7 @@ def _run_mode(protected: bool, requests: int) -> tuple:
     out_of_order = [c.slot for c in completions] != sorted(c.slot for c in completions)
     for addr, phys in batch_addrs:
         if driver is not None:
-            driver.unmap(addr)
+            driver.unmap_request(UnmapRequest(device_addr=addr))
         mem.free_dma_buffer(phys, REQUEST_BYTES)
 
     mapping_us = total_cycles / CLOCK_HZ * 1e6 / max(requests, 1)

@@ -1,0 +1,107 @@
+"""The stable public surface of the reproduction: ``import repro.api``.
+
+Everything external code should need lives here under one flat,
+versioned namespace: machine construction, the DMA mapping protocol,
+the Figure 12 runner, and the observability bus.  Names in ``__all__``
+are covered by the usual deprecation policy — anything else in the
+package is internal and may move without notice.
+
+Quick start::
+
+    from repro.api import MLX_SETUP, run_mode_sweep
+
+    results = run_mode_sweep(MLX_SETUP, "stream", fast=True)
+    for mode, r in results.items():
+        print(mode.label, f"{r.gbps:.1f} Gbps")
+
+Tracing a run::
+
+    from repro.api import TRACE, export_all, run_benchmark
+
+    TRACE.enable()
+    try:
+        run_benchmark(MLX_SETUP, Mode.RIOMMU, "stream", fast=True)
+        export_all(TRACE, "run.jsonl")   # + run.chrome.json, run.metrics.json
+    finally:
+        TRACE.disable()
+"""
+
+from __future__ import annotations
+
+from repro.dma import (
+    DmaDirection,
+    MapRequest,
+    MapResult,
+    UnmapRequest,
+    UnmapResult,
+)
+from repro.kernel.machine import Machine
+from repro.modes import ALL_MODES, BASELINE_MODES, Mode
+from repro.obs import (
+    EVENT_TYPES,
+    TRACE,
+    MetricsRegistry,
+    Tracer,
+    collect_machine_metrics,
+    export_all,
+    parse_filter,
+    validate_jsonl,
+    write_chrome_trace,
+    write_jsonl,
+    write_metrics,
+)
+from repro.sim.registry import BENCHMARKS, BenchmarkSpec, register_benchmark
+from repro.sim.results import RunResult, normalized, normalized_cpu
+from repro.sim.runner import (
+    BENCHMARK_NAMES,
+    EvaluationGrid,
+    make_benchmark,
+    run_benchmark,
+    run_figure12,
+    run_mode_sweep,
+)
+from repro.sim.setups import ALL_SETUPS, BRCM_SETUP, MLX_SETUP, Setup, setup_by_name
+
+__all__ = [
+    # machine + mapping protocol
+    "DmaDirection",
+    "Machine",
+    "MapRequest",
+    "MapResult",
+    "UnmapRequest",
+    "UnmapResult",
+    # modes and setups
+    "ALL_MODES",
+    "ALL_SETUPS",
+    "BASELINE_MODES",
+    "BRCM_SETUP",
+    "MLX_SETUP",
+    "Mode",
+    "Setup",
+    "setup_by_name",
+    # benchmarks and the Figure 12 runner
+    "BENCHMARKS",
+    "BENCHMARK_NAMES",
+    "BenchmarkSpec",
+    "EvaluationGrid",
+    "RunResult",
+    "make_benchmark",
+    "normalized",
+    "normalized_cpu",
+    "register_benchmark",
+    "run_benchmark",
+    "run_figure12",
+    "run_mode_sweep",
+    # observability bus
+    "EVENT_TYPES",
+    "MetricsRegistry",
+    "TRACE",
+    "Tracer",
+    "collect_machine_metrics",
+    "export_all",
+    "parse_filter",
+    "validate_jsonl",
+    "write_chrome_trace",
+    "write_jsonl",
+    "write_metrics",
+]

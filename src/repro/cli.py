@@ -153,6 +153,21 @@ def build_parser() -> argparse.ArgumentParser:
         help="profile the run under cProfile and print the top N "
         "functions by cumulative time (default 20)",
     )
+    parser.add_argument(
+        "--trace",
+        metavar="FILE",
+        default=None,
+        help="record the run's event trace to FILE (JSONL), plus "
+        "FILE-derived .chrome.json (load in Perfetto/chrome://tracing) "
+        "and .metrics.json siblings; forces grid experiments serial",
+    )
+    parser.add_argument(
+        "--trace-filter",
+        metavar="EVENTS",
+        default=None,
+        help="comma-separated event types to record (default: all); "
+        "see docs/observability.md for the taxonomy",
+    )
     return parser
 
 
@@ -166,17 +181,34 @@ def main(argv: Optional[Sequence[str]] = None) -> int:
             print(f"{name:<{width}}  {EXPERIMENTS[name]}")
         return 0
 
+    tracing = args.trace is not None
+    if tracing:
+        from repro.obs import TRACE, export_all, parse_filter
+
+        try:
+            TRACE.enable(filter=parse_filter(args.trace_filter))
+        except ValueError as error:
+            print(error, file=sys.stderr)
+            return 2
+
     names = sorted(EXPERIMENTS) if args.experiment == "all" else [args.experiment]
     chunks = []
-    for name in names:
-        started = time.time()
-        if args.profile is not None:
-            text = _run_profiled(name, args.fast, args.jobs, args.profile)
-        else:
-            text = _run_experiment(name, args.fast, args.jobs)
-        chunks.append(text)
-        print(text)
-        print(f"[{name} in {time.time() - started:.1f}s]\n")
+    try:
+        for name in names:
+            started = time.time()
+            if args.profile is not None:
+                text = _run_profiled(name, args.fast, args.jobs, args.profile)
+            else:
+                text = _run_experiment(name, args.fast, args.jobs)
+            chunks.append(text)
+            print(text)
+            print(f"[{name} in {time.time() - started:.1f}s]\n")
+    finally:
+        if tracing:
+            TRACE.disable()
+    if tracing:
+        for kind, path in export_all(TRACE, args.trace).items():
+            print(f"trace {kind} written to {path}")
     if args.output:
         with open(args.output, "w") as handle:
             handle.write("\n\n".join(chunks) + "\n")

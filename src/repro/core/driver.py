@@ -12,6 +12,7 @@ baseline driver, so Figure 7's stacked bars compare like with like.
 
 from __future__ import annotations
 
+import warnings
 from dataclasses import dataclass
 from typing import Dict, Optional, Tuple
 
@@ -22,11 +23,21 @@ from repro.core.structures import (
     RIova,
     RPte,
     pack_iova,
+    unpack_iova,
 )
-from repro.dma import DmaDirection
+from repro.dma import (
+    DmaDirection,
+    MapRequest,
+    MapResult,
+    UnmapRequest,
+    UnmapResult,
+    _map_result,
+    _unmap_result,
+)
 from repro.memory.coherency import CoherencyDomain
 from repro.memory.physical import MemorySystem
 from repro.modes import Mode
+from repro.obs.tracer import TRACE
 from repro.perf.costs import CostModel
 from repro.perf.cycles import Component, CycleAccount
 
@@ -114,12 +125,33 @@ class RIommuDriver:
     def map(
         self, rid: int, phys_addr: int, size: int, direction: DmaDirection
     ) -> RIova:
-        """Map ``[phys_addr, phys_addr + size)`` into ring ``rid``.
+        """Deprecated positional form of :meth:`map_request`."""
+        warnings.warn(
+            "RIommuDriver.map(rid, phys, size, dir) is deprecated; use "
+            "map_request(MapRequest(phys_addr=..., size=..., direction=..., "
+            "ring=rid))",
+            DeprecationWarning,
+            stacklevel=2,
+        )
+        return self._map(rid, phys_addr, size, direction)
 
-        Returns the rIOVA with offset 0; callers may adjust the offset
-        up to ``size - 1``.  Raises :class:`RingOverflowError` when the
-        flat table has no free entry.
+    def map_request(self, req: MapRequest) -> MapResult:
+        """Map ``[phys_addr, phys_addr + size)`` into ring ``req.ring``.
+
+        The result's ``device_addr`` is the packed rIOVA with offset 0;
+        callers may adjust the offset up to ``size - 1``.  Raises
+        :class:`RingOverflowError` when the flat table has no free
+        entry.
         """
+        phys_addr, size, direction, ring = req
+        if ring is None:
+            raise ValueError("rIOMMU mappings need a ring ID (create_ring first)")
+        iova = self._map(ring, phys_addr, size, direction)
+        return _map_result(iova.packed(), ring)
+
+    def _map(
+        self, rid: int, phys_addr: int, size: int, direction: DmaDirection
+    ) -> RIova:
         if size <= 0:
             raise ValueError("size must be positive")
         if size > MAX_RPTE_SIZE:
@@ -157,17 +189,47 @@ class RIommuDriver:
         iova = RIova(offset=0, rentry=rentry, rid=rid)
         self._live[(rid, rentry)] = RIommuMapping(iova, phys_addr, size, direction)
         self.maps += 1
+        if TRACE.active:
+            TRACE.emit(
+                "map",
+                layer="riommu",
+                bdf=self.bdf,
+                rid=rid,
+                rentry=rentry,
+                phys_addr=phys_addr,
+                size=size,
+            )
         return iova
 
     # -- unmap (Figure 11, right) --------------------------------------------------
 
     def unmap(self, iova: RIova, end_of_burst: bool = False) -> int:
-        """Invalidate the rPTE behind ``iova``; returns the physical address.
+        """Deprecated positional form of :meth:`unmap_request`."""
+        warnings.warn(
+            "RIommuDriver.unmap(iova, end_of_burst) is deprecated; use "
+            "unmap_request(UnmapRequest(device_addr=iova.packed()))",
+            DeprecationWarning,
+            stacklevel=2,
+        )
+        return self._unmap(iova, end_of_burst)
+
+    def unmap_request(self, req: UnmapRequest) -> UnmapResult:
+        """Invalidate the rPTE behind the packed rIOVA ``req.device_addr``.
 
         ``end_of_burst=True`` additionally invalidates the ring's single
         rIOTLB entry — one invalidation per completion burst is all the
         design ever needs.
         """
+        device_addr, end_of_burst = req
+        iova = unpack_iova(device_addr)
+        # The mapping is keyed by (rid, rentry); the offset is free for
+        # the caller to have adjusted, so normalise it away.
+        phys = self._unmap(
+            RIova(offset=0, rentry=iova.rentry, rid=iova.rid), end_of_burst
+        )
+        return _unmap_result(phys)
+
+    def _unmap(self, iova: RIova, end_of_burst: bool) -> int:
         ring = self.device.ring(iova.rid)
         mapping = self._live.pop((iova.rid, iova.rentry), None)
         if mapping is None:
@@ -196,6 +258,16 @@ class RIommuDriver:
 
         account.stage(Component.UNMAP_OTHER, costs[6])
         self.unmaps += 1
+        if TRACE.active:
+            TRACE.emit(
+                "unmap",
+                layer="riommu",
+                bdf=self.bdf,
+                rid=iova.rid,
+                rentry=iova.rentry,
+                phys_addr=mapping.phys_addr,
+                end_of_burst=end_of_burst,
+            )
         return mapping.phys_addr
 
     # -- introspection / teardown -------------------------------------------------

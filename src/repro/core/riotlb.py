@@ -19,6 +19,7 @@ from typing import Dict, Optional, Tuple
 from repro.core.structures import RPTE_BYTES, RDevice, RIotlbEntry, RIova, RPte
 from repro.dma import DmaDirection
 from repro.faults import BoundsFault, ContextFault, PermissionFault, TranslationFault
+from repro.obs.tracer import TRACE
 
 
 @dataclass
@@ -67,6 +68,8 @@ class RIotlb:
     def invalidate(self, bdf: int, rid: int) -> bool:
         """``riotlb_invalidate`` — drop the ring's entry; True if present."""
         self.stats.invalidations += 1
+        if TRACE.active:
+            TRACE.emit("invalidate", kind="ring", bdf=bdf, rid=rid)
         return self._entries.pop((bdf, rid), None) is not None
 
     def invalidate_device(self, bdf: int) -> int:
@@ -162,13 +165,21 @@ class RIommuHardware:
         riotlb = self.riotlb
         stats = riotlb.stats
         stats.translations += 1
+        if TRACE.active:
+            TRACE.emit(
+                "translate", layer="riommu", bdf=bdf, rid=iova.rid, rentry=iova.rentry
+            )
         entry = riotlb.find(bdf, iova.rid)
         if entry is None:
             stats.misses += 1
+            if TRACE.active:
+                TRACE.emit("iotlb_miss", layer="riommu", bdf=bdf, rid=iova.rid)
             entry = self.rtable_walk(bdf, iova)
             riotlb.insert(entry)
         else:
             stats.hits += 1
+            if TRACE.active:
+                TRACE.emit("iotlb_hit", layer="riommu", bdf=bdf, rid=iova.rid)
             if entry.rentry != iova.rentry:
                 entry = self.riotlb_entry_sync(bdf, iova, entry)
                 riotlb.insert(entry)

@@ -32,6 +32,7 @@ from repro.iommu.iotlb import IotlbEntry
 from repro.iommu.page_table import direction_allowed
 from repro.memory.address import PAGE_MASK, PAGE_SHIFT, PAGE_SIZE, page_offset
 from repro.memory.physical import MemorySystem
+from repro.obs.tracer import TRACE
 
 #: Single-page translation fast path + per-burst memo (identical model
 #: cycles, less Python overhead).  Set ``REPRO_DISABLE_FASTPATH`` to
@@ -170,6 +171,11 @@ class IommuBackend(TranslationBackend):
                     iommu_stats.translations += 1
                     if trace_hook is not None:
                         trace_hook(bdf, vpn)
+                    if TRACE.active:
+                        TRACE.emit("translate", layer="iommu", bdf=bdf, iova=a)
+                        TRACE.emit("iotlb_hit", layer="iommu", bdf=bdf, vpn=vpn)
+                        if not entry.backing_valid:
+                            TRACE.emit("iotlb_stale", layer="iommu", bdf=bdf, vpn=vpn)
                     coherency_stats.hardware_reads += 2
                     iotlb_stats.hits += 1
                     if not entry.backing_valid:
@@ -223,6 +229,11 @@ class IommuBackend(TranslationBackend):
             iommu.stats.translations += 1
             if iommu.trace_hook is not None:
                 iommu.trace_hook(bdf, vpn)
+            if TRACE.active:
+                TRACE.emit("translate", layer="iommu", bdf=bdf, iova=iova)
+                TRACE.emit("iotlb_hit", layer="iommu", bdf=bdf, vpn=vpn)
+                if not entry.backing_valid:
+                    TRACE.emit("iotlb_stale", layer="iommu", bdf=bdf, vpn=vpn)
             # The context-table lookup reads two entries per translation.
             iommu.coherency.stats.hardware_reads += 2
             stats = iommu.iotlb.stats
@@ -357,6 +368,8 @@ class DmaBus:
         """Device reads ``size`` bytes from device-address ``addr`` (Tx)."""
         if size <= 0:
             raise ValueError("size must be positive")
+        if TRACE.active:
+            TRACE.emit("dma_read", bdf=bdf, addr=addr, size=size)
         if BATCH_ENABLED:
             data = self.mem.ram.read_bulk(
                 self.backend.translate_sg(bdf, addr, size, DmaDirection.TO_DEVICE)
@@ -376,6 +389,8 @@ class DmaBus:
         """Device writes ``data`` to device-address ``addr`` (Rx)."""
         if not data:
             raise ValueError("data must be non-empty")
+        if TRACE.active:
+            TRACE.emit("dma_write", bdf=bdf, addr=addr, size=len(data))
         if BATCH_ENABLED:
             # Translate the whole access first (faults before any byte
             # lands, as the scalar path's eager translate_range does),
@@ -414,6 +429,8 @@ class DmaBus:
         for addr, size in segments:
             if size <= 0:
                 raise ValueError("size must be positive")
+            if TRACE.active:
+                TRACE.emit("dma_read", bdf=bdf, addr=addr, size=size)
             parts.append(
                 ram.read_bulk(
                     backend.translate_sg(bdf, addr, size, DmaDirection.TO_DEVICE)
@@ -440,6 +457,8 @@ class DmaBus:
         for addr, chunk in parts:
             if not chunk:
                 raise ValueError("data must be non-empty")
+            if TRACE.active:
+                TRACE.emit("dma_write", bdf=bdf, addr=addr, size=len(chunk))
             ram.write_bulk(
                 backend.translate_sg(bdf, addr, len(chunk), DmaDirection.FROM_DEVICE),
                 chunk,

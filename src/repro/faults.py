@@ -8,6 +8,8 @@ subclass of :class:`IoPageFault`.
 
 from __future__ import annotations
 
+from repro.obs.tracer import TRACE
+
 
 class IoPageFault(RuntimeError):
     """Base class for all (r)IOMMU translation failures."""
@@ -16,6 +18,14 @@ class IoPageFault(RuntimeError):
         super().__init__(message)
         self.bdf = bdf
         self.iova = iova
+        if TRACE.active:
+            TRACE.emit(
+                "fault",
+                type=type(self).__name__,
+                bdf=bdf,
+                iova=iova,
+                message=message,
+            )
 
 
 class TranslationFault(IoPageFault):

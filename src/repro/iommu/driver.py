@@ -14,10 +14,19 @@ under the matching Table 1 component.
 
 from __future__ import annotations
 
+import warnings
 from dataclasses import dataclass
 from typing import Dict, Optional, Union
 
-from repro.dma import DmaDirection
+from repro.dma import (
+    DmaDirection,
+    MapRequest,
+    MapResult,
+    UnmapRequest,
+    UnmapResult,
+    _map_result,
+    _unmap_result,
+)
 from repro.iommu.hardware import Iommu
 from repro.iommu.invalidation import (
     DEFAULT_FLUSH_THRESHOLD,
@@ -31,6 +40,7 @@ from repro.iova.magazine import MagazineIovaAllocator
 from repro.memory.address import PAGE_MASK, PAGE_SHIFT, PAGE_SIZE
 from repro.memory.physical import MemorySystem
 from repro.modes import Mode
+from repro.obs.tracer import TRACE
 from repro.perf.costs import CostModel, CostPolicy
 from repro.perf.cycles import Component, CycleAccount
 import repro.perf.cycles as perf_cycles
@@ -138,7 +148,24 @@ class BaselineIommuDriver:
     # -- map (Figure 4) ---------------------------------------------------
 
     def map(self, phys_addr: int, size: int, direction: DmaDirection) -> int:
-        """Map ``[phys_addr, phys_addr + size)`` and return its IOVA."""
+        """Deprecated positional form of :meth:`map_request`."""
+        warnings.warn(
+            "BaselineIommuDriver.map(phys, size, dir) is deprecated; use "
+            "map_request(MapRequest(phys_addr=..., size=..., direction=...))",
+            DeprecationWarning,
+            stacklevel=2,
+        )
+        return self.map_request(
+            MapRequest(phys_addr=phys_addr, size=size, direction=direction)
+        ).device_addr
+
+    def map_request(self, req: MapRequest) -> MapResult:
+        """Map ``[phys_addr, phys_addr + size)``; the result carries its IOVA.
+
+        ``req.ring`` is ignored — the baseline IOMMU has no per-ring
+        tables.
+        """
+        phys_addr, size, direction, _ring = req
         if size <= 0:
             raise ValueError("size must be positive")
         # Inline pages_spanned/page_offset/iova_from_vpn: this function
@@ -192,17 +219,40 @@ class BaselineIommuDriver:
         self.maps += 1
         if self.map_hook is not None:
             self.map_hook(pfn_lo, rng.pages)
-        return iova
+        if TRACE.active:
+            TRACE.emit(
+                "map",
+                layer="iommu",
+                bdf=self.bdf,
+                phys_addr=phys_addr,
+                size=size,
+                device_addr=iova,
+                pages=pages,
+            )
+        return _map_result(iova)
 
     # -- unmap (Figure 6) ---------------------------------------------------
 
     def unmap(self, iova: int, end_of_burst: bool = False) -> int:
-        """Tear down the mapping at ``iova``; returns the physical address.
+        """Deprecated positional form of :meth:`unmap_request`."""
+        warnings.warn(
+            "BaselineIommuDriver.unmap(iova, end_of_burst) is deprecated; use "
+            "unmap_request(UnmapRequest(device_addr=...))",
+            DeprecationWarning,
+            stacklevel=2,
+        )
+        return self.unmap_request(
+            UnmapRequest(device_addr=iova, end_of_burst=end_of_burst)
+        ).phys_addr
+
+    def unmap_request(self, req: UnmapRequest) -> UnmapResult:
+        """Tear down the mapping at ``req.device_addr``.
 
         ``end_of_burst`` is accepted for interface parity with the
         rIOMMU driver; the baseline modes ignore it (strict invalidates
         every entry, deferred batches globally).
         """
+        iova, _end_of_burst = req
         pfn = iova >> PAGE_SHIFT
 
         # Step: find the IOVA in the allocator's tree.
@@ -286,7 +336,16 @@ class BaselineIommuDriver:
         self.unmaps += 1
         if self.unmap_hook is not None:
             self.unmap_hook(rng.pfn_lo, rng.pages)
-        return mapping.phys_addr
+        if TRACE.active:
+            TRACE.emit(
+                "unmap",
+                layer="iommu",
+                bdf=self.bdf,
+                device_addr=iova,
+                phys_addr=mapping.phys_addr,
+                pages=rng.pages,
+            )
+        return _unmap_result(mapping.phys_addr)
 
     # -- introspection / teardown -----------------------------------------------
 

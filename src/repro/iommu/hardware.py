@@ -19,6 +19,7 @@ from repro.iommu.page_table import RadixPageTable, direction_allowed
 from repro.memory.address import PAGE_MASK, PAGE_SHIFT
 from repro.memory.coherency import CoherencyDomain
 from repro.memory.physical import MemorySystem
+from repro.obs.tracer import TRACE
 
 
 @dataclass
@@ -111,6 +112,8 @@ class Iommu:
         vpn = iova >> PAGE_SHIFT
         if self.trace_hook is not None:
             self.trace_hook(bdf, vpn)
+        if TRACE.active:
+            TRACE.emit("translate", layer="iommu", bdf=bdf, iova=iova)
 
         root_addr = self.contexts.lookup(bdf)
         table = self._tables_by_root.get(root_addr)
@@ -120,12 +123,18 @@ class Iommu:
             )
         entry = self.iotlb.lookup(table.domain_id, vpn)
         if entry is not None:
+            if TRACE.active:
+                TRACE.emit("iotlb_hit", layer="iommu", bdf=bdf, vpn=vpn)
+                if not entry.backing_valid:
+                    TRACE.emit("iotlb_stale", layer="iommu", bdf=bdf, vpn=vpn)
             if not direction_allowed(entry.perms, access):
                 raise PermissionFault(
                     f"IOVA {iova:#x} does not permit {access!r}", bdf=bdf, iova=iova
                 )
             return entry.frame_addr | (iova & PAGE_MASK)
 
+        if TRACE.active:
+            TRACE.emit("iotlb_miss", layer="iommu", bdf=bdf, vpn=vpn)
         result = table.walk(iova, access)
         stats.walks += 1
         stats.walk_levels += result.levels_read

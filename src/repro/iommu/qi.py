@@ -21,6 +21,7 @@ from dataclasses import dataclass
 
 from repro.iommu.iotlb import Iotlb
 from repro.memory.physical import MemorySystem
+from repro.obs.tracer import TRACE
 
 QI_DESCRIPTOR_BYTES = 16
 
@@ -97,6 +98,10 @@ class QueuedInvalidation:
         self.mem.ram.write(self.base_addr + self.tail * QI_DESCRIPTOR_BYTES, raw)
         self.tail = next_tail
         self.stats.submitted += 1
+        if TRACE.active:
+            TRACE.emit(
+                "qi_submit", opcode=opcode_value, operand0=operand0, operand1=operand1
+            )
 
     def submit_page_invalidation(self, bdf: int, vpn: int) -> None:
         """Queue an invalidation of one cached translation."""
@@ -153,13 +158,21 @@ class QueuedInvalidation:
             opcode, operand0, operand1 = _DESC.unpack(raw)
             if opcode == _OP_PAGE:
                 self.iotlb.invalidate(operand1, operand0)
+                if TRACE.active:
+                    TRACE.emit("invalidate", kind="page", tag=operand1, vpn=operand0)
             elif opcode == _OP_WAIT:
                 ram.write_u64(operand0, operand1)
                 stats.waits_completed += 1
+                if TRACE.active:
+                    TRACE.emit("qi_wait", status_addr=operand0, status_value=operand1)
             elif opcode == _OP_DEVICE:
                 self.iotlb.invalidate_device(operand1)
+                if TRACE.active:
+                    TRACE.emit("invalidate", kind="device", tag=operand1)
             elif opcode == _OP_GLOBAL:
                 self.iotlb.invalidate_all()
+                if TRACE.active:
+                    TRACE.emit("invalidate", kind="global")
             else:
                 # Same rejection the enum constructor used to raise.
                 raise ValueError(f"{opcode} is not a valid QiOpcode")

@@ -20,7 +20,7 @@ from repro.devices.ahci import (
     AhciOp,
     SECTOR_BYTES,
 )
-from repro.dma import DmaDirection
+from repro.dma import DmaDirection, MapRequest, UnmapRequest
 from repro.kernel.machine import Machine
 
 
@@ -65,9 +65,14 @@ class AhciDriver:
         byte_count = sectors * SECTOR_BYTES
         phys = self.machine.mem.alloc_dma_buffer(byte_count)
         self.machine.mem.ram.write(phys, data)
-        device_addr = self.api.map(
-            phys, byte_count, DmaDirection.TO_DEVICE, ring=self._ring
-        )
+        device_addr = self.api.map_request(
+            MapRequest(
+                phys_addr=phys,
+                size=byte_count,
+                direction=DmaDirection.TO_DEVICE,
+                ring=self._ring,
+            )
+        ).device_addr
         slot = self.controller.issue(
             AhciCommand(AhciOp.WRITE, lba, sectors, device_addr)
         )
@@ -82,9 +87,14 @@ class AhciDriver:
             raise ValueError("sectors must be positive")
         byte_count = sectors * SECTOR_BYTES
         phys = self.machine.mem.alloc_dma_buffer(byte_count)
-        device_addr = self.api.map(
-            phys, byte_count, DmaDirection.FROM_DEVICE, ring=self._ring
-        )
+        device_addr = self.api.map_request(
+            MapRequest(
+                phys_addr=phys,
+                size=byte_count,
+                direction=DmaDirection.FROM_DEVICE,
+                ring=self._ring,
+            )
+        ).device_addr
         slot = self.controller.issue(AhciCommand(AhciOp.READ, lba, sectors, device_addr))
         self._slots[slot] = _SlotState(
             device_addr, phys, byte_count, AhciOp.READ, lba, sectors
@@ -104,7 +114,12 @@ class AhciDriver:
         failures: List[int] = []
         for i, completion in enumerate(completions):
             state = self._slots.pop(completion.slot)
-            self.api.unmap(state.device_addr, end_of_burst=(i == len(completions) - 1))
+            self.api.unmap_request(
+                UnmapRequest(
+                    device_addr=state.device_addr,
+                    end_of_burst=(i == len(completions) - 1),
+                )
+            )
             if not completion.ok:
                 failures.append(completion.slot)
             elif state.op is AhciOp.READ:

@@ -15,12 +15,22 @@ the backend differs:
 from __future__ import annotations
 
 import abc
+import warnings
 from dataclasses import dataclass
 from typing import Dict, List, Optional, Sequence, Tuple
 
 from repro.core.driver import RIommuDriver
-from repro.core.structures import RIova, unpack_iova
-from repro.dma import DmaDirection
+from repro.dma import (
+    DmaDirection,
+    MapRequest,
+    MapResult,
+    UnmapRequest,
+    UnmapResult,
+    _map_request,
+    _map_result,
+    _unmap_request,
+    _unmap_result,
+)
 from repro.iommu.driver import BaselineIommuDriver
 from repro.perf.cycles import CycleAccount
 
@@ -40,6 +50,21 @@ class DmaApi(abc.ABC):
         self.account = CycleAccount()
 
     @abc.abstractmethod
+    def map_request(self, req: MapRequest) -> MapResult:
+        """Map a buffer; the result carries its device-visible address.
+
+        ``req.ring`` is the rIOMMU ring ID for the mapping; backends
+        that have no per-ring tables ignore it.
+        """
+
+    @abc.abstractmethod
+    def unmap_request(self, req: UnmapRequest) -> UnmapResult:
+        """Unmap a device address; the result carries the physical address.
+
+        ``req.end_of_burst`` marks the last unmap of a completion burst
+        — the only point where the rIOMMU needs an rIOTLB invalidation.
+        """
+
     def map(
         self,
         phys_addr: int,
@@ -47,19 +72,29 @@ class DmaApi(abc.ABC):
         direction: DmaDirection,
         ring: Optional[int] = None,
     ) -> int:
-        """Map a buffer; returns the device-visible address.
+        """Deprecated positional form of :meth:`map_request`."""
+        warnings.warn(
+            "DmaApi.map(phys, size, dir, ring) is deprecated; use "
+            "map_request(MapRequest(phys_addr=..., size=..., direction=..., "
+            "ring=...))",
+            DeprecationWarning,
+            stacklevel=2,
+        )
+        return self.map_request(
+            MapRequest(phys_addr=phys_addr, size=size, direction=direction, ring=ring)
+        ).device_addr
 
-        ``ring`` is the rIOMMU ring ID for the mapping; backends that
-        have no per-ring tables ignore it.
-        """
-
-    @abc.abstractmethod
     def unmap(self, device_addr: int, end_of_burst: bool = False) -> int:
-        """Unmap a device address; returns the buffer's physical address.
-
-        ``end_of_burst`` marks the last unmap of a completion burst —
-        the only point where the rIOMMU needs an rIOTLB invalidation.
-        """
+        """Deprecated positional form of :meth:`unmap_request`."""
+        warnings.warn(
+            "DmaApi.unmap(device_addr, end_of_burst) is deprecated; use "
+            "unmap_request(UnmapRequest(device_addr=...))",
+            DeprecationWarning,
+            stacklevel=2,
+        )
+        return self.unmap_request(
+            UnmapRequest(device_addr=device_addr, end_of_burst=end_of_burst)
+        ).phys_addr
 
     @abc.abstractmethod
     def create_ring(self, entries: int) -> Optional[int]:
@@ -91,20 +126,22 @@ class DmaApi(abc.ABC):
         mapped: List[SgEntry] = []
         try:
             for phys_addr, length in segments:
-                device_addr = self.map(phys_addr, length, direction, ring=ring)
-                mapped.append(SgEntry(device_addr, length))
+                result = self.map_request(
+                    _map_request(phys_addr, length, direction, ring)
+                )
+                mapped.append(SgEntry(result.device_addr, length))
         except Exception:
             for entry in reversed(mapped):
-                self.unmap(entry.device_addr)
+                self.unmap_request(_unmap_request(entry.device_addr))
             raise
         return mapped
 
     def unmap_sg(self, entries: Sequence[SgEntry], end_of_burst: bool = False) -> None:
         """Unmap a scatter-gather list; burst flag applies to the last."""
+        last = len(entries) - 1
         for i, entry in enumerate(entries):
-            self.unmap(
-                entry.device_addr,
-                end_of_burst=end_of_burst and i == len(entries) - 1,
+            self.unmap_request(
+                _unmap_request(entry.device_addr, end_of_burst and i == last)
             )
 
     # -- metrics helpers ------------------------------------------------
@@ -118,19 +155,13 @@ class DmaApi(abc.ABC):
 class IdentityDmaApi(DmaApi):
     """IOMMU disabled: device addresses are physical addresses, cost-free."""
 
-    def map(
-        self,
-        phys_addr: int,
-        size: int,
-        direction: DmaDirection,
-        ring: Optional[int] = None,
-    ) -> int:
-        if size <= 0:
+    def map_request(self, req: MapRequest) -> MapResult:
+        if req.size <= 0:
             raise ValueError("size must be positive")
-        return phys_addr
+        return _map_result(req.phys_addr, req.ring)
 
-    def unmap(self, device_addr: int, end_of_burst: bool = False) -> int:
-        return device_addr
+    def unmap_request(self, req: UnmapRequest) -> UnmapResult:
+        return _unmap_result(req.device_addr)
 
     def create_ring(self, entries: int) -> Optional[int]:
         return None
@@ -144,17 +175,11 @@ class BaselineDmaApi(DmaApi):
         self.driver = driver
         self.account = driver.account
 
-    def map(
-        self,
-        phys_addr: int,
-        size: int,
-        direction: DmaDirection,
-        ring: Optional[int] = None,
-    ) -> int:
-        return self.driver.map(phys_addr, size, direction)
+    def map_request(self, req: MapRequest) -> MapResult:
+        return self.driver.map_request(req)
 
-    def unmap(self, device_addr: int, end_of_burst: bool = False) -> int:
-        return self.driver.unmap(device_addr, end_of_burst)
+    def unmap_request(self, req: UnmapRequest) -> UnmapResult:
+        return self.driver.unmap_request(req)
 
     def create_ring(self, entries: int) -> Optional[int]:
         return None
@@ -172,25 +197,13 @@ class RIommuDmaApi(DmaApi):
         self.account = driver.account
         self._sizes: Dict[int, int] = {}
 
-    def map(
-        self,
-        phys_addr: int,
-        size: int,
-        direction: DmaDirection,
-        ring: Optional[int] = None,
-    ) -> int:
-        if ring is None:
-            raise ValueError("rIOMMU mappings need a ring ID (create_ring first)")
-        iova = self.driver.map(ring, phys_addr, size, direction)
-        return iova.packed()
+    def map_request(self, req: MapRequest) -> MapResult:
+        # The ring-ID check and rIOVA packing live in the driver's
+        # map_request; the offset normalisation in its unmap_request.
+        return self.driver.map_request(req)
 
-    def unmap(self, device_addr: int, end_of_burst: bool = False) -> int:
-        iova = unpack_iova(device_addr)
-        # The mapping is keyed by (rid, rentry); the offset is free for
-        # the caller to have adjusted, so normalise it away.
-        return self.driver.unmap(
-            RIova(offset=0, rentry=iova.rentry, rid=iova.rid), end_of_burst
-        )
+    def unmap_request(self, req: UnmapRequest) -> UnmapResult:
+        return self.driver.unmap_request(req)
 
     def create_ring(self, entries: int) -> Optional[int]:
         return self.driver.create_ring(entries)

@@ -13,7 +13,7 @@ from __future__ import annotations
 
 from typing import List, Optional, Sequence, Tuple
 
-from repro.dma import DmaDirection
+from repro.dma import DmaDirection, MapRequest, UnmapRequest
 from repro.kernel.dma_api import DmaApi, SgEntry
 
 #: kernel direction constants, mapped onto our DmaDirection
@@ -47,9 +47,14 @@ class LinuxDmaApi:
         "Once a buffer has been mapped, it belongs to the device, not
         the processor" — the contract the paper quotes from LDD3.
         """
-        return self.api.map(
-            cpu_addr, size, direction, ring=ring if ring is not None else self.default_ring
-        )
+        return self.api.map_request(
+            MapRequest(
+                phys_addr=cpu_addr,
+                size=size,
+                direction=direction,
+                ring=ring if ring is not None else self.default_ring,
+            )
+        ).device_addr
 
     def dma_unmap_single(
         self, dma_addr: int, size: int, direction: DmaDirection, end_of_burst: bool = False
@@ -59,7 +64,9 @@ class LinuxDmaApi:
         ``size`` and ``direction`` are accepted for signature parity
         with the kernel; the backends track them internally.
         """
-        return self.api.unmap(dma_addr, end_of_burst=end_of_burst)
+        return self.api.unmap_request(
+            UnmapRequest(device_addr=dma_addr, end_of_burst=end_of_burst)
+        ).phys_addr
 
     # -- scatter-gather -----------------------------------------------------------
 

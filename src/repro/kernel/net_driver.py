@@ -20,7 +20,7 @@ from typing import Callable, Deque, List, Optional, Tuple
 from repro.devices.descriptor import FLAG_VALID, Descriptor
 from repro.devices.nic import SimulatedNic
 from repro.devices.ring import Ring
-from repro.dma import DmaDirection
+from repro.dma import DmaDirection, MapRequest, _map_request, _unmap_request
 from repro.kernel.interrupts import InterruptCoalescer
 from repro.kernel.machine import Machine
 
@@ -86,18 +86,22 @@ class NetDriver:
         self._tx_buf_rid = self.api.create_ring(
             ring_slack * self.profile.buffers_per_packet * self.profile.tx_entries
         )
-        self.rx_ring.device_base = self.api.map(
-            self.rx_ring.base_phys,
-            self.rx_ring.size_bytes,
-            DmaDirection.BIDIRECTIONAL,
-            ring=self._rx_desc_rid,
-        )
-        self.tx_ring.device_base = self.api.map(
-            self.tx_ring.base_phys,
-            self.tx_ring.size_bytes,
-            DmaDirection.BIDIRECTIONAL,
-            ring=self._tx_desc_rid,
-        )
+        self.rx_ring.device_base = self.api.map_request(
+            MapRequest(
+                phys_addr=self.rx_ring.base_phys,
+                size=self.rx_ring.size_bytes,
+                direction=DmaDirection.BIDIRECTIONAL,
+                ring=self._rx_desc_rid,
+            )
+        ).device_addr
+        self.tx_ring.device_base = self.api.map_request(
+            MapRequest(
+                phys_addr=self.tx_ring.base_phys,
+                size=self.tx_ring.size_bytes,
+                direction=DmaDirection.BIDIRECTIONAL,
+                ring=self._tx_desc_rid,
+            )
+        ).device_addr
         nic.attach_rings(self.rx_ring, self.tx_ring)
 
         # Completion plumbing with interrupt coalescing.
@@ -147,12 +151,13 @@ class NetDriver:
         buffers: List[MappedBuffer] = []
         segments: List[Tuple[int, int]] = []
         mem = self.machine.mem
-        api_map = self.api.map
+        api_map = self.api.map_request
+        ring = self._rx_buf_rid
         for size in self._segment_sizes(mtu):
             phys = mem.alloc_dma_buffer(size)
             device_addr = api_map(
-                phys, size, DmaDirection.FROM_DEVICE, ring=self._rx_buf_rid
-            )
+                _map_request(phys, size, DmaDirection.FROM_DEVICE, ring)
+            ).device_addr
             buffers.append(MappedBuffer(device_addr, phys, size))
             segments.append((device_addr, size))
         index = self.rx_ring.post(Descriptor(segments=segments, flags=FLAG_VALID))
@@ -170,7 +175,9 @@ class NetDriver:
                 )
             for k, buf in enumerate(buffers):
                 end_of_burst = j == len(burst) - 1 and k == len(buffers) - 1
-                self.api.unmap(buf.device_addr, end_of_burst=end_of_burst)
+                self.api.unmap_request(
+                    _unmap_request(buf.device_addr, end_of_burst)
+                )
             # Only after the unmap is the buffer safe to touch (paper §2.1
             # footnote); now read the payload and hand it up the stack.
             payload = self._gather(buffers, nbytes)
@@ -214,7 +221,8 @@ class NetDriver:
         segments: List[Tuple[int, int]] = []
         pos = 0
         mem = self.machine.mem
-        api_map = self.api.map
+        api_map = self.api.map_request
+        ring = self._tx_buf_rid
         for size in self._segment_sizes(len(payload)):
             phys = mem.alloc_dma_buffer(size)
             chunk = payload[pos : pos + size]
@@ -222,8 +230,8 @@ class NetDriver:
                 mem.ram.write(phys, chunk)
             pos += size
             device_addr = api_map(
-                phys, size, DmaDirection.TO_DEVICE, ring=self._tx_buf_rid
-            )
+                _map_request(phys, size, DmaDirection.TO_DEVICE, ring)
+            ).device_addr
             buffers.append(MappedBuffer(device_addr, phys, size))
             segments.append((device_addr, size))
         index = self.tx_ring.post(Descriptor(segments=segments, flags=FLAG_VALID))
@@ -241,7 +249,9 @@ class NetDriver:
                 )
             for k, buf in enumerate(buffers):
                 end_of_burst = j == len(burst) - 1 and k == len(buffers) - 1
-                self.api.unmap(buf.device_addr, end_of_burst=end_of_burst)
+                self.api.unmap_request(
+                    _unmap_request(buf.device_addr, end_of_burst)
+                )
             for buf in buffers:
                 self.machine.mem.free_dma_buffer(buf.phys_addr, buf.size)
             self.stats.packets_transmitted += 1
@@ -263,8 +273,10 @@ class NetDriver:
         for posted in (self._rx_posted, self._tx_posted):
             for _index, buffers in posted:
                 for buf in buffers:
-                    self.api.unmap(buf.device_addr, end_of_burst=True)
+                    self.api.unmap_request(
+                        _unmap_request(buf.device_addr, True)
+                    )
                     self.machine.mem.free_dma_buffer(buf.phys_addr, buf.size)
             posted.clear()
-        self.api.unmap(self.rx_ring.device_base)
-        self.api.unmap(self.tx_ring.device_base)
+        self.api.unmap_request(_unmap_request(self.rx_ring.device_base))
+        self.api.unmap_request(_unmap_request(self.tx_ring.device_base))

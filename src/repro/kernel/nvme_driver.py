@@ -25,7 +25,7 @@ from repro.devices.nvme import (
     NvmeOpcode,
     NvmeStatus,
 )
-from repro.dma import DmaDirection
+from repro.dma import DmaDirection, MapRequest, UnmapRequest
 from repro.kernel.machine import Machine
 
 
@@ -68,18 +68,22 @@ class NvmeDriver:
         self._cq_phys = machine.mem.alloc_dma_buffer(queue_entries * CQE_BYTES)
         sq_ring = self.api.create_ring(1)
         cq_ring = self.api.create_ring(1)
-        sq_handle = self.api.map(
-            self._sq_phys,
-            queue_entries * SQE_BYTES,
-            DmaDirection.BIDIRECTIONAL,
-            ring=sq_ring,
-        )
-        cq_handle = self.api.map(
-            self._cq_phys,
-            queue_entries * CQE_BYTES,
-            DmaDirection.BIDIRECTIONAL,
-            ring=cq_ring,
-        )
+        sq_handle = self.api.map_request(
+            MapRequest(
+                phys_addr=self._sq_phys,
+                size=queue_entries * SQE_BYTES,
+                direction=DmaDirection.BIDIRECTIONAL,
+                ring=sq_ring,
+            )
+        ).device_addr
+        cq_handle = self.api.map_request(
+            MapRequest(
+                phys_addr=self._cq_phys,
+                size=queue_entries * CQE_BYTES,
+                direction=DmaDirection.BIDIRECTIONAL,
+                ring=cq_ring,
+            )
+        ).device_addr
         self.qid = controller.create_queue_pair(
             queue_entries, sq_addr=sq_handle, cq_addr=cq_handle
         )
@@ -100,9 +104,14 @@ class NvmeDriver:
         byte_count = blocks * NVME_BLOCK_BYTES
         phys = self.machine.mem.alloc_dma_buffer(byte_count)
         self.machine.mem.ram.write(phys, data)
-        device_addr = self.api.map(
-            phys, byte_count, DmaDirection.TO_DEVICE, ring=self._ring
-        )
+        device_addr = self.api.map_request(
+            MapRequest(
+                phys_addr=phys,
+                size=byte_count,
+                direction=DmaDirection.TO_DEVICE,
+                ring=self._ring,
+            )
+        ).device_addr
         return self._submit(NvmeOpcode.WRITE, lba, blocks, device_addr, phys)
 
     def submit_read(self, lba: int, blocks: int) -> int:
@@ -111,9 +120,14 @@ class NvmeDriver:
             raise ValueError("blocks must be positive")
         byte_count = blocks * NVME_BLOCK_BYTES
         phys = self.machine.mem.alloc_dma_buffer(byte_count)
-        device_addr = self.api.map(
-            phys, byte_count, DmaDirection.FROM_DEVICE, ring=self._ring
-        )
+        device_addr = self.api.map_request(
+            MapRequest(
+                phys_addr=phys,
+                size=byte_count,
+                direction=DmaDirection.FROM_DEVICE,
+                ring=self._ring,
+            )
+        ).device_addr
         return self._submit(NvmeOpcode.READ, lba, blocks, device_addr, phys)
 
     def _submit(
@@ -171,7 +185,9 @@ class NvmeDriver:
         failures: List[int] = []
         for i, cmd in enumerate(self._inflight):
             end_of_burst = i == len(self._inflight) - 1
-            self.api.unmap(cmd.device_addr, end_of_burst=end_of_burst)
+            self.api.unmap_request(
+                UnmapRequest(device_addr=cmd.device_addr, end_of_burst=end_of_burst)
+            )
             completion = completions.get(cmd.command_id)
             if completion is None or completion.status is not NvmeStatus.SUCCESS:
                 failures.append(cmd.command_id)

@@ -1,0 +1,55 @@
+"""Observability: the structured tracing & metrics bus (see ISSUE 3).
+
+``TRACE`` is the process-local event bus every hot layer emits into;
+:class:`MetricsRegistry` unifies the per-layer stats objects into flat,
+mergeable snapshots; :mod:`repro.obs.export` turns a captured trace
+into JSONL / Chrome ``trace_event`` / metrics-summary artefacts.
+
+Tracing is strictly observational — enabling it never changes a
+modelled number — and costs one attribute check per site when off.
+"""
+
+from repro.obs.export import (
+    METRICS_SCHEMA,
+    TRACE_SCHEMA,
+    chrome_trace,
+    export_all,
+    jsonl_records,
+    metrics_summary,
+    read_jsonl,
+    validate_jsonl,
+    validate_records,
+    write_chrome_trace,
+    write_jsonl,
+    write_metrics,
+)
+from repro.obs.metrics import (
+    Counter,
+    Histogram,
+    MetricsRegistry,
+    collect_machine_metrics,
+)
+from repro.obs.tracer import EVENT_TYPES, TRACE, Tracer, parse_filter
+
+__all__ = [
+    "EVENT_TYPES",
+    "METRICS_SCHEMA",
+    "TRACE",
+    "TRACE_SCHEMA",
+    "Counter",
+    "Histogram",
+    "MetricsRegistry",
+    "Tracer",
+    "chrome_trace",
+    "collect_machine_metrics",
+    "export_all",
+    "jsonl_records",
+    "metrics_summary",
+    "parse_filter",
+    "read_jsonl",
+    "validate_jsonl",
+    "validate_records",
+    "write_chrome_trace",
+    "write_jsonl",
+    "write_metrics",
+]

@@ -1,0 +1,276 @@
+"""Trace exporters: JSONL event log, Chrome ``trace_event`` JSON, metrics.
+
+Three artefacts, one captured trace:
+
+* :func:`write_jsonl` — one JSON object per line, schema
+  ``riommu-repro/trace/v1``: a ``trace_meta`` header line followed by
+  ``{"ts": <modelled cycles>, "event": <type>, ...fields}`` records.
+  Grep-able, stream-parseable, and validated by :func:`validate_records`.
+* :func:`write_chrome_trace` — the Chrome ``trace_event`` JSON format;
+  load the file in ``chrome://tracing`` or https://ui.perfetto.dev to
+  scrub the run on a timeline.  ``cycle_charge`` events become duration
+  slices (one track per cycle account), everything else instant events.
+* :func:`write_metrics` — the per-run metrics summary: event counts and
+  per-component cycle totals reconstructed from the trace.
+
+Timestamps everywhere are modelled cycles (see
+:mod:`repro.obs.tracer`); the Chrome exporter maps 1 cycle to 1 µs of
+trace time, so "3 ms" on the Perfetto ruler reads as 3000 cycles.
+"""
+
+from __future__ import annotations
+
+import json
+from typing import Dict, Iterable, List
+
+from repro.obs.tracer import EVENT_TYPES, Tracer
+
+#: Schema identifiers stamped into the exported artefacts.
+TRACE_SCHEMA = "riommu-repro/trace/v1"
+METRICS_SCHEMA = "riommu-repro/trace-metrics/v1"
+
+#: Fields every ``cycle_charge`` record must carry.
+_CHARGE_FIELDS = ("acct", "comp", "cycles", "events", "n")
+
+
+# -- JSONL ---------------------------------------------------------------
+
+
+def jsonl_records(tracer: Tracer) -> Iterable[Dict[str, object]]:
+    """The trace as JSON-ready dicts: meta header, then one per event."""
+    yield {
+        "event": "trace_meta",
+        "schema": TRACE_SCHEMA,
+        "clock": "modelled-cycles",
+        "events": len(tracer.events),
+        "dropped": tracer.dropped,
+        "filter": sorted(tracer.filter) if tracer.filter else None,
+        "span_cycles": tracer.now,
+    }
+    for ts, etype, fields in tracer.events:
+        record: Dict[str, object] = {"ts": ts, "event": etype}
+        record.update(fields)
+        yield record
+
+
+def write_jsonl(tracer: Tracer, path) -> int:
+    """Write the JSONL event log; returns the number of event lines."""
+    count = 0
+    with open(path, "w") as handle:
+        for record in jsonl_records(tracer):
+            handle.write(json.dumps(record, separators=(",", ":")) + "\n")
+            count += 1
+    return count - 1  # meta line excluded
+
+
+def read_jsonl(path) -> List[Dict[str, object]]:
+    """Parse a JSONL trace back into record dicts (meta line included)."""
+    records: List[Dict[str, object]] = []
+    with open(path) as handle:
+        for line in handle:
+            line = line.strip()
+            if line:
+                records.append(json.loads(line))
+    return records
+
+
+def validate_records(records: Iterable[Dict[str, object]]) -> List[str]:
+    """Validate JSONL records against the v1 schema; returns error strings.
+
+    An empty list means the trace is schema-valid.  Checks: the meta
+    header leads and declares the right schema, every event type is in
+    the closed vocabulary, timestamps are non-negative and monotonically
+    non-decreasing, and ``cycle_charge``/``fault`` records carry their
+    required fields.
+    """
+    errors: List[str] = []
+    records = list(records)
+    if not records:
+        return ["empty trace: expected a trace_meta header line"]
+    meta = records[0]
+    if meta.get("event") != "trace_meta":
+        errors.append("line 1: expected a trace_meta header record")
+    elif meta.get("schema") != TRACE_SCHEMA:
+        errors.append(
+            f"line 1: schema {meta.get('schema')!r} != {TRACE_SCHEMA!r}"
+        )
+    last_ts = float("-inf")
+    for lineno, record in enumerate(records[1:], start=2):
+        etype = record.get("event")
+        if etype == "trace_meta":
+            errors.append(f"line {lineno}: duplicate trace_meta record")
+            continue
+        if etype not in EVENT_TYPES:
+            errors.append(f"line {lineno}: unknown event type {etype!r}")
+            continue
+        ts = record.get("ts")
+        if not isinstance(ts, (int, float)) or ts < 0:
+            errors.append(f"line {lineno}: bad timestamp {ts!r}")
+        else:
+            if ts < last_ts:
+                errors.append(
+                    f"line {lineno}: timestamp {ts} went backwards "
+                    f"(previous {last_ts})"
+                )
+            last_ts = ts
+        if etype == "cycle_charge":
+            missing = [f for f in _CHARGE_FIELDS if f not in record]
+            if missing:
+                errors.append(
+                    f"line {lineno}: cycle_charge missing fields {missing}"
+                )
+        elif etype == "fault" and "type" not in record:
+            errors.append(f"line {lineno}: fault record missing 'type'")
+    return errors
+
+
+def validate_jsonl(path) -> List[str]:
+    """Validate a JSONL trace file; returns error strings (empty = valid)."""
+    try:
+        records = read_jsonl(path)
+    except (OSError, ValueError) as exc:
+        return [f"unreadable trace: {exc}"]
+    return validate_records(records)
+
+
+# -- Chrome trace_event --------------------------------------------------
+
+
+def chrome_trace(tracer: Tracer) -> Dict[str, object]:
+    """The trace in Chrome ``trace_event`` JSON-object form.
+
+    ``cycle_charge`` records become complete ('X') slices of duration
+    ``cycles * n`` on the charging account's track; every other event
+    is a global instant ('i') on track 0.  1 modelled cycle is mapped
+    to 1 trace microsecond.
+    """
+    events: List[Dict[str, object]] = [
+        {
+            "name": "process_name",
+            "ph": "M",
+            "pid": 0,
+            "tid": 0,
+            "args": {"name": "riommu-repro (modelled cycles)"},
+        }
+    ]
+    for ts, etype, fields in tracer.events:
+        if etype == "cycle_charge":
+            events.append(
+                {
+                    "name": str(fields.get("comp", "cycles")),
+                    "cat": "cycles",
+                    "ph": "X",
+                    "ts": ts,
+                    "dur": float(fields["cycles"]) * int(fields["n"]),
+                    "pid": 0,
+                    "tid": int(fields.get("acct", 0)),
+                    "args": dict(fields),
+                }
+            )
+        else:
+            events.append(
+                {
+                    "name": etype,
+                    "cat": "events",
+                    "ph": "i",
+                    "s": "g",
+                    "ts": ts,
+                    "pid": 0,
+                    "tid": 0,
+                    "args": dict(fields),
+                }
+            )
+    return {
+        "traceEvents": events,
+        "displayTimeUnit": "ms",
+        "otherData": {
+            "schema": TRACE_SCHEMA,
+            "clock": "modelled-cycles (1 cycle = 1 us of trace time)",
+            "span_cycles": tracer.now,
+            "dropped": tracer.dropped,
+        },
+    }
+
+
+def write_chrome_trace(tracer: Tracer, path) -> int:
+    """Write the Chrome/Perfetto JSON; returns the trace-event count."""
+    payload = chrome_trace(tracer)
+    with open(path, "w") as handle:
+        json.dump(payload, handle)
+    return len(payload["traceEvents"])
+
+
+# -- metrics summary -----------------------------------------------------
+
+
+def metrics_summary(tracer: Tracer) -> Dict[str, object]:
+    """Per-run summary: event counts + cycle totals replayed per account.
+
+    The cycle totals are rebuilt by replaying every ``cycle_charge``
+    through a fresh :class:`~repro.perf.cycles.CycleAccount` (respecting
+    ``cycle_reset`` markers), so they reconcile bit-exactly with the
+    account totals the run itself reported — the test suite asserts
+    this.
+    """
+    from repro.perf.cycles import Component, CycleAccount
+
+    by_value = {c.value: c for c in Component}
+    accounts: Dict[int, CycleAccount] = {}
+    for _ts, etype, fields in tracer.events:
+        if etype == "cycle_charge":
+            acct = accounts.setdefault(int(fields["acct"]), CycleAccount())
+            component = by_value[str(fields["comp"])]
+            n = int(fields["n"])
+            if n == 1:
+                acct.charge(component, float(fields["cycles"]), int(fields["events"]))
+            else:
+                acct.charge_many(component, float(fields["cycles"]), n)
+        elif etype == "cycle_reset":
+            acct = accounts.get(int(fields["acct"]))
+            if acct is not None:
+                acct.reset()
+    per_account = {
+        str(acct_id): {c.value: cyc for c, cyc in account.cycles.items()}
+        for acct_id, account in sorted(accounts.items())
+    }
+    merged: Dict[str, float] = {}
+    for totals in per_account.values():
+        for comp, cyc in totals.items():
+            merged[comp] = merged.get(comp, 0.0) + cyc
+    return {
+        "schema": METRICS_SCHEMA,
+        "event_counts": tracer.event_counts(),
+        "span_cycles": tracer.now,
+        "dropped": tracer.dropped,
+        "cycles_by_component": dict(sorted(merged.items())),
+        "cycles_by_account": per_account,
+    }
+
+
+def write_metrics(tracer: Tracer, path) -> Dict[str, object]:
+    """Write the metrics summary JSON; returns the summary dict."""
+    summary = metrics_summary(tracer)
+    with open(path, "w") as handle:
+        json.dump(summary, handle, indent=2, sort_keys=True)
+        handle.write("\n")
+    return summary
+
+
+# -- one-call convenience ------------------------------------------------
+
+
+def export_all(tracer: Tracer, jsonl_path) -> Dict[str, str]:
+    """Write all three artefacts next to ``jsonl_path``.
+
+    ``trace.jsonl`` begets ``trace.chrome.json`` and
+    ``trace.metrics.json`` (the ``.jsonl`` suffix is replaced when
+    present, appended to otherwise).  Returns ``{kind: path}``.
+    """
+    base = str(jsonl_path)
+    stem = base[: -len(".jsonl")] if base.endswith(".jsonl") else base
+    chrome_path = stem + ".chrome.json"
+    metrics_path = stem + ".metrics.json"
+    write_jsonl(tracer, base)
+    write_chrome_trace(tracer, chrome_path)
+    write_metrics(tracer, metrics_path)
+    return {"jsonl": base, "chrome": chrome_path, "metrics": metrics_path}

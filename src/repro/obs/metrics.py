@@ -1,0 +1,199 @@
+"""Named counters and histograms: one registry instead of scattered stats.
+
+The simulator's layers each keep a small stats dataclass (``IotlbStats``,
+``QiStats``, ``RIotlbStats``, ``DmaBusStats``, ...).  Those objects stay
+— they are the layers' working state — but a :class:`MetricsRegistry`
+gives them one flat, mergeable view: explicit counters/histograms plus
+*adapters* that snapshot any stats object's numeric fields under a
+prefix.  Snapshots are plain ``{name: number}`` dicts with
+deterministic key order, so per-cell snapshots taken in worker
+processes merge bit-identically regardless of worker count (the
+parallel runner relies on this).
+
+Naming convention: dotted lowercase paths, ``layer.counter`` —
+``iotlb.hits``, ``qi.submitted``, ``dma_bus.bytes_written``.
+Histograms flatten to ``name.count`` / ``name.total`` / ``name.min`` /
+``name.max`` so a snapshot stays a flat numeric dict.
+"""
+
+from __future__ import annotations
+
+import dataclasses
+from typing import Dict, Iterable, List, Optional, Tuple
+
+Snapshot = Dict[str, float]
+
+
+class Counter:
+    """A named monotonically-increasing value."""
+
+    __slots__ = ("name", "value")
+
+    def __init__(self, name: str) -> None:
+        self.name = name
+        self.value: float = 0
+
+    def inc(self, n: float = 1) -> None:
+        """Add ``n`` (default 1)."""
+        self.value += n
+
+    def __repr__(self) -> str:  # pragma: no cover - debugging aid
+        return f"Counter({self.name}={self.value})"
+
+
+class Histogram:
+    """A named value distribution summarised as count/total/min/max.
+
+    Deliberately bucket-free: the four summary numbers merge exactly
+    across processes, which is what the parallel runner needs; full
+    distributions belong in the event trace.
+    """
+
+    __slots__ = ("name", "count", "total", "min", "max")
+
+    def __init__(self, name: str) -> None:
+        self.name = name
+        self.count: int = 0
+        self.total: float = 0.0
+        self.min: Optional[float] = None
+        self.max: Optional[float] = None
+
+    def observe(self, value: float) -> None:
+        """Record one sample."""
+        self.count += 1
+        self.total += value
+        if self.min is None or value < self.min:
+            self.min = value
+        if self.max is None or value > self.max:
+            self.max = value
+
+    @property
+    def mean(self) -> float:
+        """Average of the recorded samples (0 when empty)."""
+        if self.count == 0:
+            return 0.0
+        return self.total / self.count
+
+    def flatten(self) -> Snapshot:
+        """The four summary numbers under ``name.*`` keys."""
+        out: Snapshot = {
+            f"{self.name}.count": self.count,
+            f"{self.name}.total": self.total,
+        }
+        if self.min is not None:
+            out[f"{self.name}.min"] = self.min
+        if self.max is not None:
+            out[f"{self.name}.max"] = self.max
+        return out
+
+
+def _numeric_fields(obj: object) -> Iterable[Tuple[str, float]]:
+    """Public numeric attributes of a stats object, name-sorted.
+
+    Dataclasses contribute their fields; anything else its instance
+    ``vars()``.  Only plain ints/floats qualify (bools excluded), so
+    derived properties and nested objects never leak into a snapshot.
+    """
+    if dataclasses.is_dataclass(obj):
+        pairs = [
+            (f.name, getattr(obj, f.name)) for f in dataclasses.fields(obj)
+        ]
+    else:
+        pairs = list(vars(obj).items())
+    for name, value in sorted(pairs):
+        if name.startswith("_") or isinstance(value, bool):
+            continue
+        if isinstance(value, (int, float)):
+            yield name, value
+
+
+class MetricsRegistry:
+    """Counters, histograms, and stats-object adapters under one roof."""
+
+    def __init__(self) -> None:
+        self._counters: Dict[str, Counter] = {}
+        self._histograms: Dict[str, Histogram] = {}
+        #: (prefix, live stats object) pairs read at snapshot time
+        self._adapters: List[Tuple[str, object]] = []
+
+    # -- construction ----------------------------------------------------
+
+    def counter(self, name: str) -> Counter:
+        """Get (or create) the counter called ``name``."""
+        counter = self._counters.get(name)
+        if counter is None:
+            counter = self._counters[name] = Counter(name)
+        return counter
+
+    def histogram(self, name: str) -> Histogram:
+        """Get (or create) the histogram called ``name``."""
+        histogram = self._histograms.get(name)
+        if histogram is None:
+            histogram = self._histograms[name] = Histogram(name)
+        return histogram
+
+    def adapt(self, prefix: str, stats_obj: object) -> None:
+        """Expose a live stats object's numeric fields as ``prefix.*``.
+
+        The object is read lazily at :meth:`snapshot` time, so one
+        ``adapt`` call at setup captures the final counts — the thin
+        adapter that replaces copying fields around by hand.
+        """
+        self._adapters.append((prefix, stats_obj))
+
+    # -- reads -----------------------------------------------------------
+
+    def snapshot(self) -> Snapshot:
+        """Everything as one flat numeric dict, keys sorted."""
+        out: Snapshot = {}
+        for name, counter in self._counters.items():
+            out[name] = counter.value
+        for histogram in self._histograms.values():
+            out.update(histogram.flatten())
+        for prefix, obj in self._adapters:
+            for field, value in _numeric_fields(obj):
+                out[f"{prefix}.{field}"] = value
+        return dict(sorted(out.items()))
+
+    @staticmethod
+    def merge(snapshots: Iterable[Snapshot]) -> Snapshot:
+        """Fold many snapshots into one, deterministically.
+
+        Counters and totals sum; ``*.min`` keys take the minimum and
+        ``*.max`` keys the maximum, so merged histogram summaries stay
+        truthful.  Merging is order-independent for min/max and
+        performed in the given order for sums, so callers iterating
+        cells in a fixed order get bit-identical merges every time.
+        """
+        merged: Snapshot = {}
+        for snap in snapshots:
+            for key, value in snap.items():
+                if key not in merged:
+                    merged[key] = value
+                elif key.endswith(".min"):
+                    merged[key] = min(merged[key], value)
+                elif key.endswith(".max"):
+                    merged[key] = max(merged[key], value)
+                else:
+                    merged[key] = merged[key] + value
+        return dict(sorted(merged.items()))
+
+
+def collect_machine_metrics(machine) -> Snapshot:
+    """Snapshot every stats object a :class:`Machine` run touched.
+
+    The per-run metrics summary attached to each
+    :class:`~repro.sim.results.RunResult`: pure deterministic event
+    counts (never wall-clock), so results — including this field — are
+    identical across serial, parallel, fast-path and traced runs.
+    """
+    registry = MetricsRegistry()
+    registry.adapt("dma_bus", machine.bus.stats)
+    registry.adapt("coherency", machine.coherency.stats)
+    if machine.iommu is not None:
+        registry.adapt("iommu", machine.iommu.stats)
+        registry.adapt("iotlb", machine.iommu.iotlb.stats)
+        registry.adapt("qi", machine.iommu.qi.stats)
+    if machine.riommu is not None:
+        registry.adapt("riotlb", machine.riommu.riotlb.stats)
+    return registry.snapshot()

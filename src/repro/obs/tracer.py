@@ -1,0 +1,216 @@
+"""The structured tracing bus: typed events on a modelled-cycle timeline.
+
+The paper's methodology (§3.3) reduces IOMMU cost to a sum of
+per-primitive driver events — map, unmap, IOTLB invalidation,
+page-table write, coherency flush.  The simulator executes each of
+those primitives for real; this module lets you *see* them.  Every hot
+layer emits typed events through the process-local :data:`TRACE`
+singleton, guarded so that a disabled tracer costs exactly one
+attribute check per site::
+
+    if TRACE.active:
+        TRACE.emit("translate", bdf=bdf, iova=iova, layer="iommu")
+
+Timestamps are **modelled cycles**, not wall-clock: the tracer keeps a
+cursor that advances by every cycle charged to any
+:class:`~repro.perf.cycles.CycleAccount`, so an event's ``ts`` answers
+"after how many charged CPU cycles did this happen".  The hardware
+datapath (translations, DMAs) is modelled as free for the core — the
+paper's central point — so hardware events share the timestamp of the
+software work around them.
+
+Tracing is strictly observational: enabling it may never change a
+modelled number.  The parity tests pin figure-12 results bit-identical
+with tracing on and off.
+"""
+
+from __future__ import annotations
+
+from typing import Dict, Iterable, List, Optional, Tuple
+
+#: Every event type the bus can carry (the schema's closed vocabulary).
+EVENT_TYPES = frozenset(
+    {
+        # driver-side mapping primitives
+        "map",
+        "unmap",
+        # hardware datapath
+        "translate",
+        "iotlb_hit",
+        "iotlb_miss",
+        "iotlb_stale",
+        "invalidate",
+        # queued-invalidation interface
+        "qi_submit",
+        "qi_wait",
+        # protection outcomes
+        "fault",
+        # device-initiated memory traffic
+        "dma_read",
+        "dma_write",
+        # cycle accounting (drives the timeline cursor)
+        "cycle_charge",
+        "cycle_reset",
+    }
+)
+
+#: One recorded event: (timestamp in modelled cycles, type, payload).
+TraceEvent = Tuple[float, str, Dict[str, object]]
+
+
+def parse_filter(spec: Optional[str]) -> Optional[frozenset]:
+    """Parse a ``--trace-filter`` comma-separated event list.
+
+    Returns None for an empty/absent spec (= record everything);
+    raises ValueError naming the unknown types otherwise.
+    """
+    if not spec:
+        return None
+    names = frozenset(part.strip() for part in spec.split(",") if part.strip())
+    unknown = names - EVENT_TYPES
+    if unknown:
+        raise ValueError(
+            f"unknown trace event type(s) {sorted(unknown)}; "
+            f"known: {', '.join(sorted(EVENT_TYPES))}"
+        )
+    return names or None
+
+
+class Tracer:
+    """Process-local event recorder with a modelled-cycle clock.
+
+    ``active`` is the one-word gate every instrumentation site checks;
+    everything else only runs once a site has passed it.  ``now`` is
+    the cumulative modelled cycles charged process-wide since
+    :meth:`reset` — see the module docstring for its semantics.
+    """
+
+    __slots__ = ("active", "events", "now", "filter", "max_events", "dropped")
+
+    def __init__(self) -> None:
+        self.active: bool = False
+        self.events: List[TraceEvent] = []
+        self.now: float = 0.0
+        self.filter: Optional[frozenset] = None
+        #: optional cap on recorded events; overflow is counted, not kept
+        self.max_events: Optional[int] = None
+        self.dropped: int = 0
+
+    # -- lifecycle -------------------------------------------------------
+
+    def enable(
+        self,
+        filter: Optional[Iterable[str]] = None,
+        max_events: Optional[int] = None,
+    ) -> None:
+        """Start recording (clears any previous trace).
+
+        ``filter`` restricts recording to the given event types (the
+        clock still advances on filtered-out charges); ``max_events``
+        bounds memory on very long runs — overflowing events are
+        counted in :attr:`dropped` instead of stored.
+        """
+        if filter is not None:
+            names = frozenset(filter)
+            unknown = names - EVENT_TYPES
+            if unknown:
+                raise ValueError(
+                    f"unknown trace event type(s) {sorted(unknown)}; "
+                    f"known: {', '.join(sorted(EVENT_TYPES))}"
+                )
+            self.filter = names or None
+        else:
+            self.filter = None
+        self.events = []
+        self.now = 0.0
+        self.max_events = max_events
+        self.dropped = 0
+        self.active = True
+
+    def disable(self) -> None:
+        """Stop recording; the captured events stay readable."""
+        self.active = False
+
+    def reset(self) -> None:
+        """Drop everything and return to the disabled state."""
+        self.active = False
+        self.events = []
+        self.now = 0.0
+        self.filter = None
+        self.max_events = None
+        self.dropped = 0
+
+    # -- emission --------------------------------------------------------
+
+    def emit(self, etype: str, **fields: object) -> None:
+        """Record one event at the current modelled-cycle timestamp.
+
+        Callers guard with ``if TRACE.active`` so a disabled tracer
+        costs one attribute check; the re-check here only defends
+        against unguarded use.
+        """
+        if not self.active:
+            return
+        f = self.filter
+        if f is not None and etype not in f:
+            return
+        events = self.events
+        if self.max_events is not None and len(events) >= self.max_events:
+            self.dropped += 1
+            return
+        events.append((self.now, etype, fields))
+
+    def emit_charge(
+        self, acct: int, comp: str, cycles: float, events: int, n: int
+    ) -> None:
+        """Record one cycle charge and advance the timeline cursor.
+
+        ``acct`` identifies the charged :class:`CycleAccount`, ``comp``
+        is the Table 1 component, ``cycles`` the per-invocation cost,
+        ``events`` the invocations per charge and ``n`` the repeat
+        count (so ``charge_many`` folds arrive as one event).  The
+        cursor advances by ``cycles * n`` even when ``cycle_charge`` is
+        filtered out — the clock must not depend on the filter.
+        """
+        ts = self.now
+        self.now = ts + cycles * n
+        f = self.filter
+        if f is not None and "cycle_charge" not in f:
+            return
+        evs = self.events
+        if self.max_events is not None and len(evs) >= self.max_events:
+            self.dropped += 1
+            return
+        evs.append(
+            (
+                ts,
+                "cycle_charge",
+                {"acct": acct, "comp": comp, "cycles": cycles, "events": events, "n": n},
+            )
+        )
+
+    def emit_reset(self, acct: int) -> None:
+        """Record that an account was zeroed (e.g. after warmup)."""
+        if not self.active:
+            return
+        self.emit("cycle_reset", acct=acct)
+
+    # -- introspection ---------------------------------------------------
+
+    def __len__(self) -> int:
+        return len(self.events)
+
+    def event_counts(self) -> Dict[str, int]:
+        """Recorded events per type, sorted by type name."""
+        counts: Dict[str, int] = {}
+        for _ts, etype, _fields in self.events:
+            counts[etype] = counts.get(etype, 0) + 1
+        return dict(sorted(counts.items()))
+
+    def __repr__(self) -> str:  # pragma: no cover - debugging aid
+        state = "on" if self.active else "off"
+        return f"Tracer({state}, {len(self.events)} events, now={self.now:.0f})"
+
+
+#: The process-local tracing bus every instrumented layer emits into.
+TRACE = Tracer()

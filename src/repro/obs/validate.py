@@ -1,0 +1,35 @@
+"""Schema validator CLI: ``python -m repro.obs.validate TRACE.jsonl ...``.
+
+Exit status 0 when every given JSONL trace is schema-valid, 1
+otherwise (each problem printed as ``file:line: message``).  CI's
+trace-smoke job runs this against a freshly captured trace.
+"""
+
+from __future__ import annotations
+
+import sys
+from typing import Optional, Sequence
+
+from repro.obs.export import validate_jsonl
+
+
+def main(argv: Optional[Sequence[str]] = None) -> int:
+    """Validate each trace file named in ``argv``; returns exit code."""
+    paths = list(sys.argv[1:] if argv is None else argv)
+    if not paths:
+        print("usage: python -m repro.obs.validate TRACE.jsonl [...]")
+        return 2
+    failures = 0
+    for path in paths:
+        errors = validate_jsonl(path)
+        if errors:
+            failures += 1
+            for error in errors:
+                print(f"{path}: {error}")
+        else:
+            print(f"{path}: OK")
+    return 1 if failures else 0
+
+
+if __name__ == "__main__":  # pragma: no cover - exercised via CI
+    sys.exit(main())

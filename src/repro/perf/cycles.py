@@ -21,8 +21,11 @@ testing.
 from __future__ import annotations
 
 import enum
+import itertools
 import os
 from typing import Dict, Iterable, List, Mapping, Optional, Tuple
+
+from repro.obs.tracer import TRACE
 
 #: Counter-based charge staging (identical model cycles, fewer Python
 #: dict operations per burst).  Set ``REPRO_DISABLE_BATCH`` to force the
@@ -96,7 +99,10 @@ class CycleAccount:
     staging can never change an observable number, only wall-clock time.
     """
 
-    __slots__ = ("_cycles", "_events", "_staged")
+    __slots__ = ("_cycles", "_events", "_staged", "_tid")
+
+    #: Process-wide id sequence; gives each account a stable trace track.
+    _ids = itertools.count()
 
     def __init__(
         self,
@@ -107,6 +113,12 @@ class CycleAccount:
         self._events: Dict[Component, int] = dict(events) if events else {}
         #: Component -> [cycles_per_charge, events_per_charge, count]
         self._staged: Dict[Component, List] = {}
+        self._tid: int = next(CycleAccount._ids)
+
+    @property
+    def trace_id(self) -> int:
+        """This account's track id in emitted ``cycle_charge`` events."""
+        return self._tid
 
     # -- staged-fold plumbing -------------------------------------------
 
@@ -176,6 +188,8 @@ class CycleAccount:
                 self._fold(component, pending)
         self._cycles[component] = self._cycles.get(component, 0.0) + cycles
         self._events[component] = self._events.get(component, 0) + events
+        if TRACE.active:
+            TRACE.emit_charge(self._tid, component.value, cycles, events, 1)
 
     def charge_many(self, component: Component, cycles: float, events: int) -> None:
         """Charge ``events`` identical invocations of ``cycles`` each.
@@ -193,6 +207,8 @@ class CycleAccount:
             if pending is not None:
                 self._fold(component, pending)
         self._fold(component, [cycles, 1, events])
+        if TRACE.active:
+            TRACE.emit_charge(self._tid, component.value, cycles, 1, events)
 
     def stage(self, component: Component, cycles: float, events: int = 1) -> None:
         """Stage one charge, coalescing repeats into a counter.
@@ -209,6 +225,8 @@ class CycleAccount:
         if pending is not None:
             if pending[0] == cycles and pending[1] == events:
                 pending[2] += 1
+                if TRACE.active:
+                    TRACE.emit_charge(self._tid, component.value, cycles, events, 1)
                 return
             del staged[component]
             self._fold(component, pending)
@@ -221,6 +239,8 @@ class CycleAccount:
             cyc[component] = 0.0
             self._events[component] = 0
         staged[component] = [cycles, events, 1]
+        if TRACE.active:
+            TRACE.emit_charge(self._tid, component.value, cycles, events, 1)
 
     # -- reads ----------------------------------------------------------
 
@@ -263,6 +283,8 @@ class CycleAccount:
         self._staged.clear()
         self._cycles.clear()
         self._events.clear()
+        if TRACE.active:
+            TRACE.emit_reset(self._tid)
 
     def breakdown(self) -> Mapping[str, float]:
         """Totals keyed by the Table 1 component names."""

@@ -3,6 +3,7 @@
 from repro.sim.apache import ApacheBench
 from repro.sim.memcached import MemcachedBench
 from repro.sim.netperf import NIC_BDF, NetperfRR, NetperfStream, build_machine
+from repro.sim.registry import BENCHMARKS, BenchmarkSpec, register_benchmark
 from repro.sim.results import RunResult, normalized, normalized_cpu
 from repro.sim.runner import (
     BENCHMARK_NAMES,
@@ -17,8 +18,10 @@ from repro.sim.setups import ALL_SETUPS, BRCM_SETUP, MLX_SETUP, Setup, setup_by_
 __all__ = [
     "ALL_SETUPS",
     "ApacheBench",
+    "BENCHMARKS",
     "BENCHMARK_NAMES",
     "BRCM_SETUP",
+    "BenchmarkSpec",
     "EvaluationGrid",
     "MLX_SETUP",
     "MemcachedBench",
@@ -31,6 +34,7 @@ __all__ = [
     "make_benchmark",
     "normalized",
     "normalized_cpu",
+    "register_benchmark",
     "run_benchmark",
     "run_figure12",
     "run_mode_sweep",

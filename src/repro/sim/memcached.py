@@ -18,6 +18,7 @@ from repro.kernel.machine import Machine
 from repro.kernel.net_driver import NetDriver
 from repro.kernel.stack import DEFAULT_APP_COSTS
 from repro.modes import Mode
+from repro.obs.metrics import collect_machine_metrics
 from repro.perf.cycles import Component
 from repro.perf.model import requests_per_second
 from repro.sim.netperf import NIC_BDF, build_machine
@@ -73,6 +74,7 @@ class MemcachedBench:
             gbps=perf.gbps,
             line_rate_limited=perf.line_rate_limited,
             per_packet_breakdown=account.per_packet(packets),
+            metrics=collect_machine_metrics(machine),
         )
 
     def _serve(self, driver: NetDriver, count: int, setup: Setup) -> None:

@@ -15,6 +15,7 @@ from repro.iommu.context import make_bdf
 from repro.kernel.machine import Machine
 from repro.kernel.net_driver import NetDriver
 from repro.modes import Mode
+from repro.obs.metrics import collect_machine_metrics
 from repro.perf.cycles import Component
 from repro.perf.model import (
     ETHERNET_MTU_BYTES,
@@ -85,6 +86,7 @@ class NetperfStream:
             gbps=perf.gbps,
             line_rate_limited=perf.line_rate_limited,
             per_packet_breakdown=account.per_packet(measured),
+            metrics=collect_machine_metrics(machine),
         )
 
     def _transmit_loop(self, driver: NetDriver, count: int, setup: Setup) -> None:
@@ -157,6 +159,7 @@ class NetperfRR:
             transactions_per_sec=latency.transactions_per_second,
             rtt_us=latency.rtt_us,
             per_packet_breakdown=account.per_packet(packets),
+            metrics=collect_machine_metrics(machine),
         )
 
     def _exchange_loop(self, driver: NetDriver, count: int, setup: Setup) -> None:

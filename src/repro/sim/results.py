@@ -34,6 +34,10 @@ class RunResult:
     line_rate_limited: bool = False
     #: average cycles per packet by Table 1 component (Figure 7 data)
     per_packet_breakdown: Dict[Component, float] = field(default_factory=dict)
+    #: flat metrics snapshot of the run's machine (deterministic event
+    #: counts, never wall-clock); excluded from :meth:`to_dict` so the
+    #: golden figure-12 JSON is unaffected
+    metrics: Optional[Dict[str, float]] = None
 
     def overhead_per_packet(self) -> float:
         """Map/unmap cycles per packet (everything except PROCESSING)."""

@@ -11,48 +11,14 @@ from dataclasses import dataclass, field
 from typing import Dict, Iterable, Optional
 
 from repro.modes import ALL_MODES, Mode
+from repro.obs.tracer import TRACE
 from repro.sim.parallel import resolve_jobs
-from repro.sim.apache import ApacheBench
-from repro.sim.memcached import MemcachedBench
-from repro.sim.netperf import NetperfRR, NetperfStream
+from repro.sim.registry import BENCHMARKS, BenchmarkSpec, make_benchmark
 from repro.sim.results import RunResult
 from repro.sim.setups import ALL_SETUPS, Setup
 
-#: Benchmarks in the paper's Figure 12 order.
-BENCHMARK_NAMES = ("stream", "rr", "apache 1M", "apache 1K", "memcached")
-
-
-def make_benchmark(name: str, fast: bool = False):
-    """Instantiate a workload by its paper name.
-
-    ``fast=True`` shrinks the run for use inside unit tests; the full
-    sizes are used by the reproduction benchmarks.
-    """
-    if name == "stream":
-        return NetperfStream(packets=400, warmup=100) if fast else NetperfStream()
-    if name == "rr":
-        return NetperfRR(transactions=60, warmup=20) if fast else NetperfRR()
-    if name == "apache 1M":
-        size = 1 << 20
-        return (
-            ApacheBench(file_bytes=size, requests=4, warmup=1)
-            if fast
-            else ApacheBench(file_bytes=size, requests=25, warmup=5)
-        )
-    if name == "apache 1K":
-        size = 1 << 10
-        return (
-            ApacheBench(file_bytes=size, requests=40, warmup=10)
-            if fast
-            else ApacheBench(file_bytes=size, requests=250, warmup=50)
-        )
-    if name == "memcached":
-        return (
-            MemcachedBench(requests=60, warmup=15)
-            if fast
-            else MemcachedBench()
-        )
-    raise KeyError(f"unknown benchmark {name!r}")
+#: Benchmarks in the paper's Figure 12 order (registry insertion order).
+BENCHMARK_NAMES = tuple(BENCHMARKS)
 
 
 def run_benchmark(setup: Setup, mode: Mode, benchmark: str, fast: bool = False) -> RunResult:
@@ -109,6 +75,24 @@ class EvaluationGrid:
         with open(path, "w") as handle:
             json.dump(self.to_dict(), handle, indent=2)
 
+    def metrics_summary(self) -> Dict[str, float]:
+        """All cells' metrics snapshots merged into one flat dict.
+
+        Cells are folded in the grid's (serial) iteration order via
+        :meth:`MetricsRegistry.merge`, so the summary is bit-identical
+        regardless of how many workers produced the cells.
+        """
+        from repro.obs.metrics import MetricsRegistry
+
+        snapshots = [
+            result.metrics
+            for benchmarks in self.results.values()
+            for panel in benchmarks.values()
+            for result in panel.values()
+            if result.metrics is not None
+        ]
+        return MetricsRegistry.merge(snapshots)
+
 
 def run_figure12(
     setups: Iterable[Setup] = ALL_SETUPS,
@@ -122,8 +106,13 @@ def run_figure12(
     ``jobs`` fans independent cells out over worker processes (``None``
     or 1 = serial, 0 = one per CPU); results are identical for any
     value — see :mod:`repro.sim.parallel`.
+
+    When the process-local tracer is enabled the grid runs serially
+    regardless of ``jobs``: events emitted inside worker processes
+    would never reach this process's trace buffer.  Results are
+    identical either way (the parity tests pin this).
     """
-    if resolve_jobs(jobs) > 1:
+    if resolve_jobs(jobs) > 1 and not TRACE.active:
         from repro.sim.parallel import run_grid
 
         return run_grid(setups, benchmarks, modes, fast, jobs)
