@@ -1,5 +1,6 @@
 """Experiment drivers: one module per paper table/figure (E1-E9)."""
 
+from repro.analysis.dashboard import ModeSummary, RunReport, run_report
 from repro.analysis.ablations import (
     BurstSweepResult,
     DeferThresholdResult,
@@ -39,11 +40,13 @@ __all__ = [
     "Figure8Result",
     "MicroValidationResult",
     "MissPenaltyResult",
+    "ModeSummary",
     "PAPER_TABLE2",
     "PassthroughResult",
     "PathologySensitivityResult",
     "PrefetchAblationResult",
     "PrefetcherStudyResult",
+    "RunReport",
     "SafetyResult",
     "SataResult",
     "TABLE2_DENOMINATORS",
@@ -64,6 +67,7 @@ __all__ = [
     "run_miss_penalty",
     "run_passthrough",
     "run_prefetcher_study",
+    "run_report",
     "run_safety",
     "run_sata",
     "run_table1",

@@ -1,0 +1,465 @@
+"""The run-report dashboard: one page for a whole evaluation grid.
+
+``repro report`` runs the figure-12 grid with per-run observation
+attached (cycle-attribution profiler, protection auditor, latency
+histograms — :mod:`repro.obs.profile`) and renders everything a reader
+needs to judge the run on one page, twice over: a terminal summary and
+a self-contained HTML file (inline CSS, no external assets — it can be
+attached to a CI run or mailed around as a single artefact).
+
+The report is also a *gate*: it fails (non-zero exit) when any cell's
+attribution does not reconcile bit-exactly with its
+``RunResult.cycles_total``, or when a mode that promises protection
+(strict / rIOMMU) shows a DMA served through a stale translation.
+"""
+
+from __future__ import annotations
+
+import html
+from dataclasses import dataclass, field
+from typing import Dict, Iterable, List, Optional, Tuple
+
+from repro.analysis.report import format_table
+from repro.modes import ALL_MODES, Mode
+from repro.obs.metrics import Log2Histogram, MetricsRegistry
+from repro.obs.profile import OBS_SCHEMA
+from repro.perf.cycles import Component
+from repro.sim.results import RunResult
+from repro.sim.runner import BENCHMARK_NAMES, EvaluationGrid, run_figure12
+
+#: Table 1 component order, as rendered in attribution breakdowns.
+_COMPONENTS = tuple(c.value for c in Component)
+
+#: Stacked-bar palette, one colour per Table 1 component (map shades of
+#: blue, unmap shades of red/orange, processing grey).
+_COMPONENT_COLORS = {
+    "map.iova_alloc": "#1f77b4",
+    "map.page_table": "#5a9bd4",
+    "map.other": "#a3c6e8",
+    "unmap.iova_find": "#d62728",
+    "unmap.iova_free": "#e45756",
+    "unmap.page_table": "#f28e2b",
+    "unmap.iotlb_inv": "#b2182b",
+    "unmap.other": "#f7b6a1",
+    "other": "#bbbbbb",
+}
+
+#: The distributions whose percentiles the report tabulates.
+_DISTRIBUTIONS = ("packet_cycles", "mapping_lifetime", "stale_window_cycles")
+
+
+@dataclass
+class ModeSummary:
+    """Everything the report says about one protection mode."""
+
+    mode: Mode
+    cells: int = 0
+    reconciled: int = 0
+    #: cycles per Table 1 component, summed over the mode's cells
+    by_primitive: Dict[str, float] = field(default_factory=dict)
+    cycles_total: float = 0.0
+    windows_opened: int = 0
+    worst_window_cycles: float = 0.0
+    total_window_cycles: float = 0.0
+    stale_window_dmas: int = 0
+    stale_window_bytes: int = 0
+    stale_dmas: int = 0
+    stale_bytes: int = 0
+    #: per-cell metrics snapshots, merged for cross-cell percentiles
+    metrics: List[Dict[str, float]] = field(default_factory=list)
+
+    def add(self, result: RunResult) -> None:
+        """Fold one observed cell into the mode's aggregate."""
+        obs = result.obs
+        if obs is None:
+            return
+        self.cells += 1
+        profile = obs["profile"]
+        if profile.get("reconciles"):
+            self.reconciled += 1
+        for comp, cycles in profile["by_primitive"].items():
+            self.by_primitive[comp] = self.by_primitive.get(comp, 0.0) + cycles
+        self.cycles_total += profile["total_cycles"]
+        audit = obs["audit"]
+        self.windows_opened += audit["windows_opened"]
+        self.worst_window_cycles = max(
+            self.worst_window_cycles, audit["worst_window_cycles"]
+        )
+        self.total_window_cycles += audit["total_window_cycles"]
+        self.stale_window_dmas += audit["stale_window_dmas"]
+        self.stale_window_bytes += audit["stale_window_bytes"]
+        self.stale_dmas += audit["stale_dmas"]
+        self.stale_bytes += audit["stale_bytes"]
+        self.metrics.append(obs["metrics"])
+
+    @property
+    def protected(self) -> bool:
+        """No DMA was served through a stale translation."""
+        return self.stale_dmas == 0 and self.stale_bytes == 0
+
+    @property
+    def audit_ok(self) -> bool:
+        """The mode honoured its protection promise (or made none)."""
+        return self.protected or not self.mode.safe
+
+    def percentiles(self) -> Dict[str, Dict[str, float]]:
+        """p50/p95/p99 per distribution, merged across the mode's cells."""
+        merged = MetricsRegistry.merge(self.metrics)
+        out: Dict[str, Dict[str, float]] = {}
+        for name in _DISTRIBUTIONS:
+            hist = Log2Histogram.from_snapshot(name, merged)
+            if hist.count:
+                out[name] = hist.percentiles()
+        return out
+
+
+@dataclass
+class RunReport:
+    """An observed evaluation grid plus its two renderers."""
+
+    grid: EvaluationGrid
+    fast: bool = False
+
+    # -- aggregation -----------------------------------------------------
+
+    def cells(self) -> Iterable[Tuple[str, str, Mode, RunResult]]:
+        """Every grid cell as ``(setup, benchmark, mode, result)``."""
+        for setup, benchmarks in self.grid.results.items():
+            for benchmark, panel in benchmarks.items():
+                for mode, result in panel.items():
+                    yield setup, benchmark, mode, result
+
+    def mode_summaries(self) -> Dict[Mode, ModeSummary]:
+        """Per-mode aggregates, in the canonical mode order."""
+        summaries = {
+            mode: ModeSummary(mode)
+            for mode in ALL_MODES
+            if any(m is mode for _s, _b, m, _r in self.cells())
+        }
+        for _setup, _benchmark, mode, result in self.cells():
+            summaries[mode].add(result)
+        return summaries
+
+    def unreconciled(self) -> List[Tuple[str, str, Mode, float]]:
+        """Cells whose attribution missed ``cycles_total`` (should be none)."""
+        bad = []
+        for setup, benchmark, mode, result in self.cells():
+            if result.obs is None:
+                continue
+            profile = result.obs["profile"]
+            if not profile.get("reconciles"):
+                bad.append((setup, benchmark, mode, profile.get("reconcile_delta")))
+        return bad
+
+    @property
+    def reconciles(self) -> bool:
+        """Every observed cell's attribution matched exactly."""
+        return not self.unreconciled()
+
+    @property
+    def audit_ok(self) -> bool:
+        """Every protection-promising mode kept its promise."""
+        return all(s.audit_ok for s in self.mode_summaries().values())
+
+    @property
+    def passed(self) -> bool:
+        """The report's overall verdict (drives the CLI exit code)."""
+        return self.reconciles and self.audit_ok
+
+    # -- terminal rendering ----------------------------------------------
+
+    def render(self) -> str:
+        """The full report as aligned plain text."""
+        summaries = self.mode_summaries()
+        modes = list(summaries)
+        sections: List[str] = [self._render_headline(summaries)]
+
+        for setup_name, benchmarks in self.grid.results.items():
+            rows: List[List[object]] = []
+            for benchmark in BENCHMARK_NAMES:
+                if benchmark not in benchmarks:
+                    continue
+                panel = benchmarks[benchmark]
+                rows.append(
+                    [benchmark, "throughput"]
+                    + [panel[m].throughput_metric for m in modes if m in panel]
+                )
+                rows.append(
+                    [benchmark, "cpu %"]
+                    + [f"{panel[m].cpu * 100:.0f}" for m in modes if m in panel]
+                )
+            sections.append(
+                format_table(
+                    ["benchmark", "metric"] + [m.label for m in modes],
+                    rows,
+                    title=f"Throughput and CPU ({setup_name})",
+                )
+            )
+
+        sections.append(self._render_attribution(summaries))
+        sections.append(self._render_percentiles(summaries))
+        sections.append(self._render_audit(summaries))
+        return "\n\n".join(sections)
+
+    def _render_headline(self, summaries: Dict[Mode, ModeSummary]) -> str:
+        cells = sum(s.cells for s in summaries.values())
+        reconciled = sum(s.reconciled for s in summaries.values())
+        lines = [
+            f"Run report ({OBS_SCHEMA}{', fast' if self.fast else ''}): "
+            f"{cells} observed cells",
+            f"attribution: {reconciled}/{cells} cells reconcile bit-exactly "
+            f"with cycles_total"
+            + ("" if self.reconciles else "  ** FAIL **"),
+            f"protection: "
+            + ("all protection-promising modes clean" if self.audit_ok
+               else "** FAIL: stale DMA under a protecting mode **"),
+            f"verdict: {'PASS' if self.passed else 'FAIL'}",
+        ]
+        return "\n".join(lines)
+
+    def _render_attribution(self, summaries: Dict[Mode, ModeSummary]) -> str:
+        rows: List[List[object]] = []
+        for mode, s in summaries.items():
+            total = s.cycles_total or 1.0
+            rows.append(
+                [mode.label]
+                + [s.by_primitive.get(c, 0.0) / s.cells if s.cells else 0.0
+                   for c in _COMPONENTS]
+                + [s.cycles_total,
+                   f"{sum(s.by_primitive.values()) / total * 100:.0f}"]
+            )
+        return format_table(
+            ["mode"] + list(_COMPONENTS) + ["total cycles", "attributed %"],
+            rows,
+            title="Cycle attribution (Table 1 components, mean cycles per cell)",
+        )
+
+    def _render_percentiles(self, summaries: Dict[Mode, ModeSummary]) -> str:
+        rows: List[List[object]] = []
+        for mode, s in summaries.items():
+            pct = s.percentiles()
+            for name in _DISTRIBUTIONS:
+                if name not in pct:
+                    continue
+                p = pct[name]
+                rows.append([mode.label, name, p["p50"], p["p95"], p["p99"]])
+        return format_table(
+            ["mode", "distribution", "p50", "p95", "p99"],
+            rows,
+            title="Latency distributions (modelled cycles)",
+        )
+
+    def _render_audit(self, summaries: Dict[Mode, ModeSummary]) -> str:
+        rows: List[List[object]] = []
+        for mode, s in summaries.items():
+            rows.append(
+                [
+                    mode.label,
+                    "yes" if mode.safe else "no",
+                    s.windows_opened,
+                    s.worst_window_cycles,
+                    s.stale_window_dmas,
+                    s.stale_window_bytes,
+                    s.stale_dmas,
+                    s.stale_bytes,
+                    "PASS" if s.audit_ok else "FAIL",
+                ]
+            )
+        return format_table(
+            [
+                "mode",
+                "promises",
+                "windows",
+                "worst (cyc)",
+                "dmas in window",
+                "bytes in window",
+                "stale dmas",
+                "stale bytes",
+                "verdict",
+            ],
+            rows,
+            title="Protection audit (vulnerability windows, §3.2)",
+        )
+
+    # -- HTML rendering --------------------------------------------------
+
+    def to_html(self) -> str:
+        """The whole report as one self-contained HTML page."""
+        summaries = self.mode_summaries()
+        modes = list(summaries)
+        parts: List[str] = [_HTML_HEAD]
+        verdict_cls = "pass" if self.passed else "fail"
+        cells = sum(s.cells for s in summaries.values())
+        reconciled = sum(s.reconciled for s in summaries.values())
+        parts.append(
+            f'<h1>rIOMMU run report <span class="badge {verdict_cls}">'
+            f'{"PASS" if self.passed else "FAIL"}</span></h1>'
+            f'<p class="meta">{html.escape(OBS_SCHEMA)}'
+            f'{" &middot; fast grid" if self.fast else ""} &middot; '
+            f"{cells} observed cells &middot; attribution reconciles in "
+            f"{reconciled}/{cells}</p>"
+        )
+
+        for setup_name, benchmarks in self.grid.results.items():
+            parts.append(f"<h2>Throughput &amp; CPU — {html.escape(setup_name)}</h2>")
+            head = "".join(f"<th>{html.escape(m.label)}</th>" for m in modes)
+            body: List[str] = []
+            for benchmark in BENCHMARK_NAMES:
+                if benchmark not in benchmarks:
+                    continue
+                panel = benchmarks[benchmark]
+                tp = "".join(
+                    f"<td>{panel[m].throughput_metric:,.1f}</td>" for m in modes
+                )
+                cpu = "".join(f"<td>{panel[m].cpu * 100:.0f}%</td>" for m in modes)
+                body.append(
+                    f"<tr><td>{html.escape(benchmark)}</td>"
+                    f"<td>throughput</td>{tp}</tr>"
+                    f"<tr><td></td><td>cpu</td>{cpu}</tr>"
+                )
+            parts.append(
+                f"<table><tr><th>benchmark</th><th>metric</th>{head}</tr>"
+                + "".join(body)
+                + "</table>"
+            )
+
+        parts.append("<h2>Cycle attribution (Table 1 decomposition)</h2>")
+        parts.append(self._html_legend())
+        widest = max((s.cycles_total for s in summaries.values()), default=1.0) or 1.0
+        for mode, s in summaries.items():
+            parts.append(self._html_stacked_bar(mode, s, widest))
+
+        parts.append("<h2>Latency percentiles (modelled cycles)</h2>")
+        rows = []
+        for mode, s in summaries.items():
+            pct = s.percentiles()
+            for name in _DISTRIBUTIONS:
+                if name not in pct:
+                    continue
+                p = pct[name]
+                rows.append(
+                    f"<tr><td>{html.escape(mode.label)}</td>"
+                    f"<td>{html.escape(name)}</td>"
+                    f"<td>{p['p50']:,.0f}</td><td>{p['p95']:,.0f}</td>"
+                    f"<td>{p['p99']:,.0f}</td></tr>"
+                )
+        parts.append(
+            "<table><tr><th>mode</th><th>distribution</th>"
+            "<th>p50</th><th>p95</th><th>p99</th></tr>" + "".join(rows) + "</table>"
+        )
+
+        parts.append("<h2>Protection audit</h2>")
+        rows = []
+        for mode, s in summaries.items():
+            cls = "pass" if s.audit_ok else "fail"
+            rows.append(
+                f"<tr><td>{html.escape(mode.label)}</td>"
+                f"<td>{'yes' if mode.safe else 'no'}</td>"
+                f"<td>{s.windows_opened:,}</td>"
+                f"<td>{s.worst_window_cycles:,.0f}</td>"
+                f"<td>{s.stale_window_dmas:,}</td>"
+                f"<td>{s.stale_window_bytes:,}</td>"
+                f"<td>{s.stale_dmas:,}</td>"
+                f"<td>{s.stale_bytes:,}</td>"
+                f'<td><span class="badge {cls}">'
+                f'{"PASS" if s.audit_ok else "FAIL"}</span></td></tr>'
+            )
+        parts.append(
+            "<table><tr><th>mode</th><th>promises protection</th>"
+            "<th>windows opened</th><th>worst window (cyc)</th>"
+            "<th>DMAs in window</th><th>bytes in window</th>"
+            "<th>stale DMAs</th><th>stale bytes</th><th>verdict</th></tr>"
+            + "".join(rows)
+            + "</table>"
+        )
+        parts.append("</body></html>")
+        return "\n".join(parts)
+
+    @staticmethod
+    def _html_legend() -> str:
+        swatches = "".join(
+            f'<span class="swatch" style="background:{_COMPONENT_COLORS[c]}"></span>'
+            f"{html.escape(c)} "
+            for c in _COMPONENTS
+        )
+        return f'<p class="legend">{swatches}</p>'
+
+    @staticmethod
+    def _html_stacked_bar(mode: Mode, s: ModeSummary, widest: float) -> str:
+        total = s.cycles_total
+        scale = (total / widest * 100.0) if widest else 0.0
+        segments: List[str] = []
+        for comp in _COMPONENTS:
+            cycles = s.by_primitive.get(comp, 0.0)
+            if cycles <= 0 or total <= 0:
+                continue
+            width = cycles / total * 100.0
+            segments.append(
+                f'<div class="seg" style="width:{width:.3f}%;'
+                f'background:{_COMPONENT_COLORS[comp]}" '
+                f'title="{html.escape(comp)}: {cycles:,.0f} cycles '
+                f'({width:.1f}%)"></div>'
+            )
+        return (
+            f'<div class="barrow"><span class="barlabel">'
+            f"{html.escape(mode.label)}</span>"
+            f'<div class="barouter" style="width:{scale:.2f}%">'
+            + "".join(segments)
+            + f'</div><span class="bartotal">{total:,.0f} cyc</span></div>'
+        )
+
+    def save_html(self, path: str) -> None:
+        """Write :meth:`to_html` to ``path``."""
+        with open(path, "w") as handle:
+            handle.write(self.to_html())
+
+
+_HTML_HEAD = """<!DOCTYPE html>
+<html><head><meta charset="utf-8"><title>rIOMMU run report</title>
+<style>
+body { font: 14px/1.5 system-ui, sans-serif; margin: 2rem auto; max-width: 70rem;
+       color: #1a1a1a; padding: 0 1rem; }
+h1 { font-size: 1.6rem; } h2 { font-size: 1.15rem; margin-top: 2rem; }
+.meta { color: #666; }
+table { border-collapse: collapse; margin: .5rem 0; }
+th, td { border: 1px solid #ddd; padding: .25rem .6rem; text-align: right; }
+th:first-child, td:first-child { text-align: left; }
+tr:nth-child(even) { background: #fafafa; }
+.badge { font-size: .8em; padding: .15em .6em; border-radius: .6em; color: #fff;
+         vertical-align: middle; }
+.badge.pass { background: #2e7d32; } .badge.fail { background: #c62828; }
+.legend { color: #444; font-size: .85em; }
+.swatch { display: inline-block; width: .9em; height: .9em; margin: 0 .3em 0 .8em;
+          vertical-align: -.1em; border-radius: .15em; }
+.barrow { display: flex; align-items: center; margin: .25rem 0; }
+.barlabel { width: 5.5rem; flex: none; font-size: .9em; }
+.bartotal { margin-left: .6rem; flex: none; color: #666; font-size: .85em; }
+.barouter { display: flex; height: 1.2rem; min-width: 2px;
+            border-radius: .2rem; overflow: hidden; flex: none; max-width: 60%; }
+.seg { height: 100%; }
+</style></head><body>"""
+
+
+def run_report(
+    fast: bool = False,
+    jobs: Optional[int] = None,
+    setups=None,
+    benchmarks: Optional[Iterable[str]] = None,
+    modes: Optional[Iterable[Mode]] = None,
+) -> RunReport:
+    """Run the evaluation grid with observation on and build its report.
+
+    Positional subsets (``setups`` / ``benchmarks`` / ``modes``) narrow
+    the grid — the CI smoke job runs a one-setup, two-benchmark slice.
+    """
+    from repro.sim.setups import ALL_SETUPS
+
+    grid = run_figure12(
+        setups=ALL_SETUPS if setups is None else setups,
+        benchmarks=BENCHMARK_NAMES if benchmarks is None else tuple(benchmarks),
+        modes=ALL_MODES if modes is None else tuple(modes),
+        fast=fast,
+        jobs=jobs,
+        observe=True,
+    )
+    return RunReport(grid=grid, fast=fast)

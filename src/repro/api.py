@@ -24,6 +24,15 @@ Tracing a run::
         export_all(TRACE, "run.jsonl")   # + run.chrome.json, run.metrics.json
     finally:
         TRACE.disable()
+
+Observing a run (attribution + protection audit, no trace retention)::
+
+    from repro.api import MLX_SETUP, Mode, run_benchmark
+
+    result = run_benchmark(MLX_SETUP, Mode.DEFER, "stream", fast=True,
+                           observe=True)
+    print(result.obs["profile"]["reconciles"])     # True — bit-exact
+    print(result.obs["audit"]["stale_window_dmas"])  # > 0 under defer
 """
 
 from __future__ import annotations
@@ -37,13 +46,21 @@ from repro.dma import (
 )
 from repro.kernel.machine import Machine
 from repro.modes import ALL_MODES, BASELINE_MODES, Mode
+from repro.analysis.dashboard import RunReport, run_report
 from repro.obs import (
     EVENT_TYPES,
+    OBS_SCHEMA,
+    OBSERVE_ENV,
     TRACE,
+    CycleProfiler,
+    Log2Histogram,
     MetricsRegistry,
+    ProtectionAuditor,
+    RunObserver,
     Tracer,
     collect_machine_metrics,
     export_all,
+    observe_requested,
     parse_filter,
     validate_jsonl,
     write_chrome_trace,
@@ -104,4 +121,14 @@ __all__ = [
     "write_chrome_trace",
     "write_jsonl",
     "write_metrics",
+    # attribution, audit & reporting
+    "CycleProfiler",
+    "Log2Histogram",
+    "OBS_SCHEMA",
+    "OBSERVE_ENV",
+    "ProtectionAuditor",
+    "RunObserver",
+    "RunReport",
+    "observe_requested",
+    "run_report",
 ]

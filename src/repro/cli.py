@@ -124,8 +124,9 @@ def build_parser() -> argparse.ArgumentParser:
     )
     parser.add_argument(
         "experiment",
-        choices=sorted(EXPERIMENTS) + ["all", "list"],
-        help="experiment to run ('list' to describe them, 'all' for everything)",
+        choices=sorted(EXPERIMENTS) + ["all", "list", "report"],
+        help="experiment to run ('list' to describe them, 'all' for "
+        "everything, 'report' for the observed-grid run report)",
     )
     parser.add_argument(
         "--fast", action="store_true", help="smaller runs (noisier, quicker)"
@@ -168,6 +169,13 @@ def build_parser() -> argparse.ArgumentParser:
         help="comma-separated event types to record (default: all); "
         "see docs/observability.md for the taxonomy",
     )
+    parser.add_argument(
+        "--html",
+        metavar="FILE",
+        default=None,
+        help="with 'report': also write the self-contained HTML report "
+        "to FILE",
+    )
     return parser
 
 
@@ -180,6 +188,24 @@ def main(argv: Optional[Sequence[str]] = None) -> int:
         for name in sorted(EXPERIMENTS):
             print(f"{name:<{width}}  {EXPERIMENTS[name]}")
         return 0
+
+    if args.experiment == "report":
+        from repro.analysis.dashboard import run_report
+
+        started = time.time()
+        report = run_report(fast=args.fast, jobs=args.jobs)
+        text = report.render()
+        print(text)
+        print(f"\n[report in {time.time() - started:.1f}s]")
+        if args.html:
+            report.save_html(args.html)
+            print(f"html report written to {args.html}")
+        if args.output:
+            with open(args.output, "w") as handle:
+                handle.write(text + "\n")
+            print(f"written to {args.output}")
+        # The report doubles as a gate: exact attribution + protection.
+        return 0 if report.passed else 1
 
     tracing = args.trace is not None
     if tracing:

@@ -85,7 +85,9 @@ class RIommuDriver:
             else CoherencyDomain(coherent=mode.coherent_walk)
         )
         self.cost_model = cost_model if cost_model is not None else CostModel(mode)
-        self.account = account if account is not None else CycleAccount()
+        self.account = (
+            account if account is not None else CycleAccount(label="riommu-driver")
+        )
 
         # The rIOMMU costs are primitive-composed constants under *both*
         # cost policies (the paper's own simulation composes them the
@@ -250,6 +252,10 @@ class RIommuDriver:
         account.stage(Component.IOVA_FREE, costs[4])
 
         self.coherency.sync_mem(entry_addr, 16)
+        # The rPTE is now invalid in memory; a cached rIOTLB copy of this
+        # entry no longer matches its backing — flag it so the hardware
+        # model (and the protection auditor) can spot stale serves.
+        self.hardware.riotlb.mark_backing_invalid(self.bdf, iova.rid, iova.rentry)
 
         if end_of_burst:
             self.hardware.riotlb.invalidate(self.bdf, iova.rid)

@@ -38,6 +38,8 @@ class RIotlbStats:
     #: full table walks (miss path)
     walks: int = 0
     invalidations: int = 0
+    #: translations served by an entry whose backing rPTE was torn down
+    stale_hits: int = 0
 
     def reset(self) -> None:
         """Zero all counters."""
@@ -48,6 +50,7 @@ class RIotlbStats:
         self.sync_walks = 0
         self.walks = 0
         self.invalidations = 0
+        self.stale_hits = 0
 
 
 class RIotlb:
@@ -71,6 +74,19 @@ class RIotlb:
         if TRACE.active:
             TRACE.emit("invalidate", kind="ring", bdf=bdf, rid=rid)
         return self._entries.pop((bdf, rid), None) is not None
+
+    def mark_backing_invalid(self, bdf: int, rid: int, rentry: int) -> None:
+        """Note that a cached entry's backing rPTE was torn down.
+
+        Called by the OS driver when it clears an rPTE's valid bit: if
+        the ring's single entry currently caches exactly that
+        ``rentry``, any translation it serves before invalidation or
+        implicit replacement is a *stale* serve (counted by
+        ``stats.stale_hits`` and emitted as ``iotlb_stale``).
+        """
+        entry = self._entries.get((bdf, rid))
+        if entry is not None and entry.rentry == rentry:
+            entry.backing_valid = False
 
     def invalidate_device(self, bdf: int) -> int:
         """Drop all entries of one device (device teardown)."""
@@ -183,6 +199,19 @@ class RIommuHardware:
             if entry.rentry != iova.rentry:
                 entry = self.riotlb_entry_sync(bdf, iova, entry)
                 riotlb.insert(entry)
+            elif not entry.backing_valid:
+                # The entry still answers for an rPTE the OS already
+                # tore down — a DMA is being served through a stale
+                # translation (the §3.2 vulnerability made concrete).
+                stats.stale_hits += 1
+                if TRACE.active:
+                    TRACE.emit(
+                        "iotlb_stale",
+                        layer="riommu",
+                        bdf=bdf,
+                        rid=iova.rid,
+                        rentry=iova.rentry,
+                    )
         rpte = entry.rpte
         offset = iova.offset
         if offset >= rpte.size or not rpte.direction.permits(direction):
@@ -241,6 +270,7 @@ class RIommuHardware:
             entry.rpte = entry.next
             entry.rentry = next_rentry
             entry.next = None
+            entry.backing_valid = True
         else:
             self.riotlb.stats.sync_walks += 1
             entry = self.rtable_walk(bdf, iova)

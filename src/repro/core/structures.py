@@ -238,3 +238,6 @@ class RIotlbEntry:
     rentry: int
     rpte: RPte
     next: Optional[RPte] = None
+    #: False once the OS tore down the backing rPTE while this copy was
+    #: cached — a translation served in that state is a stale serve.
+    backing_valid: bool = True

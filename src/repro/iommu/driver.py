@@ -80,7 +80,9 @@ class BaselineIommuDriver:
         self.bdf = bdf
         self.mode = mode
         self.cost_model = cost_model if cost_model is not None else CostModel(mode)
-        self.account = account if account is not None else CycleAccount()
+        self.account = (
+            account if account is not None else CycleAccount(label="iommu-driver")
+        )
 
         if mode.uses_magazine_allocator:
             self.allocator: Union[LinuxIovaAllocator, MagazineIovaAllocator] = (
@@ -293,6 +295,24 @@ class BaselineIommuDriver:
                 events=rng.pages,
             )
 
+        # The unmap event is emitted here — after the page table no
+        # longer maps the range, before the mode's invalidation policy
+        # runs — so the protection auditor sees the vulnerability window
+        # open exactly when the torn-down pages become IOTLB-only
+        # reachable, and a deferred flush triggered by this very unmap
+        # closes the window it opened.
+        if TRACE.active:
+            TRACE.emit(
+                "unmap",
+                layer="iommu",
+                bdf=self.bdf,
+                device_addr=iova,
+                phys_addr=mapping.phys_addr,
+                pages=rng.pages,
+                domain=domain_id,
+                deferred=self.mode.deferred_invalidation,
+            )
+
         # Steps 3+4: IOTLB invalidation and IOVA free, per policy.
         if self.mode.deferred_invalidation:
             if costs is None:
@@ -336,15 +356,6 @@ class BaselineIommuDriver:
         self.unmaps += 1
         if self.unmap_hook is not None:
             self.unmap_hook(rng.pfn_lo, rng.pages)
-        if TRACE.active:
-            TRACE.emit(
-                "unmap",
-                layer="iommu",
-                bdf=self.bdf,
-                device_addr=iova,
-                phys_addr=mapping.phys_addr,
-                pages=rng.pages,
-            )
         return _unmap_result(mapping.phys_addr)
 
     # -- introspection / teardown -----------------------------------------------

@@ -47,7 +47,7 @@ class DmaApi(abc.ABC):
     """Mode-independent mapping interface used by device drivers."""
 
     def __init__(self) -> None:
-        self.account = CycleAccount()
+        self.account = CycleAccount(label="dma-api")
 
     @abc.abstractmethod
     def map_request(self, req: MapRequest) -> MapResult:

@@ -23,28 +23,46 @@ from repro.obs.export import (
     write_jsonl,
     write_metrics,
 )
+from repro.obs.audit import ProtectionAuditor
 from repro.obs.metrics import (
     Counter,
     Histogram,
+    Log2Histogram,
     MetricsRegistry,
     collect_machine_metrics,
+    log2_bucket,
+)
+from repro.obs.profile import (
+    OBS_SCHEMA,
+    OBSERVE_ENV,
+    CycleProfiler,
+    RunObserver,
+    observe_requested,
 )
 from repro.obs.tracer import EVENT_TYPES, TRACE, Tracer, parse_filter
 
 __all__ = [
     "EVENT_TYPES",
     "METRICS_SCHEMA",
+    "OBS_SCHEMA",
+    "OBSERVE_ENV",
     "TRACE",
     "TRACE_SCHEMA",
     "Counter",
+    "CycleProfiler",
     "Histogram",
+    "Log2Histogram",
     "MetricsRegistry",
+    "ProtectionAuditor",
+    "RunObserver",
     "Tracer",
     "chrome_trace",
     "collect_machine_metrics",
     "export_all",
     "jsonl_records",
+    "log2_bucket",
     "metrics_summary",
+    "observe_requested",
     "parse_filter",
     "read_jsonl",
     "validate_jsonl",

@@ -14,11 +14,19 @@ Naming convention: dotted lowercase paths, ``layer.counter`` —
 ``iotlb.hits``, ``qi.submitted``, ``dma_bus.bytes_written``.
 Histograms flatten to ``name.count`` / ``name.total`` / ``name.min`` /
 ``name.max`` so a snapshot stays a flat numeric dict.
+
+:class:`Log2Histogram` adds bucketed distributions (p50/p95/p99) whose
+flattened form — integer counts under ``name.bucket.<exponent>`` keys —
+merges bit-deterministically across any number of worker processes:
+bucket counts are exact integers, so summing them is order-independent,
+and percentiles are recomputed from the merged counts rather than
+merged themselves.
 """
 
 from __future__ import annotations
 
 import dataclasses
+import math
 from typing import Dict, Iterable, List, Optional, Tuple
 
 Snapshot = Dict[str, float]
@@ -87,6 +95,155 @@ class Histogram:
         return out
 
 
+#: Bucket index holding zero/negative samples (below any finite float's).
+UNDERFLOW_BUCKET = -1075
+
+
+def log2_bucket(value: float) -> int:
+    """The histogram bucket index for ``value``.
+
+    Bucket ``b`` covers ``[2^b, 2^(b+1))``; zero and negative values
+    land in the dedicated underflow bucket :data:`UNDERFLOW_BUCKET`
+    (below the exponent of the smallest positive float, so it can never
+    collide with a real value's bucket).
+    """
+    if value <= 0:
+        return UNDERFLOW_BUCKET
+    _mantissa, exponent = math.frexp(value)  # value = mantissa * 2**exponent
+    return exponent - 1  # mantissa in [0.5, 1) => value in [2^(e-1), 2^e)
+
+
+class Log2Histogram:
+    """A value distribution in power-of-two buckets, exactly mergeable.
+
+    Bucket counts are integers, so merging histograms (or their
+    flattened snapshots) is a plain order-independent integer sum —
+    bit-deterministic across the parallel runner's worker counts.
+    Percentiles interpolate linearly inside the chosen bucket and clamp
+    to the tracked ``min``/``max``, so they are deterministic functions
+    of the merged counts alone.
+    """
+
+    __slots__ = ("name", "buckets", "count", "total", "min", "max")
+
+    def __init__(self, name: str) -> None:
+        self.name = name
+        #: bucket index -> sample count
+        self.buckets: Dict[int, int] = {}
+        self.count: int = 0
+        self.total: float = 0.0
+        self.min: Optional[float] = None
+        self.max: Optional[float] = None
+
+    def observe(self, value: float) -> None:
+        """Record one sample."""
+        bucket = log2_bucket(value)
+        self.buckets[bucket] = self.buckets.get(bucket, 0) + 1
+        self.count += 1
+        self.total += value
+        if self.min is None or value < self.min:
+            self.min = value
+        if self.max is None or value > self.max:
+            self.max = value
+
+    @property
+    def mean(self) -> float:
+        """Average of the recorded samples (0 when empty)."""
+        if self.count == 0:
+            return 0.0
+        return self.total / self.count
+
+    def percentile(self, q: float) -> float:
+        """The ``q``-th percentile (0..100), interpolated within a bucket.
+
+        Walks buckets in ascending order to the one containing the
+        target rank, then interpolates linearly across the bucket's
+        ``[2^b, 2^(b+1))`` span by the rank's position within it; the
+        result is clamped to the observed ``[min, max]``.  Returns 0
+        for an empty histogram.
+        """
+        if self.count == 0:
+            return 0.0
+        if not 0 <= q <= 100:
+            raise ValueError(f"percentile must be in [0, 100], got {q}")
+        target = q / 100.0 * self.count
+        cumulative = 0
+        result = 0.0
+        for bucket in sorted(self.buckets):
+            n = self.buckets[bucket]
+            if cumulative + n >= target:
+                if bucket == UNDERFLOW_BUCKET:
+                    result = 0.0
+                else:
+                    lo = math.ldexp(1.0, bucket)  # 2**bucket
+                    fraction = (target - cumulative) / n
+                    result = lo + fraction * lo  # lo + fraction * (hi - lo)
+                break
+            cumulative += n
+        else:  # pragma: no cover - target <= count always breaks
+            result = self.max if self.max is not None else 0.0
+        if self.min is not None and result < self.min:
+            result = self.min
+        if self.max is not None and result > self.max:
+            result = self.max
+        return result
+
+    def percentiles(self, qs: Iterable[float] = (50, 95, 99)) -> Dict[str, float]:
+        """``{"p50": ..., "p95": ..., "p99": ...}`` for the given points."""
+        return {f"p{q:g}": self.percentile(q) for q in qs}
+
+    def flatten(self) -> Snapshot:
+        """Summary plus per-bucket counts under ``name.*`` keys.
+
+        Bucket keys are ``name.bucket.<exponent>``; everything is a
+        plain number, so the flattened form round-trips through
+        :meth:`MetricsRegistry.merge` and :meth:`from_snapshot`.
+        """
+        out: Snapshot = {
+            f"{self.name}.count": self.count,
+            f"{self.name}.total": self.total,
+        }
+        if self.min is not None:
+            out[f"{self.name}.min"] = self.min
+        if self.max is not None:
+            out[f"{self.name}.max"] = self.max
+        for bucket in sorted(self.buckets):
+            out[f"{self.name}.bucket.{bucket}"] = self.buckets[bucket]
+        return out
+
+    @classmethod
+    def from_snapshot(cls, name: str, snapshot: Snapshot) -> "Log2Histogram":
+        """Rebuild a histogram from a (possibly merged) flat snapshot.
+
+        The inverse of :meth:`flatten`: keys under ``name.*`` are read
+        back, so percentiles can be computed over histograms merged
+        across worker processes.
+        """
+        hist = cls(name)
+        prefix = f"{name}.bucket."
+        for key, value in snapshot.items():
+            if key.startswith(prefix):
+                hist.buckets[int(key[len(prefix):])] = int(value)
+        hist.count = int(snapshot.get(f"{name}.count", sum(hist.buckets.values())))
+        hist.total = float(snapshot.get(f"{name}.total", 0.0))
+        if f"{name}.min" in snapshot:
+            hist.min = float(snapshot[f"{name}.min"])
+        if f"{name}.max" in snapshot:
+            hist.max = float(snapshot[f"{name}.max"])
+        return hist
+
+    def merge(self, other: "Log2Histogram") -> None:
+        """Fold another histogram's samples into this one."""
+        for bucket, n in other.buckets.items():
+            self.buckets[bucket] = self.buckets.get(bucket, 0) + n
+        self.count += other.count
+        self.total += other.total
+        if other.min is not None and (self.min is None or other.min < self.min):
+            self.min = other.min
+        if other.max is not None and (self.max is None or other.max > self.max):
+            self.max = other.max
+
+
 def _numeric_fields(obj: object) -> Iterable[Tuple[str, float]]:
     """Public numeric attributes of a stats object, name-sorted.
 
@@ -113,6 +270,7 @@ class MetricsRegistry:
     def __init__(self) -> None:
         self._counters: Dict[str, Counter] = {}
         self._histograms: Dict[str, Histogram] = {}
+        self._log2_histograms: Dict[str, Log2Histogram] = {}
         #: (prefix, live stats object) pairs read at snapshot time
         self._adapters: List[Tuple[str, object]] = []
 
@@ -132,13 +290,30 @@ class MetricsRegistry:
             histogram = self._histograms[name] = Histogram(name)
         return histogram
 
+    def log2_histogram(self, name: str) -> Log2Histogram:
+        """Get (or create) the log2-bucketed histogram called ``name``."""
+        histogram = self._log2_histograms.get(name)
+        if histogram is None:
+            histogram = self._log2_histograms[name] = Log2Histogram(name)
+        return histogram
+
     def adapt(self, prefix: str, stats_obj: object) -> None:
         """Expose a live stats object's numeric fields as ``prefix.*``.
 
         The object is read lazily at :meth:`snapshot` time, so one
         ``adapt`` call at setup captures the final counts — the thin
-        adapter that replaces copying fields around by hand.
+        adapter that replaces copying fields around by hand.  Each
+        prefix may be registered once: a second ``adapt`` under the
+        same prefix would silently overwrite the first object's keys in
+        every snapshot, so it raises instead.
         """
+        for existing, _obj in self._adapters:
+            if existing == prefix:
+                raise ValueError(
+                    f"metrics adapter prefix {prefix!r} is already registered; "
+                    "a second adapter under the same prefix would silently "
+                    "overwrite its snapshot keys — use a distinct prefix"
+                )
         self._adapters.append((prefix, stats_obj))
 
     # -- reads -----------------------------------------------------------
@@ -150,6 +325,8 @@ class MetricsRegistry:
             out[name] = counter.value
         for histogram in self._histograms.values():
             out.update(histogram.flatten())
+        for log2_histogram in self._log2_histograms.values():
+            out.update(log2_histogram.flatten())
         for prefix, obj in self._adapters:
             for field, value in _numeric_fields(obj):
                 out[f"{prefix}.{field}"] = value

@@ -22,11 +22,20 @@ software work around them.
 Tracing is strictly observational: enabling it may never change a
 modelled number.  The parity tests pin figure-12 results bit-identical
 with tracing on and off.
+
+Besides recording, the tracer supports streaming *sinks*
+(:meth:`Tracer.subscribe`): callables invoked as ``sink(ts, etype,
+fields)`` for every event, without the event being retained.  The
+cycle-attribution profiler and the protection auditor are sinks — they
+fold the stream as it happens, so observing a long run costs O(1)
+memory instead of a full trace buffer.  Sinks see every event type
+regardless of the recording ``filter`` (the filter only gates what is
+*stored*), and a tracer with sinks but no recording is ``active``.
 """
 
 from __future__ import annotations
 
-from typing import Dict, Iterable, List, Optional, Tuple
+from typing import Callable, Dict, Iterable, List, Optional, Tuple
 
 #: Every event type the bus can carry (the schema's closed vocabulary).
 EVENT_TYPES = frozenset(
@@ -57,6 +66,9 @@ EVENT_TYPES = frozenset(
 #: One recorded event: (timestamp in modelled cycles, type, payload).
 TraceEvent = Tuple[float, str, Dict[str, object]]
 
+#: A streaming observer: called as ``sink(ts, etype, fields)`` per event.
+TraceSink = Callable[[float, str, Dict[str, object]], None]
+
 
 def parse_filter(spec: Optional[str]) -> Optional[frozenset]:
     """Parse a ``--trace-filter`` comma-separated event list.
@@ -85,10 +97,24 @@ class Tracer:
     :meth:`reset` — see the module docstring for its semantics.
     """
 
-    __slots__ = ("active", "events", "now", "filter", "max_events", "dropped")
+    __slots__ = (
+        "active",
+        "recording",
+        "sinks",
+        "events",
+        "now",
+        "filter",
+        "max_events",
+        "dropped",
+    )
 
     def __init__(self) -> None:
+        #: True when any site should emit: recording on, or sinks present
         self.active: bool = False
+        #: True when events are being stored into :attr:`events`
+        self.recording: bool = False
+        #: streaming observers fed every event (never filtered, never stored)
+        self.sinks: Tuple[TraceSink, ...] = ()
         self.events: List[TraceEvent] = []
         self.now: float = 0.0
         self.filter: Optional[frozenset] = None
@@ -125,20 +151,46 @@ class Tracer:
         self.now = 0.0
         self.max_events = max_events
         self.dropped = 0
+        self.recording = True
         self.active = True
 
     def disable(self) -> None:
-        """Stop recording; the captured events stay readable."""
-        self.active = False
+        """Stop recording; the captured events stay readable.
+
+        Subscribed sinks keep streaming (the tracer stays ``active``
+        until the last sink unsubscribes).
+        """
+        self.recording = False
+        self.active = bool(self.sinks)
 
     def reset(self) -> None:
-        """Drop everything and return to the disabled state."""
+        """Drop everything — events and sinks — and return to disabled."""
         self.active = False
+        self.recording = False
+        self.sinks = ()
         self.events = []
         self.now = 0.0
         self.filter = None
         self.max_events = None
         self.dropped = 0
+
+    # -- streaming sinks -------------------------------------------------
+
+    def subscribe(self, sink: TraceSink) -> None:
+        """Attach a streaming sink; activates the tracer if it was off.
+
+        The sink is called as ``sink(ts, etype, fields)`` for every
+        event, including types excluded by the recording ``filter``.
+        Sinks must not mutate ``fields`` and must never charge cycles
+        (that would feed the bus its own output).
+        """
+        self.sinks = self.sinks + (sink,)
+        self.active = True
+
+    def unsubscribe(self, sink: TraceSink) -> None:
+        """Detach a previously subscribed sink (no-op if absent)."""
+        self.sinks = tuple(s for s in self.sinks if s is not sink)
+        self.active = self.recording or bool(self.sinks)
 
     # -- emission --------------------------------------------------------
 
@@ -151,6 +203,10 @@ class Tracer:
         """
         if not self.active:
             return
+        for sink in self.sinks:
+            sink(self.now, etype, fields)
+        if not self.recording:
+            return
         f = self.filter
         if f is not None and etype not in f:
             return
@@ -161,19 +217,39 @@ class Tracer:
         events.append((self.now, etype, fields))
 
     def emit_charge(
-        self, acct: int, comp: str, cycles: float, events: int, n: int
+        self,
+        acct: int,
+        comp: str,
+        cycles: float,
+        events: int,
+        n: int,
+        label: Optional[str] = None,
     ) -> None:
         """Record one cycle charge and advance the timeline cursor.
 
         ``acct`` identifies the charged :class:`CycleAccount`, ``comp``
         is the Table 1 component, ``cycles`` the per-invocation cost,
         ``events`` the invocations per charge and ``n`` the repeat
-        count (so ``charge_many`` folds arrive as one event).  The
-        cursor advances by ``cycles * n`` even when ``cycle_charge`` is
+        count (so ``charge_many`` folds arrive as one event).  ``label``
+        is the account's layer tag, carried only when set.  The cursor
+        advances by ``cycles * n`` even when ``cycle_charge`` is
         filtered out — the clock must not depend on the filter.
         """
         ts = self.now
         self.now = ts + cycles * n
+        fields: Dict[str, object] = {
+            "acct": acct,
+            "comp": comp,
+            "cycles": cycles,
+            "events": events,
+            "n": n,
+        }
+        if label is not None:
+            fields["label"] = label
+        for sink in self.sinks:
+            sink(ts, "cycle_charge", fields)
+        if not self.recording:
+            return
         f = self.filter
         if f is not None and "cycle_charge" not in f:
             return
@@ -181,13 +257,7 @@ class Tracer:
         if self.max_events is not None and len(evs) >= self.max_events:
             self.dropped += 1
             return
-        evs.append(
-            (
-                ts,
-                "cycle_charge",
-                {"acct": acct, "comp": comp, "cycles": cycles, "events": events, "n": n},
-            )
-        )
+        evs.append((ts, "cycle_charge", fields))
 
     def emit_reset(self, acct: int) -> None:
         """Record that an account was zeroed (e.g. after warmup)."""

@@ -37,6 +37,31 @@ BATCH_ENABLED = "REPRO_DISABLE_BATCH" not in os.environ
 _EXACT_LIMIT = float(1 << 53)
 
 
+def exact_add(total: float, cycles: float, count: int) -> float:
+    """``total`` plus ``count`` repeated additions of ``cycles``, bit-exact.
+
+    The shared arithmetic behind :meth:`CycleAccount._fold` and the
+    streaming profiler's replay: multiplies only when the running total
+    and the per-charge cost are both integral and the result stays
+    within the float-exact range (where integer addition commutes with
+    multiplication in binary64), and replays the addition loop
+    otherwise.  Guarantees any consumer folding the same charge stream
+    reproduces the account's float total to the last bit.
+    """
+    if count == 1:
+        return total + cycles
+    bulk = cycles * count
+    if (
+        float(total).is_integer()
+        and float(cycles).is_integer()
+        and -_EXACT_LIMIT <= total + bulk <= _EXACT_LIMIT
+    ):
+        return total + bulk
+    for _ in range(count):
+        total += cycles
+    return total
+
+
 class Component(enum.Enum):
     """Cost components, matching the rows of the paper's Table 1."""
 
@@ -99,7 +124,7 @@ class CycleAccount:
     staging can never change an observable number, only wall-clock time.
     """
 
-    __slots__ = ("_cycles", "_events", "_staged", "_tid")
+    __slots__ = ("_cycles", "_events", "_staged", "_tid", "_label")
 
     #: Process-wide id sequence; gives each account a stable trace track.
     _ids = itertools.count()
@@ -108,17 +133,26 @@ class CycleAccount:
         self,
         cycles: Optional[Dict[Component, float]] = None,
         events: Optional[Dict[Component, int]] = None,
+        label: Optional[str] = None,
     ) -> None:
         self._cycles: Dict[Component, float] = dict(cycles) if cycles else {}
         self._events: Dict[Component, int] = dict(events) if events else {}
         #: Component -> [cycles_per_charge, events_per_charge, count]
         self._staged: Dict[Component, List] = {}
         self._tid: int = next(CycleAccount._ids)
+        #: layer tag carried on every emitted ``cycle_charge`` event, so
+        #: the attribution profiler can break cycles down per layer
+        self._label: Optional[str] = label
 
     @property
     def trace_id(self) -> int:
         """This account's track id in emitted ``cycle_charge`` events."""
         return self._tid
+
+    @property
+    def label(self) -> Optional[str]:
+        """The layer tag stamped on this account's trace events."""
+        return self._label
 
     # -- staged-fold plumbing -------------------------------------------
 
@@ -133,21 +167,7 @@ class CycleAccount:
         """
         cycles, events, count = pending
         cyc = self._cycles
-        total = cyc.get(component, 0.0)
-        if count == 1:
-            total += cycles
-        else:
-            bulk = cycles * count
-            if (
-                float(total).is_integer()
-                and float(cycles).is_integer()
-                and -_EXACT_LIMIT <= total + bulk <= _EXACT_LIMIT
-            ):
-                total += bulk
-            else:
-                for _ in range(count):
-                    total += cycles
-        cyc[component] = total
+        cyc[component] = exact_add(cyc.get(component, 0.0), cycles, count)
         self._events[component] = self._events.get(component, 0) + events * count
 
     def _flush(self) -> None:
@@ -189,7 +209,7 @@ class CycleAccount:
         self._cycles[component] = self._cycles.get(component, 0.0) + cycles
         self._events[component] = self._events.get(component, 0) + events
         if TRACE.active:
-            TRACE.emit_charge(self._tid, component.value, cycles, events, 1)
+            TRACE.emit_charge(self._tid, component.value, cycles, events, 1, self._label)
 
     def charge_many(self, component: Component, cycles: float, events: int) -> None:
         """Charge ``events`` identical invocations of ``cycles`` each.
@@ -208,7 +228,7 @@ class CycleAccount:
                 self._fold(component, pending)
         self._fold(component, [cycles, 1, events])
         if TRACE.active:
-            TRACE.emit_charge(self._tid, component.value, cycles, 1, events)
+            TRACE.emit_charge(self._tid, component.value, cycles, 1, events, self._label)
 
     def stage(self, component: Component, cycles: float, events: int = 1) -> None:
         """Stage one charge, coalescing repeats into a counter.
@@ -226,7 +246,7 @@ class CycleAccount:
             if pending[0] == cycles and pending[1] == events:
                 pending[2] += 1
                 if TRACE.active:
-                    TRACE.emit_charge(self._tid, component.value, cycles, events, 1)
+                    TRACE.emit_charge(self._tid, component.value, cycles, events, 1, self._label)
                 return
             del staged[component]
             self._fold(component, pending)
@@ -240,7 +260,7 @@ class CycleAccount:
             self._events[component] = 0
         staged[component] = [cycles, events, 1]
         if TRACE.active:
-            TRACE.emit_charge(self._tid, component.value, cycles, events, 1)
+            TRACE.emit_charge(self._tid, component.value, cycles, events, 1, self._label)
 
     # -- reads ----------------------------------------------------------
 

@@ -38,6 +38,10 @@ class RunResult:
     #: counts, never wall-clock); excluded from :meth:`to_dict` so the
     #: golden figure-12 JSON is unaffected
     metrics: Optional[Dict[str, float]] = None
+    #: per-run observation summary (cycle attribution, protection audit,
+    #: percentiles) attached by ``run_benchmark(..., observe=True)``;
+    #: excluded from :meth:`to_dict` for the same golden-JSON reason
+    obs: Optional[Dict[str, object]] = None
 
     def overhead_per_packet(self) -> float:
         """Map/unmap cycles per packet (everything except PROCESSING)."""

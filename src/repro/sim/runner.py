@@ -7,10 +7,12 @@ the whole evaluation grid.
 
 from __future__ import annotations
 
+import os
 from dataclasses import dataclass, field
 from typing import Dict, Iterable, Optional
 
 from repro.modes import ALL_MODES, Mode
+from repro.obs.profile import OBSERVE_ENV, RunObserver, observe_requested
 from repro.obs.tracer import TRACE
 from repro.sim.parallel import resolve_jobs
 from repro.sim.registry import BENCHMARKS, BenchmarkSpec, make_benchmark
@@ -21,9 +23,33 @@ from repro.sim.setups import ALL_SETUPS, Setup
 BENCHMARK_NAMES = tuple(BENCHMARKS)
 
 
-def run_benchmark(setup: Setup, mode: Mode, benchmark: str, fast: bool = False) -> RunResult:
-    """Run one benchmark under one mode on one setup."""
-    return make_benchmark(benchmark, fast).run(setup, mode)
+def run_benchmark(
+    setup: Setup,
+    mode: Mode,
+    benchmark: str,
+    fast: bool = False,
+    observe: Optional[bool] = None,
+) -> RunResult:
+    """Run one benchmark under one mode on one setup.
+
+    ``observe=True`` attaches a :class:`~repro.obs.profile.RunObserver`
+    for the duration of the run and stores its summary (cycle
+    attribution, protection audit, latency percentiles) on
+    ``result.obs``.  The default ``None`` consults the ``REPRO_OBSERVE``
+    environment variable, which parallel worker processes inherit — so
+    an observed grid stays parallel, each cell observing itself
+    in-worker.  Observation is strictly observational: every modelled
+    number is bit-identical with it on or off.
+    """
+    if observe is None:
+        observe = observe_requested()
+    bench = make_benchmark(benchmark, fast)
+    if not observe:
+        return bench.run(setup, mode)
+    with RunObserver() as observer:
+        result = bench.run(setup, mode)
+    result.obs = observer.summary(result)
+    return result
 
 
 def run_mode_sweep(
@@ -31,6 +57,7 @@ def run_mode_sweep(
     benchmark: str,
     modes: Iterable[Mode] = ALL_MODES,
     fast: bool = False,
+    observe: Optional[bool] = None,
 ) -> Dict[Mode, RunResult]:
     """One benchmark across the given modes (one Figure 12 panel).
 
@@ -41,7 +68,9 @@ def run_mode_sweep(
     structurally identical to the parallel runner's, and keeps any
     future stateful workload from bleeding counters between modes.
     """
-    return {mode: run_benchmark(setup, mode, benchmark, fast) for mode in modes}
+    return {
+        mode: run_benchmark(setup, mode, benchmark, fast, observe) for mode in modes
+    }
 
 
 @dataclass
@@ -100,6 +129,7 @@ def run_figure12(
     modes: Iterable[Mode] = ALL_MODES,
     fast: bool = False,
     jobs: Optional[int] = None,
+    observe: bool = False,
 ) -> EvaluationGrid:
     """Run the complete evaluation grid of the paper's Figure 12.
 
@@ -107,11 +137,35 @@ def run_figure12(
     or 1 = serial, 0 = one per CPU); results are identical for any
     value — see :mod:`repro.sim.parallel`.
 
-    When the process-local tracer is enabled the grid runs serially
+    ``observe=True`` attaches a per-run observer to every cell (see
+    :func:`run_benchmark`), carried to worker processes through the
+    ``REPRO_OBSERVE`` environment variable so the grid stays parallel.
+
+    When the process-local tracer is recording the grid runs serially
     regardless of ``jobs``: events emitted inside worker processes
     would never reach this process's trace buffer.  Results are
     identical either way (the parity tests pin this).
     """
+    if not observe:
+        return _run_grid(setups, benchmarks, modes, fast, jobs)
+    previous = os.environ.get(OBSERVE_ENV)
+    os.environ[OBSERVE_ENV] = "1"
+    try:
+        return _run_grid(setups, benchmarks, modes, fast, jobs)
+    finally:
+        if previous is None:
+            os.environ.pop(OBSERVE_ENV, None)
+        else:
+            os.environ[OBSERVE_ENV] = previous
+
+
+def _run_grid(
+    setups: Iterable[Setup],
+    benchmarks: Iterable[str],
+    modes: Iterable[Mode],
+    fast: bool,
+    jobs: Optional[int],
+) -> EvaluationGrid:
     if resolve_jobs(jobs) > 1 and not TRACE.active:
         from repro.sim.parallel import run_grid
 

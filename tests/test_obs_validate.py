@@ -1,0 +1,114 @@
+"""The ``python -m repro.obs.validate`` CLI: exit codes and messages.
+
+A real captured trace validates clean (exit 0, ``path: OK``); targeted
+corruptions — unknown event type, non-monotonic timestamps, a wrong
+schema header — each produce a ``path: line N: ...`` error and exit 1;
+no arguments prints usage and exits 2.
+"""
+
+import json
+
+import pytest
+
+from repro.modes import Mode
+from repro.obs.export import write_jsonl
+from repro.obs.tracer import TRACE
+from repro.obs.validate import main
+from repro.sim.runner import run_benchmark
+from repro.sim.setups import MLX_SETUP
+
+
+@pytest.fixture(autouse=True)
+def _clean_global_tracer():
+    TRACE.reset()
+    yield
+    TRACE.reset()
+
+
+@pytest.fixture()
+def trace_path(tmp_path):
+    """A real JSONL trace captured from one fast benchmark run."""
+    TRACE.enable()
+    run_benchmark(MLX_SETUP, Mode.RIOMMU, "rr", fast=True)
+    TRACE.disable()
+    path = tmp_path / "run.jsonl"
+    write_jsonl(TRACE, path)
+    return path
+
+
+def _rewrite(path, mutate):
+    """Apply ``mutate(record) -> record|None`` to every line of a trace."""
+    records = [json.loads(line) for line in path.read_text().splitlines()]
+    out = [r for r in (mutate(rec) for rec in records) if r is not None]
+    path.write_text("".join(json.dumps(r) + "\n" for r in out))
+
+
+def test_valid_trace_passes(trace_path, capsys):
+    assert main([str(trace_path)]) == 0
+    assert capsys.readouterr().out.strip() == f"{trace_path}: OK"
+
+
+def test_no_arguments_prints_usage_and_exits_2(capsys):
+    assert main([]) == 2
+    assert "usage:" in capsys.readouterr().out
+
+
+def test_missing_file_is_an_error(tmp_path, capsys):
+    path = tmp_path / "nope.jsonl"
+    assert main([str(path)]) == 1
+    assert "unreadable trace" in capsys.readouterr().out
+
+
+def test_unknown_event_type_fails(trace_path, capsys):
+    def corrupt(record):
+        if record.get("event") == "translate":
+            record["event"] = "teleport"
+        return record
+
+    _rewrite(trace_path, corrupt)
+    assert main([str(trace_path)]) == 1
+    assert "unknown event type 'teleport'" in capsys.readouterr().out
+
+
+def test_negative_timestamp_fails(trace_path, capsys):
+    state = {"done": False}
+
+    def corrupt(record):
+        if not state["done"] and record.get("event") != "trace_meta":
+            record["ts"] = -5.0
+            state["done"] = True
+        return record
+
+    _rewrite(trace_path, corrupt)
+    assert main([str(trace_path)]) == 1
+    assert "bad timestamp" in capsys.readouterr().out
+
+
+def test_non_monotonic_timestamps_fail(trace_path, capsys):
+    records = [json.loads(line) for line in trace_path.read_text().splitlines()]
+    # Rewind the last event's clock below its predecessor's.
+    records[-1]["ts"] = 0.0
+    assert records[-2].get("ts", 0) > 0  # the trace really is long enough
+    trace_path.write_text("".join(json.dumps(r) + "\n" for r in records))
+    assert main([str(trace_path)]) == 1
+    assert "went backwards" in capsys.readouterr().out
+
+
+def test_wrong_schema_header_fails(trace_path, capsys):
+    def corrupt(record):
+        if record.get("event") == "trace_meta":
+            record["schema"] = "riommu-repro/trace/v0"
+        return record
+
+    _rewrite(trace_path, corrupt)
+    assert main([str(trace_path)]) == 1
+    assert "schema" in capsys.readouterr().out
+
+
+def test_one_bad_file_among_good_still_exits_1(trace_path, tmp_path, capsys):
+    bad = tmp_path / "bad.jsonl"
+    bad.write_text("")  # empty: no trace_meta header
+    assert main([str(trace_path), str(bad)]) == 1
+    out = capsys.readouterr().out
+    assert f"{trace_path}: OK" in out
+    assert "empty trace" in out
