@@ -24,6 +24,7 @@ import time
 from typing import Dict, Iterable, List, Optional, Sequence, Tuple
 
 sys.path.insert(0, str(pathlib.Path(__file__).resolve().parent.parent / "src"))
+sys.path.insert(1, str(pathlib.Path(__file__).resolve().parent))
 
 from repro.modes import ALL_MODES, Mode  # noqa: E402
 from repro.sim.parallel import grid_cells, resolve_jobs, run_cell, run_grid  # noqa: E402
@@ -251,6 +252,21 @@ def main(argv: Optional[Sequence[str]] = None) -> int:
         ".chrome.json/.metrics.json siblings; the timed numbers above "
         "are never taken with tracing enabled",
     )
+    parser.add_argument(
+        "--history",
+        metavar="FILE",
+        default=None,
+        help="append this run to the perf-history log (default: the "
+        "tracked BENCH_history.jsonl at the repo root) and gate "
+        "--max-regression against its rolling median instead of the "
+        "single previous report",
+    )
+    parser.add_argument(
+        "--no-history",
+        action="store_true",
+        help="skip the history log: no append, and --max-regression "
+        "falls back to the one-report speedup_vs_previous gate",
+    )
     args = parser.parse_args(argv)
     report = run_harness(
         jobs=args.jobs,
@@ -278,11 +294,37 @@ def main(argv: Optional[Sequence[str]] = None) -> int:
             TRACE.disable()
         for kind, path in export_all(TRACE, args.trace).items():
             print(f"trace {kind} written to {path}", file=sys.stderr)
-    if args.max_regression is not None:
-        error = check_regression(report, args.max_regression)
-        if error is not None:
-            print(error, file=sys.stderr)
-            return 1
+    error: Optional[str] = None
+    if args.no_history:
+        if args.max_regression is not None:
+            error = check_regression(report, args.max_regression)
+    else:
+        # The rolling-median sentinel: gate against the history *before*
+        # this run is appended, then append unconditionally — the log
+        # records what happened, robustly (a median shrugs off the
+        # outlier this entry may turn out to be).
+        import perf_history
+
+        history_path = (
+            pathlib.Path(args.history) if args.history else perf_history.ROOT_HISTORY
+        )
+        history = perf_history.load_history(history_path)
+        if args.max_regression is not None:
+            if history:
+                error = perf_history.check_history_regression(
+                    report, history, args.max_regression
+                )
+            else:
+                error = check_regression(report, args.max_regression)
+        perf_history.append_history(report, history_path)
+        print(
+            f"history appended to {history_path} "
+            f"({len(history) + 1} entries)",
+            file=sys.stderr,
+        )
+    if error is not None:
+        print(error, file=sys.stderr)
+        return 1
     return 0
 
 

@@ -1,0 +1,150 @@
+"""Perf-history regression sentinel: the append-only wall-clock log.
+
+``BENCH_runner.json`` is a snapshot — it remembers exactly one previous
+run, so the regression gate compares against whatever happened to run
+last and a single noisy baseline can mask (or fabricate) a regression.
+This module gives the harness a *trajectory*: every run appends one
+line to ``BENCH_history.jsonl`` (schema-versioned JSONL, git-trackable,
+append-only) and the gate compares the new time against the **rolling
+median** of the last few entries, which a single outlier cannot move.
+
+Used by ``perf_harness.py --max-regression`` (the CI perf job) and
+directly::
+
+    PYTHONPATH=src python benchmarks/perf_harness.py --quick \
+        --max-regression 0.25 --history BENCH_history.jsonl
+"""
+
+from __future__ import annotations
+
+import json
+import pathlib
+import statistics
+from typing import Dict, List, Optional, Sequence, Tuple
+
+#: Schema identifier carried by every history line.
+HISTORY_SCHEMA = "riommu-repro/bench-history/v1"
+
+#: The tracked history log at the repo root (``benchmarks/output/`` is
+#: gitignored scratch, the trajectory belongs in version control).
+ROOT_HISTORY = pathlib.Path(__file__).parent.parent / "BENCH_history.jsonl"
+
+#: Entries folded into the rolling baseline by default.
+DEFAULT_WINDOW = 5
+
+#: The gate's default cell — the paper's headline benchmark under the
+#: most expensive protection regime (same default as the snapshot gate).
+DEFAULT_CELL: Tuple[str, str, str] = ("mlx", "stream", "strict")
+
+
+def cell_key(setup: str, benchmark: str, mode: str) -> str:
+    """The history key for one grid cell: ``setup/benchmark/mode``."""
+    return f"{setup}/{benchmark}/{mode}"
+
+
+def history_entry(report: Dict[str, object]) -> Dict[str, object]:
+    """Fold one ``BENCH_runner.json`` report into a history line."""
+    rows = list(report.get("cells") or ())
+    cells = {
+        cell_key(row["setup"], row["benchmark"], row["mode"]): float(row["seconds"])
+        for row in rows
+    }
+    return {
+        "schema": HISTORY_SCHEMA,
+        "timestamp": report.get("timestamp"),
+        "python": report.get("python"),
+        "cpu_count": report.get("cpu_count"),
+        "fastpath_enabled": report.get("fastpath_enabled"),
+        "quick": report.get("quick"),
+        "fast": bool(rows[0]["fast"]) if rows else True,
+        "cells": cells,
+    }
+
+
+def append_history(
+    report: Dict[str, object], path: pathlib.Path = ROOT_HISTORY
+) -> Dict[str, object]:
+    """Append the report's history line to ``path``; returns the entry."""
+    entry = history_entry(report)
+    path.parent.mkdir(parents=True, exist_ok=True)
+    with open(path, "a") as handle:
+        handle.write(json.dumps(entry, sort_keys=True) + "\n")
+    return entry
+
+
+def load_history(path: pathlib.Path = ROOT_HISTORY) -> List[Dict[str, object]]:
+    """All well-formed history entries, oldest first.
+
+    Malformed lines and entries with a foreign schema are skipped — an
+    append-only log that survives merges must tolerate damage without
+    taking the perf gate down with it.
+    """
+    if not pathlib.Path(path).exists():
+        return []
+    entries: List[Dict[str, object]] = []
+    with open(path) as handle:
+        for line in handle:
+            line = line.strip()
+            if not line:
+                continue
+            try:
+                entry = json.loads(line)
+            except ValueError:
+                continue
+            if (
+                isinstance(entry, dict)
+                and str(entry.get("schema", "")).startswith("riommu-repro/bench-history/")
+                and isinstance(entry.get("cells"), dict)
+            ):
+                entries.append(entry)
+    return entries
+
+
+def rolling_baseline(
+    history: Sequence[Dict[str, object]],
+    cell: Tuple[str, str, str] = DEFAULT_CELL,
+    window: int = DEFAULT_WINDOW,
+) -> Optional[float]:
+    """Median seconds of the cell's last ``window`` history entries."""
+    key = cell_key(*cell)
+    series = [
+        float(entry["cells"][key])
+        for entry in history
+        if key in entry["cells"] and float(entry["cells"][key]) > 0
+    ]
+    if not series:
+        return None
+    return statistics.median(series[-max(window, 1):])
+
+
+def check_history_regression(
+    report: Dict[str, object],
+    history: Sequence[Dict[str, object]],
+    max_regression: float,
+    cell: Tuple[str, str, str] = DEFAULT_CELL,
+    window: int = DEFAULT_WINDOW,
+) -> Optional[str]:
+    """Error string if ``cell`` exceeds the rolling baseline's tolerance.
+
+    Compares the fresh report's wall-clock against the median of the
+    last ``window`` history entries; ``None`` when within
+    ``baseline * (1 + max_regression)`` or when there is no baseline.
+    """
+    baseline = rolling_baseline(history, cell, window)
+    if baseline is None:
+        return None
+    current = None
+    for row in report.get("cells") or ():
+        if (row["setup"], row["benchmark"], row["mode"]) == cell:
+            current = float(row["seconds"])
+            break
+    if current is None or current <= 0:
+        return None
+    limit = baseline * (1.0 + max_regression)
+    if current > limit:
+        return (
+            f"{cell_key(*cell)} regressed: {current:.4f}s > {limit:.4f}s "
+            f"(rolling median of last {min(len(history), window)} runs is "
+            f"{baseline:.4f}s, tolerance {max_regression:.0%})"
+        )
+    return None

@@ -1,0 +1,143 @@
+"""Tests for the perf-history regression sentinel.
+
+All pure-arithmetic and file-shape tests — no timed runs — so they
+always run (no ``perf`` mark needed).  The seeded repo-root
+``BENCH_history.jsonl`` is itself pinned: it must parse and carry a
+baseline for the gate's default cell.
+"""
+
+from __future__ import annotations
+
+import json
+import pathlib
+
+import pytest
+
+from perf_history import (
+    DEFAULT_CELL,
+    HISTORY_SCHEMA,
+    ROOT_HISTORY,
+    append_history,
+    cell_key,
+    check_history_regression,
+    history_entry,
+    load_history,
+    rolling_baseline,
+)
+
+
+def _report(seconds, timestamp="2026-08-07T00:00:00"):
+    """A minimal BENCH_runner-shaped report timing the default cell."""
+    return {
+        "schema": "riommu-repro/bench-runner/v1",
+        "timestamp": timestamp,
+        "python": "3.11.7",
+        "cpu_count": 4,
+        "fastpath_enabled": True,
+        "quick": True,
+        "cells": [
+            {
+                "setup": "mlx",
+                "benchmark": "stream",
+                "mode": "strict",
+                "fast": True,
+                "seconds": seconds,
+                "best_of": 1,
+            }
+        ],
+    }
+
+
+def test_entry_append_load_roundtrip(tmp_path):
+    path = tmp_path / "history.jsonl"
+    entry = append_history(_report(0.07), path)
+    assert entry["schema"] == HISTORY_SCHEMA
+    assert entry["cells"] == {"mlx/stream/strict": 0.07}
+    append_history(_report(0.08), path)
+    loaded = load_history(path)
+    assert [e["cells"]["mlx/stream/strict"] for e in loaded] == [0.07, 0.08]
+    # Append-only: each run adds exactly one line.
+    assert len(path.read_text().splitlines()) == 2
+
+
+def test_load_skips_malformed_and_foreign_lines(tmp_path):
+    path = tmp_path / "history.jsonl"
+    append_history(_report(0.07), path)
+    with open(path, "a") as handle:
+        handle.write("this is not json\n")
+        handle.write(json.dumps({"schema": "someone/elses", "cells": {}}) + "\n")
+        handle.write(json.dumps({"schema": HISTORY_SCHEMA}) + "\n")  # no cells
+        handle.write("\n")
+    append_history(_report(0.08), path)
+    assert len(load_history(path)) == 2
+
+
+def test_load_missing_file_is_empty(tmp_path):
+    assert load_history(tmp_path / "nope.jsonl") == []
+
+
+def test_rolling_baseline_is_median_of_last_window(tmp_path):
+    path = tmp_path / "history.jsonl"
+    for seconds in (0.10, 0.07, 0.08, 0.07, 0.09, 0.07, 0.08):
+        append_history(_report(seconds), path)
+    history = load_history(path)
+    # Last 5: .08 .07 .09 .07 .08 -> median .08; the early 0.10 outlier
+    # has rolled out of the window.
+    assert rolling_baseline(history, DEFAULT_CELL, window=5) == 0.08
+    assert rolling_baseline(history, DEFAULT_CELL, window=3) == 0.08
+    assert rolling_baseline(history, ("mlx", "rr", "strict")) is None
+    assert rolling_baseline([], DEFAULT_CELL) is None
+
+
+def test_median_shrugs_off_a_single_outlier(tmp_path):
+    path = tmp_path / "history.jsonl"
+    for seconds in (0.07, 0.07, 0.07, 0.07, 5.0):
+        append_history(_report(seconds), path)
+    assert rolling_baseline(load_history(path), DEFAULT_CELL, window=5) == 0.07
+
+
+def test_regression_detected_and_tolerated(tmp_path):
+    path = tmp_path / "history.jsonl"
+    for seconds in (0.07, 0.08, 0.07, 0.08, 0.07):
+        append_history(_report(seconds), path)
+    history = load_history(path)
+    # Within tolerance: 0.08 <= 0.07 * 1.25.
+    assert check_history_regression(_report(0.08), history, 0.25) is None
+    # Beyond tolerance: named, quantified error.
+    error = check_history_regression(_report(0.20), history, 0.25)
+    assert error is not None
+    assert "mlx/stream/strict regressed" in error
+    assert "rolling median" in error
+    # No baseline -> no verdict.
+    assert check_history_regression(_report(0.20), [], 0.25) is None
+    other = _report(0.20)
+    other["cells"][0]["mode"] = "none"
+    assert check_history_regression(other, history, 0.25) is None
+
+
+def test_cell_key_shape():
+    assert cell_key("mlx", "stream", "strict") == "mlx/stream/strict"
+    assert cell_key(*DEFAULT_CELL) == "mlx/stream/strict"
+
+
+def test_seeded_root_history_is_a_valid_baseline():
+    """The committed BENCH_history.jsonl seeds the sentinel from day one."""
+    assert ROOT_HISTORY.name == "BENCH_history.jsonl"
+    assert ROOT_HISTORY.exists()
+    history = load_history(ROOT_HISTORY)
+    assert history, "seeded history must parse"
+    baseline = rolling_baseline(history, DEFAULT_CELL)
+    assert baseline is not None and baseline > 0
+
+
+def test_history_entry_captures_environment():
+    entry = history_entry(_report(0.07))
+    assert entry["python"] == "3.11.7"
+    assert entry["cpu_count"] == 4
+    assert entry["fastpath_enabled"] is True
+    assert entry["quick"] is True
+    assert entry["fast"] is True
+    assert entry["timestamp"] == "2026-08-07T00:00:00"
+    # Degenerate report: no cells.
+    empty = history_entry({"cells": []})
+    assert empty["cells"] == {} and empty["fast"] is True

@@ -116,3 +116,40 @@ def xy_plot(
         " " * 10 + f"{x_lo_label:,.0f}".ljust(width - 12) + f"{x_hi_label:,.0f}"
     )
     return "\n".join(lines)
+
+
+#: Sparkline intensity ramp, lowest to highest (space = zero).
+SPARK_GLYPHS = " .:-=+*#%@"
+
+
+def sparkline(values: Sequence[float], width: int = 64) -> str:
+    """One-line ASCII sparkline of a series, resampled to ``width``.
+
+    Values are bucket-averaged down (or index-stretched up) to exactly
+    ``width`` characters and mapped onto :data:`SPARK_GLYPHS` by
+    magnitude relative to the series peak — the timeline renderer's
+    workhorse.  An empty series renders as an empty string.
+    """
+    if not values:
+        return ""
+    n = len(values)
+    if n <= width:
+        samples = list(values)
+    else:
+        samples = []
+        for i in range(width):
+            lo = i * n // width
+            hi = max((i + 1) * n // width, lo + 1)
+            chunk = values[lo:hi]
+            samples.append(sum(chunk) / len(chunk))
+    peak = max(samples)
+    if peak <= 0:
+        return " " * len(samples)
+    top = len(SPARK_GLYPHS) - 1
+    out = []
+    for value in samples:
+        if value <= 0:
+            out.append(SPARK_GLYPHS[0])
+        else:
+            out.append(SPARK_GLYPHS[max(1, round(value / peak * top))])
+    return "".join(out)

@@ -67,6 +67,8 @@ class ModeSummary:
     stale_bytes: int = 0
     #: per-cell metrics snapshots, merged for cross-cell percentiles
     metrics: List[Dict[str, float]] = field(default_factory=list)
+    #: per-cell timeline summaries, merged (in grid order) for sparklines
+    timelines: List[Dict[str, object]] = field(default_factory=list)
 
     def add(self, result: RunResult) -> None:
         """Fold one observed cell into the mode's aggregate."""
@@ -91,6 +93,9 @@ class ModeSummary:
         self.stale_dmas += audit["stale_dmas"]
         self.stale_bytes += audit["stale_bytes"]
         self.metrics.append(obs["metrics"])
+        timeline = obs.get("timeline")
+        if timeline and timeline.get("windows"):
+            self.timelines.append(timeline)
 
     @property
     def protected(self) -> bool:
@@ -101,6 +106,18 @@ class ModeSummary:
     def audit_ok(self) -> bool:
         """The mode honoured its protection promise (or made none)."""
         return self.protected or not self.mode.safe
+
+    def merged_timeline(self) -> Optional[Dict[str, object]]:
+        """The mode's cells' timelines merged in grid (serial) order.
+
+        Cells are appended in the report's serial iteration order, so
+        the merge is bit-identical for any ``--jobs`` worker count.
+        """
+        if not self.timelines:
+            return None
+        from repro.obs.timeline import merge_timelines
+
+        return merge_timelines(self.timelines)
 
     def percentiles(self) -> Dict[str, Dict[str, float]]:
         """p50/p95/p99 per distribution, merged across the mode's cells."""
@@ -168,8 +185,12 @@ class RunReport:
 
     # -- terminal rendering ----------------------------------------------
 
-    def render(self) -> str:
-        """The full report as aligned plain text."""
+    def render(self, timelines: bool = False) -> str:
+        """The full report as aligned plain text.
+
+        ``timelines=True`` (the CLI's ``--timeline``) appends per-mode
+        ASCII sparkline timelines of the merged cycle-window series.
+        """
         summaries = self.mode_summaries()
         modes = list(summaries)
         sections: List[str] = [self._render_headline(summaries)]
@@ -199,7 +220,27 @@ class RunReport:
         sections.append(self._render_attribution(summaries))
         sections.append(self._render_percentiles(summaries))
         sections.append(self._render_audit(summaries))
+        if timelines:
+            section = self._render_timelines(summaries)
+            if section:
+                sections.append(section)
         return "\n\n".join(sections)
+
+    def _render_timelines(self, summaries: Dict[Mode, ModeSummary]) -> str:
+        from repro.obs.timeline import render_timeline
+
+        blocks: List[str] = []
+        for mode, s in summaries.items():
+            merged = s.merged_timeline()
+            if merged is None:
+                continue
+            blocks.append(
+                render_timeline(merged, title=f"[{mode.label}]")
+            )
+        if not blocks:
+            return ""
+        head = "Timelines (merged per mode, fixed cycle windows)"
+        return "\n\n".join([head] + blocks)
 
     def _render_headline(self, summaries: Dict[Mode, ModeSummary]) -> str:
         cells = sum(s.cells for s in summaries.values())
@@ -348,6 +389,22 @@ class RunReport:
             "<th>p50</th><th>p95</th><th>p99</th></tr>" + "".join(rows) + "</table>"
         )
 
+        timeline_blocks: List[str] = []
+        for mode, s in summaries.items():
+            merged = s.merged_timeline()
+            if merged is None:
+                continue
+            from repro.obs.timeline import render_timeline
+
+            timeline_blocks.append(
+                f'<pre class="spark">'
+                f"{html.escape(render_timeline(merged, title=f'[{mode.label}]'))}"
+                f"</pre>"
+            )
+        if timeline_blocks:
+            parts.append("<h2>Timelines (merged per mode)</h2>")
+            parts.extend(timeline_blocks)
+
         parts.append("<h2>Protection audit</h2>")
         rows = []
         for mode, s in summaries.items():
@@ -437,6 +494,9 @@ tr:nth-child(even) { background: #fafafa; }
 .barouter { display: flex; height: 1.2rem; min-width: 2px;
             border-radius: .2rem; overflow: hidden; flex: none; max-width: 60%; }
 .seg { height: 100%; }
+.spark { font: 12px/1.35 ui-monospace, monospace; background: #fafafa;
+         border: 1px solid #eee; border-radius: .3rem; padding: .5rem .75rem;
+         overflow-x: auto; }
 </style></head><body>"""
 
 

@@ -48,24 +48,36 @@ from repro.kernel.machine import Machine
 from repro.modes import ALL_MODES, BASELINE_MODES, Mode
 from repro.analysis.dashboard import RunReport, run_report
 from repro.obs import (
+    DIFF_SCHEMA,
     EVENT_TYPES,
     OBS_SCHEMA,
     OBSERVE_ENV,
+    TIMELINE_SCHEMA,
     TRACE,
     CycleProfiler,
+    DiffReport,
     Log2Histogram,
     MetricsRegistry,
     ProtectionAuditor,
     RunObserver,
+    TimelineSampler,
     Tracer,
     collect_machine_metrics,
+    diff_metrics,
+    diff_timelines,
+    diff_traces,
     export_all,
+    merge_timelines,
     observe_requested,
     parse_filter,
+    read_timeline,
+    render_timeline,
+    timeline_total,
     validate_jsonl,
     write_chrome_trace,
     write_jsonl,
     write_metrics,
+    write_timeline,
 )
 from repro.sim.registry import BENCHMARKS, BenchmarkSpec, register_benchmark
 from repro.sim.results import RunResult, normalized, normalized_cpu
@@ -131,4 +143,17 @@ __all__ = [
     "RunReport",
     "observe_requested",
     "run_report",
+    # timelines & diffing
+    "DIFF_SCHEMA",
+    "DiffReport",
+    "TIMELINE_SCHEMA",
+    "TimelineSampler",
+    "diff_metrics",
+    "diff_timelines",
+    "diff_traces",
+    "merge_timelines",
+    "read_timeline",
+    "render_timeline",
+    "timeline_total",
+    "write_timeline",
 ]

@@ -176,17 +176,47 @@ def build_parser() -> argparse.ArgumentParser:
         help="with 'report': also write the self-contained HTML report "
         "to FILE",
     )
+    parser.add_argument(
+        "--timeline",
+        action="store_true",
+        help="with 'report': render per-mode ASCII timeline sparklines "
+        "(cycles, throughput, hit rate, open windows per cycle window)",
+    )
     return parser
 
 
 def main(argv: Optional[Sequence[str]] = None) -> int:
     """CLI entry point; returns the process exit code."""
-    args = build_parser().parse_args(argv)
+    raw = list(sys.argv[1:] if argv is None else argv)
+
+    # Verbs with their own grammar dispatch before the experiment
+    # parser: `repro diff A B [...]` and `repro obs validate PATH [...]`.
+    if raw and raw[0] == "diff":
+        from repro.analysis.diff import main as diff_main
+
+        return diff_main(raw[1:])
+    if raw and raw[0] == "obs":
+        if len(raw) >= 2 and raw[1] == "validate":
+            from repro.obs.validate import main as validate_main
+
+            return validate_main(raw[2:])
+        print(
+            "usage: repro obs validate ARTIFACT|DIR [...]", file=sys.stderr
+        )
+        return 2
+
+    args = build_parser().parse_args(raw)
 
     if args.experiment == "list":
         width = max(len(name) for name in EXPERIMENTS)
         for name in sorted(EXPERIMENTS):
             print(f"{name:<{width}}  {EXPERIMENTS[name]}")
+        print(f"{'report':<{width}}  observed-grid run report "
+              "(--timeline for sparklines, --html FILE)")
+        print(f"{'diff':<{width}}  compare two runs/artifacts, localize "
+              "the first divergence (repro diff A B)")
+        print(f"{'obs':<{width}}  validate observability artifacts "
+              "(repro obs validate PATH|DIR ...)")
         return 0
 
     if args.experiment == "report":
@@ -194,7 +224,7 @@ def main(argv: Optional[Sequence[str]] = None) -> int:
 
         started = time.time()
         report = run_report(fast=args.fast, jobs=args.jobs)
-        text = report.render()
+        text = report.render(timelines=args.timeline)
         print(text)
         print(f"\n[report in {time.time() - started:.1f}s]")
         if args.html:

@@ -24,6 +24,14 @@ from repro.obs.export import (
     write_metrics,
 )
 from repro.obs.audit import ProtectionAuditor
+from repro.obs.diffing import (
+    DIFF_SCHEMA,
+    DiffReport,
+    diff_metrics,
+    diff_timelines,
+    diff_traces,
+    validate_diff_report,
+)
 from repro.obs.metrics import (
     Counter,
     Histogram,
@@ -39,34 +47,63 @@ from repro.obs.profile import (
     RunObserver,
     observe_requested,
 )
+from repro.obs.timeline import (
+    TIMELINE_SCHEMA,
+    TIMELINE_WINDOW_ENV,
+    TimelineSampler,
+    merge_timelines,
+    read_timeline,
+    render_timeline,
+    timeline_total,
+    validate_timeline_jsonl,
+    validate_timeline_records,
+    window_cycles_requested,
+    write_timeline,
+)
 from repro.obs.tracer import EVENT_TYPES, TRACE, Tracer, parse_filter
 
 __all__ = [
+    "DIFF_SCHEMA",
     "EVENT_TYPES",
     "METRICS_SCHEMA",
     "OBS_SCHEMA",
     "OBSERVE_ENV",
+    "TIMELINE_SCHEMA",
+    "TIMELINE_WINDOW_ENV",
     "TRACE",
     "TRACE_SCHEMA",
     "Counter",
     "CycleProfiler",
+    "DiffReport",
     "Histogram",
     "Log2Histogram",
     "MetricsRegistry",
     "ProtectionAuditor",
     "RunObserver",
+    "TimelineSampler",
     "Tracer",
     "chrome_trace",
     "collect_machine_metrics",
+    "diff_metrics",
+    "diff_timelines",
+    "diff_traces",
     "export_all",
     "jsonl_records",
     "log2_bucket",
+    "merge_timelines",
     "metrics_summary",
     "observe_requested",
     "parse_filter",
     "read_jsonl",
+    "read_timeline",
+    "render_timeline",
+    "timeline_total",
+    "validate_diff_report",
     "validate_jsonl",
     "validate_records",
+    "validate_timeline_jsonl",
+    "validate_timeline_records",
+    "window_cycles_requested",
     "write_chrome_trace",
     "write_jsonl",
     "write_metrics",

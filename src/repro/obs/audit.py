@@ -224,6 +224,15 @@ class ProtectionAuditor:
     # -- report ----------------------------------------------------------
 
     @property
+    def open_windows(self) -> int:
+        """Vulnerability windows currently open, across all devices.
+
+        A live gauge — the timeline sampler reads it after every event
+        to plot §3.2 exposure over modelled time.
+        """
+        return sum(self._open_by_bdf.values())
+
+    @property
     def protected(self) -> bool:
         """True when no DMA was served through a stale entry."""
         return self.stale_bytes == 0 and self.stale_dmas == 0

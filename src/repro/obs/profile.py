@@ -30,6 +30,7 @@ from typing import Dict, List, Optional, Tuple
 
 from repro.obs.audit import ProtectionAuditor
 from repro.obs.metrics import Log2Histogram, MetricsRegistry
+from repro.obs.timeline import TimelineSampler
 from repro.obs.tracer import TRACE
 from repro.perf.cycles import Component, exact_add
 
@@ -195,7 +196,11 @@ class RunObserver:
     the map→unmap lifetime histogram; nothing retains events.
     """
 
-    def __init__(self) -> None:
+    def __init__(
+        self,
+        clock_hz: Optional[float] = None,
+        timeline_window: Optional[float] = None,
+    ) -> None:
         self.profiler = CycleProfiler()
         self.registry = MetricsRegistry()
         #: cycles between successive per-packet PROCESSING charges
@@ -211,6 +216,13 @@ class RunObserver:
             "stale_window_cycles"
         )
         self.auditor = ProtectionAuditor(window_histogram=self.window_cycles)
+        #: fixed-width cycle-window time-series of the whole run; reads
+        #: the auditor's open-window gauge, so it dispatches after it
+        self.timeline = TimelineSampler(
+            window_cycles=timeline_window,
+            clock_hz=clock_hz,
+            auditor=self.auditor,
+        )
         #: account id -> ts of its previous PROCESSING charge
         self._last_processing: Dict[int, float] = {}
         #: mapping key -> map-event ts (baseline and rIOMMU keys differ)
@@ -222,6 +234,7 @@ class RunObserver:
     def __call__(self, ts: float, etype: str, fields: Dict[str, object]) -> None:
         self.profiler(ts, etype, fields)
         self.auditor(ts, etype, fields)
+        self.timeline(ts, etype, fields)
         if etype == "cycle_charge":
             if fields["comp"] == Component.PROCESSING.value:
                 acct = fields["acct"]
@@ -250,6 +263,9 @@ class RunObserver:
     # -- lifecycle -------------------------------------------------------
 
     def __enter__(self) -> "RunObserver":
+        # The modelled-cycle clock is process-cumulative across observed
+        # runs; anchor the timeline's windows to this run's start.
+        self.timeline.origin = TRACE.now
         TRACE.subscribe(self)
         return self
 
@@ -260,7 +276,9 @@ class RunObserver:
     def finalize(self, end_ts: Optional[float] = None) -> None:
         """Close still-open vulnerability windows at the run's end."""
         if not self._finalized:
-            self.auditor.finalize(TRACE.now if end_ts is None else end_ts)
+            final_ts = TRACE.now if end_ts is None else end_ts
+            self.auditor.finalize(final_ts)
+            self.timeline.finalize(final_ts)
             self._finalized = True
 
     # -- summary ---------------------------------------------------------
@@ -296,4 +314,5 @@ class RunObserver:
             "audit": audit,
             "percentiles": self.percentiles(),
             "metrics": self.registry.snapshot(),
+            "timeline": self.timeline.summary(),
         }

@@ -1,0 +1,617 @@
+"""Time-resolved observability: the timeline sampler (see ISSUE 5).
+
+The paper's argument is inherently temporal — deferred-mode
+vulnerability windows open and close over modelled cycles (§3.2), the
+defer queue flushes in bursts, and rIOTLB behaviour depends on ring
+phase — but the profiler and auditor only produce end-of-run
+aggregates.  :class:`TimelineSampler` is a streaming trace sink that
+folds the event stream into fixed-width cycle-window time-series:
+
+* cycles charged per Table 1 component (cumulative *and* per-window),
+* packets retired and modelled throughput (Gbps via the §3.3 model),
+* (r)IOTLB hit / miss / stale counts and the per-window hit rate,
+* invalidation-queue depth and defer-queue occupancy (watermarks),
+* open-vulnerability-window count (via an attached
+  :class:`~repro.obs.audit.ProtectionAuditor`),
+* map/unmap/invalidate/fault/DMA counts and DMA bytes.
+
+Two exactness properties, both pinned by ``tests/test_timeline.py``:
+
+1. **Bit-exact reconciliation.**  The cumulative per-component cycle
+   series uses the same chained :func:`~repro.perf.cycles.exact_add`
+   fold as the profiler, per account, so the final window's ``cum``
+   snapshot sums to ``RunResult.cycles_total`` to the last bit
+   (:func:`timeline_total`) in every figure-12 mode.  Per-window
+   ``cycles`` deltas are derived from successive snapshots and are
+   display-only.
+2. **Deterministic merging.**  :func:`merge_timelines` folds per-cell
+   summaries in the caller's (serial grid) order, summing counters and
+   carry-forward cumulative series window by window — so a merged
+   timeline is bit-identical no matter how many ``--jobs`` workers
+   produced the cells.
+
+Timelines serialise to JSONL (schema ``riommu-repro/timeline/v1``):
+one ``timeline_meta`` header line, then one ``window`` record per
+non-empty window.  :func:`render_timeline` draws the series as ASCII
+sparklines for ``repro report --timeline`` and the HTML dashboard.
+"""
+
+from __future__ import annotations
+
+import json
+import os
+from typing import Dict, Iterable, List, Optional, Sequence
+
+from repro.perf.cycles import Component, exact_add
+
+#: Schema identifier stamped into every exported timeline.
+TIMELINE_SCHEMA = "riommu-repro/timeline/v1"
+
+#: Environment override for the sampling window width, in modelled
+#: cycles (inherited by parallel worker processes, so every cell of a
+#: grid samples on the same grid of window boundaries).
+TIMELINE_WINDOW_ENV = "REPRO_TIMELINE_WINDOW"
+
+#: Default window width: ~25 strict-mode packets per window, giving
+#: fast runs tens of windows and full runs hundreds.
+DEFAULT_WINDOW_CYCLES = 50_000.0
+
+_PROCESSING = Component.PROCESSING.value
+
+#: Per-window event counters, in presentation order.
+_COUNTERS = (
+    "packets",
+    "charges",
+    "maps",
+    "unmaps",
+    "unmaps_deferred",
+    "invalidates",
+    "qi_submits",
+    "iotlb_hits",
+    "iotlb_misses",
+    "iotlb_stale",
+    "faults",
+    "dma_reads",
+    "dma_writes",
+    "dma_bytes",
+    "resets",
+)
+
+#: Per-window gauge watermarks (max of a running level over the window).
+_GAUGES = ("qi_depth_max", "defer_pending_max", "open_windows_max")
+
+
+def window_cycles_requested() -> float:
+    """The sampling window width, honouring ``REPRO_TIMELINE_WINDOW``."""
+    raw = os.environ.get(TIMELINE_WINDOW_ENV, "")
+    if raw:
+        try:
+            value = float(raw)
+            if value > 0:
+                return value
+        except ValueError:
+            pass
+    return DEFAULT_WINDOW_CYCLES
+
+
+class _TimelineFold:
+    """Per-account chained ``exact_add`` fold of the charge stream.
+
+    The same arithmetic as the profiler's fold, so cumulative snapshots
+    reproduce ``CycleAccount.total()`` bit-exactly; a ``cycle_reset``
+    rolls the measured phase into ``warmup`` and starts over, mirroring
+    the benchmarks' post-warmup ``account.reset()``.
+    """
+
+    __slots__ = ("key", "measured", "warmup_total")
+
+    def __init__(self, key: str) -> None:
+        self.key = key
+        self.measured: Dict[str, float] = {}
+        self.warmup_total = 0.0
+
+    def charge(self, comp: str, cycles: float, n: int) -> None:
+        measured = self.measured
+        measured[comp] = exact_add(measured.get(comp, 0.0), cycles, n)
+
+    def reset(self) -> None:
+        for cycles in self.measured.values():
+            self.warmup_total += cycles
+        self.measured = {}
+
+    def total(self) -> float:
+        return sum(self.measured.values())
+
+
+class TimelineSampler:
+    """A trace sink folding the event stream into cycle-window series.
+
+    Use as ``TRACE.subscribe(sampler)``, or let
+    :class:`~repro.obs.profile.RunObserver` attach one per run.  Set
+    :attr:`origin` to the tracer's cursor at subscribe time so window
+    boundaries are run-relative (the modelled-cycle clock is
+    process-cumulative across observed runs); otherwise the first
+    event's timestamp is used.
+
+    ``auditor`` (optional) is read — never driven — for the
+    open-vulnerability-window gauge; dispatch it *before* this sampler
+    so the gauge reflects the event just processed.
+    """
+
+    def __init__(
+        self,
+        window_cycles: Optional[float] = None,
+        clock_hz: Optional[float] = None,
+        auditor=None,
+    ) -> None:
+        self.window_cycles = (
+            float(window_cycles) if window_cycles else window_cycles_requested()
+        )
+        if self.window_cycles <= 0:
+            raise ValueError("window_cycles must be positive")
+        self.clock_hz = clock_hz
+        self.auditor = auditor
+        #: run-relative clock origin (set by the observer at subscribe)
+        self.origin: Optional[float] = None
+
+        #: account id -> fold, in first-seen order
+        self._folds: Dict[int, _TimelineFold] = {}
+        self._keys_taken: Dict[str, int] = {}
+        self._records: List[Dict[str, object]] = []
+        self._w: Optional[int] = None
+        self._win: Dict[str, int] = {}
+        self._prev_cum: Dict[str, Dict[str, float]] = {}
+        self._prev_warmup = 0.0
+        #: running gauge levels (watermarked per window)
+        self._qi_depth = 0
+        self._defer_pending = 0
+        self._end_ts = 0.0
+        self._finalized = False
+
+    # -- sink entry point ------------------------------------------------
+
+    def __call__(self, ts: float, etype: str, fields: Dict[str, object]) -> None:
+        if self._finalized:
+            return
+        origin = self.origin
+        if origin is None:
+            origin = self.origin = ts
+        w = int((ts - origin) // self.window_cycles)
+        cur = self._w
+        if cur is None:
+            self._w = w
+            self._win = dict.fromkeys(_COUNTERS, 0)
+        elif w > cur:
+            self._snapshot()
+            self._w = w
+            self._win = dict.fromkeys(_COUNTERS, 0)
+        win = self._win
+        if ts > self._end_ts:
+            self._end_ts = ts
+
+        if etype == "cycle_charge":
+            acct = fields["acct"]
+            fold = self._folds.get(acct)
+            if fold is None:
+                fold = self._folds[acct] = _TimelineFold(
+                    self._fold_key(fields.get("label"))
+                )
+            comp = fields["comp"]
+            n = fields["n"]
+            fold.charge(comp, fields["cycles"], n)
+            win["charges"] += 1
+            if comp == _PROCESSING:
+                win["packets"] += fields["events"] * n
+        elif etype == "cycle_reset":
+            fold = self._folds.get(fields["acct"])
+            if fold is not None:
+                fold.reset()
+            win["resets"] += 1
+        elif etype == "iotlb_hit":
+            win["iotlb_hits"] += 1
+        elif etype == "iotlb_miss":
+            win["iotlb_misses"] += 1
+        elif etype == "iotlb_stale":
+            win["iotlb_stale"] += 1
+        elif etype == "map":
+            win["maps"] += 1
+        elif etype == "unmap":
+            win["unmaps"] += 1
+            if fields.get("deferred"):
+                win["unmaps_deferred"] += 1
+                self._defer_pending += 1
+        elif etype == "invalidate":
+            win["invalidates"] += 1
+            kind = fields.get("kind")
+            if kind == "global":
+                self._defer_pending = 0
+                if self._qi_depth > 0:
+                    self._qi_depth -= 1
+            elif kind in ("page", "device"):
+                if self._defer_pending > 0:
+                    self._defer_pending -= 1
+                if self._qi_depth > 0:
+                    self._qi_depth -= 1
+        elif etype == "qi_submit":
+            win["qi_submits"] += 1
+            self._qi_depth += 1
+        elif etype == "qi_wait":
+            self._qi_depth = 0
+        elif etype == "fault":
+            win["faults"] += 1
+        elif etype == "dma_read":
+            win["dma_reads"] += 1
+            win["dma_bytes"] += int(fields.get("size", 0))
+        elif etype == "dma_write":
+            win["dma_writes"] += 1
+            win["dma_bytes"] += int(fields.get("size", 0))
+
+        # Gauge watermarks sample the running level after every event.
+        if self._qi_depth > win.get("qi_depth_max", 0):
+            win["qi_depth_max"] = self._qi_depth
+        if self._defer_pending > win.get("defer_pending_max", 0):
+            win["defer_pending_max"] = self._defer_pending
+        auditor = self.auditor
+        if auditor is not None:
+            open_windows = auditor.open_windows
+            if open_windows > win.get("open_windows_max", 0):
+                win["open_windows_max"] = open_windows
+
+    def _fold_key(self, label) -> str:
+        base = str(label) if label else "acct"
+        seen = self._keys_taken.get(base, 0)
+        self._keys_taken[base] = seen + 1
+        return base if seen == 0 else f"{base}#{seen + 1}"
+
+    # -- window snapshots ------------------------------------------------
+
+    def _snapshot(self) -> None:
+        """Close the current window into a record."""
+        w = self._w
+        if w is None:
+            return
+        width = self.window_cycles
+        cum: Dict[str, Dict[str, float]] = {
+            fold.key: dict(fold.measured) for fold in self._folds.values()
+        }
+        prev = self._prev_cum
+        deltas: Dict[str, float] = {}
+        for key, comps in cum.items():
+            prev_comps = prev.get(key, {})
+            for comp, value in comps.items():
+                deltas[comp] = deltas.get(comp, 0.0) + (
+                    value - prev_comps.get(comp, 0.0)
+                )
+        warmup_total = 0.0
+        for fold in self._folds.values():
+            warmup_total += fold.warmup_total
+        record: Dict[str, object] = {
+            "event": "window",
+            "w": w,
+            # Run-relative times: the absolute clock origin is
+            # process-cumulative and would differ across grid workers.
+            "t0": w * width,
+            "t1": (w + 1) * width,
+        }
+        for name in _COUNTERS:
+            record[name] = self._win.get(name, 0)
+        for name in _GAUGES:
+            record[name] = self._win.get(name, 0)
+        record["cycles"] = deltas
+        record["warmup_cycles"] = warmup_total - self._prev_warmup
+        record["cum"] = cum
+        cycles_delta = sum(deltas.values())
+        hits = record["iotlb_hits"]
+        lookups = hits + record["iotlb_misses"]
+        record["iotlb_hit_rate"] = (hits / lookups) if lookups else None
+        record["gbps"] = self._window_gbps(record["packets"], cycles_delta)
+        self._records.append(record)
+        self._prev_cum = cum
+        self._prev_warmup = warmup_total
+
+    def _window_gbps(self, packets: int, cycles_delta: float) -> Optional[float]:
+        """Modelled throughput of one window via the §3.3 model.
+
+        ``Gbps = bytes x 8 x S / C`` with C the window's cycles per
+        retired packet — an MTU-frame estimate, display-only.
+        """
+        if not self.clock_hz or packets <= 0 or cycles_delta <= 0:
+            return None
+        from repro.perf.model import gbps_from_cycles
+
+        return gbps_from_cycles(cycles_delta / packets, self.clock_hz)
+
+    def finalize(self, end_ts: Optional[float] = None) -> None:
+        """Close the open window; further events are ignored."""
+        if self._finalized:
+            return
+        self._finalized = True
+        if end_ts is not None and end_ts > self._end_ts:
+            self._end_ts = end_ts
+        self._snapshot()
+
+    # -- reads -----------------------------------------------------------
+
+    def total_cycles(self) -> float:
+        """Measured-phase cycles across all accounts (bit-exact)."""
+        return sum(fold.total() for fold in self._folds.values())
+
+    def summary(self) -> Dict[str, object]:
+        """The timeline as one JSON-friendly dict (finalizes if needed)."""
+        self.finalize()
+        origin = self.origin or 0.0
+        return {
+            "schema": TIMELINE_SCHEMA,
+            "window_cycles": self.window_cycles,
+            "clock_hz": self.clock_hz,
+            "span_cycles": self._end_ts - origin if self._records else 0.0,
+            "windows": list(self._records),
+            "cycles_total": self.total_cycles(),
+            "merged_from": 1,
+        }
+
+
+# -- the artifact-side total ----------------------------------------------
+
+
+def timeline_total(summary: Dict[str, object]) -> float:
+    """``cycles_total`` recomputed from the windows alone (bit-exact).
+
+    The final window's ``cum`` snapshot holds each account's chained
+    measured-phase fold; summing per account, then across accounts —
+    the profiler's own association — reproduces
+    ``RunResult.cycles_total`` to the last bit.
+    """
+    windows = summary.get("windows") or ()
+    if not windows:
+        return 0.0
+    cum = windows[-1]["cum"]
+    return sum(sum(comps.values()) for comps in cum.values())
+
+
+# -- merging across grid cells --------------------------------------------
+
+
+def merge_timelines(summaries: Sequence[Dict[str, object]]) -> Dict[str, object]:
+    """Fold per-cell timeline summaries into one, in the given order.
+
+    Counters sum, gauge watermarks take the max, per-window ``cycles``
+    deltas sum, and the cumulative series carry forward each cell's
+    last snapshot — all folded in the caller's order, so the result is
+    bit-identical regardless of how many workers produced the cells
+    (the parallel grid merges in serial iteration order).  All inputs
+    must share ``window_cycles``.
+    """
+    if not summaries:
+        raise ValueError("nothing to merge")
+    width = summaries[0]["window_cycles"]
+    for summary in summaries:
+        if summary["window_cycles"] != width:
+            raise ValueError(
+                f"window width mismatch: {summary['window_cycles']} != {width}"
+            )
+    clocks = {s.get("clock_hz") for s in summaries}
+    clock_hz = clocks.pop() if len(clocks) == 1 else None
+    max_w = -1
+    indexed: List[Dict[int, Dict[str, object]]] = []
+    for summary in summaries:
+        by_w = {record["w"]: record for record in summary["windows"]}
+        indexed.append(by_w)
+        if by_w:
+            max_w = max(max_w, max(by_w))
+
+    def _namespaced(i: int, key: str) -> str:
+        return key if len(summaries) == 1 else f"cell{i}:{key}"
+
+    merged_windows: List[Dict[str, object]] = []
+    carry: List[Dict[str, Dict[str, float]]] = [{} for _ in summaries]
+    for w in range(max_w + 1):
+        rows = [by_w.get(w) for by_w in indexed]
+        if not any(rows):
+            continue
+        record: Dict[str, object] = {"event": "window", "w": w}
+        record["t0"] = w * width
+        record["t1"] = (w + 1) * width
+        for name in _COUNTERS:
+            record[name] = sum(row[name] for row in rows if row)
+        for name in _GAUGES:
+            record[name] = max((row[name] for row in rows if row), default=0)
+        deltas: Dict[str, float] = {}
+        for row in rows:
+            if not row:
+                continue
+            for comp, value in row["cycles"].items():
+                deltas[comp] = deltas.get(comp, 0.0) + value
+        record["cycles"] = deltas
+        record["warmup_cycles"] = sum(
+            row["warmup_cycles"] for row in rows if row
+        )
+        cum: Dict[str, Dict[str, float]] = {}
+        for i, row in enumerate(rows):
+            if row:
+                carry[i] = row["cum"]
+            for key, comps in carry[i].items():
+                cum[_namespaced(i, key)] = dict(comps)
+        record["cum"] = cum
+        hits = record["iotlb_hits"]
+        lookups = hits + record["iotlb_misses"]
+        record["iotlb_hit_rate"] = (hits / lookups) if lookups else None
+        cycles_delta = sum(deltas.values())
+        if clock_hz and record["packets"] > 0 and cycles_delta > 0:
+            from repro.perf.model import gbps_from_cycles
+
+            record["gbps"] = gbps_from_cycles(
+                cycles_delta / record["packets"], clock_hz
+            )
+        else:
+            record["gbps"] = None
+        merged_windows.append(record)
+
+    total = 0.0
+    for summary in summaries:
+        total += summary["cycles_total"]
+    return {
+        "schema": TIMELINE_SCHEMA,
+        "window_cycles": width,
+        "clock_hz": clock_hz,
+        "span_cycles": max(
+            (s["span_cycles"] for s in summaries), default=0.0
+        ),
+        "windows": merged_windows,
+        "cycles_total": total,
+        "merged_from": sum(int(s.get("merged_from", 1)) for s in summaries),
+    }
+
+
+# -- JSONL export / import / validation -----------------------------------
+
+
+def timeline_records(summary: Dict[str, object]) -> Iterable[Dict[str, object]]:
+    """The summary as JSONL-ready records: meta header, then windows."""
+    meta = {"event": "timeline_meta"}
+    meta.update({k: v for k, v in summary.items() if k != "windows"})
+    meta["windows"] = len(summary["windows"])
+    yield meta
+    for record in summary["windows"]:
+        yield record
+
+
+def write_timeline(summary: Dict[str, object], path) -> int:
+    """Write the timeline JSONL; returns the window-record count."""
+    count = 0
+    with open(path, "w") as handle:
+        for record in timeline_records(summary):
+            handle.write(json.dumps(record, separators=(",", ":")) + "\n")
+            count += 1
+    return count - 1  # meta line excluded
+
+
+def read_timeline(path) -> Dict[str, object]:
+    """Parse a timeline JSONL file back into a summary dict."""
+    from repro.obs.export import read_jsonl
+
+    records = read_jsonl(path)
+    if not records or records[0].get("event") != "timeline_meta":
+        raise ValueError(f"{path}: not a timeline artifact")
+    summary = {k: v for k, v in records[0].items() if k != "event"}
+    summary["windows"] = records[1:]
+    return summary
+
+
+def validate_timeline_records(records: Sequence[Dict[str, object]]) -> List[str]:
+    """Validate JSONL records against ``timeline/v1``; returns errors."""
+    errors: List[str] = []
+    records = list(records)
+    if not records:
+        return ["empty timeline: expected a timeline_meta header line"]
+    meta = records[0]
+    if meta.get("event") != "timeline_meta":
+        return ["line 1: expected a timeline_meta header record"]
+    if meta.get("schema") != TIMELINE_SCHEMA:
+        errors.append(
+            f"line 1: schema {meta.get('schema')!r} != {TIMELINE_SCHEMA!r}"
+        )
+    width = meta.get("window_cycles")
+    if not isinstance(width, (int, float)) or width <= 0:
+        errors.append(f"line 1: bad window_cycles {width!r}")
+    last_w = -1
+    for lineno, record in enumerate(records[1:], start=2):
+        if record.get("event") != "window":
+            errors.append(
+                f"line {lineno}: expected a window record, "
+                f"got {record.get('event')!r}"
+            )
+            continue
+        w = record.get("w")
+        if not isinstance(w, int) or w < 0:
+            errors.append(f"line {lineno}: bad window index {w!r}")
+        elif w <= last_w:
+            errors.append(
+                f"line {lineno}: window index {w} went backwards "
+                f"(previous {last_w})"
+            )
+        else:
+            last_w = w
+        for name in _COUNTERS:
+            value = record.get(name)
+            if not isinstance(value, int) or value < 0:
+                errors.append(f"line {lineno}: bad counter {name}={value!r}")
+                break
+        cum = record.get("cum")
+        if not isinstance(cum, dict) or not all(
+            isinstance(comps, dict)
+            and all(isinstance(v, (int, float)) for v in comps.values())
+            for comps in cum.values()
+        ):
+            errors.append(f"line {lineno}: bad cumulative series")
+    declared = meta.get("windows")
+    if isinstance(declared, int) and declared != len(records) - 1:
+        errors.append(
+            f"line 1: meta declares {declared} windows, file has "
+            f"{len(records) - 1}"
+        )
+    return errors
+
+
+def validate_timeline_jsonl(path) -> List[str]:
+    """Validate a timeline JSONL file; empty list means valid."""
+    from repro.obs.export import read_jsonl
+
+    try:
+        records = read_jsonl(path)
+    except (OSError, ValueError) as exc:
+        return [f"unreadable timeline: {exc}"]
+    return validate_timeline_records(records)
+
+
+# -- ASCII rendering -------------------------------------------------------
+
+
+def _series(summary: Dict[str, object], pick) -> List[float]:
+    """One value per window index 0..max_w, gaps filled with 0."""
+    windows = summary.get("windows") or ()
+    if not windows:
+        return []
+    by_w = {record["w"]: record for record in windows}
+    out: List[float] = []
+    for w in range(max(by_w) + 1):
+        record = by_w.get(w)
+        value = pick(record) if record else None
+        out.append(float(value) if value is not None else 0.0)
+    return out
+
+
+def render_timeline(
+    summary: Dict[str, object], width: int = 64, title: Optional[str] = None
+) -> str:
+    """The timeline's headline series as labelled ASCII sparklines."""
+    from repro.analysis.ascii_plot import sparkline
+
+    rows = [
+        ("cycles/window", _series(summary, lambda r: sum(r["cycles"].values()))),
+        ("Gbps", _series(summary, lambda r: r.get("gbps"))),
+        ("packets", _series(summary, lambda r: r["packets"])),
+        ("iotlb hit rate", _series(summary, lambda r: r.get("iotlb_hit_rate"))),
+        ("qi depth", _series(summary, lambda r: r["qi_depth_max"])),
+        ("defer queue", _series(summary, lambda r: r["defer_pending_max"])),
+        ("open windows", _series(summary, lambda r: r["open_windows_max"])),
+    ]
+    window = summary.get("window_cycles", 0)
+    n = len(summary.get("windows") or ())
+    lines: List[str] = []
+    if title:
+        lines.append(title)
+    lines.append(
+        f"{n} windows x {window:,.0f} cycles "
+        f"(span {summary.get('span_cycles', 0.0):,.0f} cycles)"
+    )
+    label_width = max(len(name) for name, _values in rows)
+    for name, values in rows:
+        if not values or not any(values):
+            continue
+        peak = max(values)
+        shown = f"{peak:,.2f}" if peak < 100 else f"{peak:,.0f}"
+        lines.append(
+            f"{name:>{label_width}} |{sparkline(values, width)}| peak {shown}"
+        )
+    return "\n".join(lines)

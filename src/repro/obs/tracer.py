@@ -192,6 +192,25 @@ class Tracer:
         self.sinks = tuple(s for s in self.sinks if s is not sink)
         self.active = self.recording or bool(self.sinks)
 
+    def _quarantine(self, sink: TraceSink, error: BaseException) -> None:
+        """Detach a sink that raised, loudly but non-fatally.
+
+        Observation must never corrupt the observed run: the cycle
+        charge (or event) that triggered the sink has already been
+        applied to its account, so the only safe response is to drop
+        the faulty sink, warn, and carry on.  Other sinks keep
+        streaming.
+        """
+        import warnings
+
+        self.unsubscribe(sink)
+        warnings.warn(
+            f"trace sink {sink!r} raised {error!r} and was detached; "
+            "the run continues unobserved by it",
+            RuntimeWarning,
+            stacklevel=3,
+        )
+
     # -- emission --------------------------------------------------------
 
     def emit(self, etype: str, **fields: object) -> None:
@@ -204,7 +223,10 @@ class Tracer:
         if not self.active:
             return
         for sink in self.sinks:
-            sink(self.now, etype, fields)
+            try:
+                sink(self.now, etype, fields)
+            except Exception as error:
+                self._quarantine(sink, error)
         if not self.recording:
             return
         f = self.filter
@@ -247,7 +269,10 @@ class Tracer:
         if label is not None:
             fields["label"] = label
         for sink in self.sinks:
-            sink(ts, "cycle_charge", fields)
+            try:
+                sink(ts, "cycle_charge", fields)
+            except Exception as error:
+                self._quarantine(sink, error)
         if not self.recording:
             return
         f = self.filter

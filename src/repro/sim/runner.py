@@ -46,7 +46,7 @@ def run_benchmark(
     bench = make_benchmark(benchmark, fast)
     if not observe:
         return bench.run(setup, mode)
-    with RunObserver() as observer:
+    with RunObserver(clock_hz=setup.clock_hz) as observer:
         result = bench.run(setup, mode)
     result.obs = observer.summary(result)
     return result

@@ -112,3 +112,101 @@ def test_one_bad_file_among_good_still_exits_1(trace_path, tmp_path, capsys):
     out = capsys.readouterr().out
     assert f"{trace_path}: OK" in out
     assert "empty trace" in out
+
+# -- multi-artifact dispatch (timeline / diff / history / directories) ---
+
+
+@pytest.fixture()
+def timeline_path(tmp_path):
+    """A timeline JSONL exported from one observed run."""
+    from repro.obs.timeline import write_timeline
+
+    result = run_benchmark(MLX_SETUP, Mode.DEFER, "rr", fast=True, observe=True)
+    path = tmp_path / "timeline.jsonl"
+    write_timeline(result.obs["timeline"], path)
+    return path
+
+
+def test_valid_timeline_passes(timeline_path, capsys):
+    assert main([str(timeline_path)]) == 0
+    assert capsys.readouterr().out.strip() == f"{timeline_path}: OK"
+
+
+def test_corrupt_timeline_window_index_fails(timeline_path, capsys):
+    records = [json.loads(line) for line in timeline_path.read_text().splitlines()]
+    assert len(records) > 3
+    records[1], records[2] = records[2], records[1]
+    timeline_path.write_text("".join(json.dumps(r) + "\n" for r in records))
+    assert main([str(timeline_path)]) == 1
+    assert "went backwards" in capsys.readouterr().out
+
+
+def test_valid_diff_report_passes(tmp_path, capsys):
+    from repro.obs.diffing import diff_metrics
+
+    report = diff_metrics({"x": 1}, {"x": 2})
+    path = tmp_path / "diff.json"
+    report.save_json(path)
+    assert main([str(path)]) == 0
+    assert f"{path}: OK" in capsys.readouterr().out
+
+    payload = json.loads(path.read_text())
+    payload["kind"] = "nonsense"
+    path.write_text(json.dumps(payload))
+    assert main([str(path)]) == 1
+
+
+def test_valid_bench_history_passes(tmp_path, capsys):
+    path = tmp_path / "BENCH_history.jsonl"
+    entry = {
+        "schema": "riommu-repro/bench-history/v1",
+        "timestamp": "2026-08-07T00:00:00",
+        "cells": {"mlx/stream/strict": 0.07},
+    }
+    path.write_text(json.dumps(entry) + "\n")
+    assert main([str(path)]) == 0
+
+    entry["cells"] = {"not-a-cell-key": -1.0}
+    path.write_text(json.dumps(entry) + "\n")
+    assert main([str(path)]) == 1
+    out = capsys.readouterr().out
+    assert "setup/bench/mode" in out and "bad seconds" in out
+
+
+def test_directory_scan_validates_mixed_artifacts(
+    trace_path, timeline_path, tmp_path, capsys
+):
+    art_dir = tmp_path / "artifacts"
+    art_dir.mkdir()
+    (art_dir / "run.jsonl").write_text(trace_path.read_text())
+    (art_dir / "timeline.jsonl").write_text(timeline_path.read_text())
+    # A foreign JSONL (no recognisable header) is skipped, not failed.
+    (art_dir / "foreign.jsonl").write_text('{"hello": "world"}\n')
+    # A foreign JSON is skipped too.
+    (art_dir / "foreign.json").write_text('{"schema": "someone/elses"}\n')
+    assert main([str(art_dir)]) == 0
+    out = capsys.readouterr().out
+    assert out.count(": OK") == 2
+    assert out.count("SKIP") == 2
+
+
+def test_directory_scan_fails_on_bad_member(trace_path, tmp_path, capsys):
+    art_dir = tmp_path / "artifacts"
+    art_dir.mkdir()
+    (art_dir / "bad.jsonl").write_text('{"event": "trace_meta"}\n{"event": "warp"}\n')
+    assert main([str(art_dir)]) == 1
+    assert "unknown event type" in capsys.readouterr().out
+
+
+def test_empty_directory_is_an_error(tmp_path, capsys):
+    empty = tmp_path / "empty"
+    empty.mkdir()
+    assert main([str(empty)]) == 1
+    assert "empty directory" in capsys.readouterr().out
+
+
+def test_explicit_unrecognized_artifact_is_an_error(tmp_path, capsys):
+    path = tmp_path / "mystery.json"
+    path.write_text('{"schema": "someone/elses"}')
+    assert main([str(path)]) == 1
+    assert "unrecognized schema" in capsys.readouterr().out
