@@ -1,0 +1,190 @@
+"""Micro-benchmark of the burst translate+charge loop, per datapath build.
+
+The full perf harness times whole evaluation-grid cells — workload
+model, NIC, interrupt coalescing and all.  This file isolates the one
+loop the datapath builds actually specialize: map a burst, DMA every
+packet, unmap the burst (end-of-burst invalidation), repeat.  One
+machine per (build, mode), no workload model around it.
+
+For each mode it prints per-build wall-clock and bursts/second plus
+the columnar/scalar ratio, and **asserts the modelled overhead cycles
+are bit-identical across builds** — a micro-scale restatement of the
+parity contract (`tests/test_datapath_parity.py` pins the full one).
+
+    PYTHONPATH=src python benchmarks/micro_datapath.py
+    PYTHONPATH=src python benchmarks/micro_datapath.py --profile   # + cProfile
+"""
+
+from __future__ import annotations
+
+import argparse
+import pathlib
+import sys
+import time
+from typing import Dict, List, Optional, Sequence, Tuple
+
+sys.path.insert(0, str(pathlib.Path(__file__).resolve().parent.parent / "src"))
+
+from repro import datapath as repro_datapath  # noqa: E402
+from repro.api import (  # noqa: E402
+    DmaDirection,
+    Machine,
+    MapRequest,
+    Mode,
+    UnmapRequest,
+)
+
+#: Modes spanning the datapaths being specialized: the radix+rbtree
+#: worst case, the paper's design, and the unprotected floor.
+DEFAULT_MODES: Tuple[str, ...] = ("strict", "riommu", "none")
+
+PACKET = b"\xa5" * 1500
+
+
+def run_bursts(mode_label: str, bursts: int, burst_size: int) -> float:
+    """Drive ``bursts`` map→DMA→unmap bursts; returns the machine's
+    final overhead-cycle count (build-invariant by contract)."""
+    machine = Machine(Mode(mode_label))
+    api = machine.dma_api(bdf=0x0300)
+    ring = api.create_ring(max(256, burst_size * 2))
+    buffers = [machine.mem.alloc_dma_buffer(2048) for _ in range(burst_size)]
+    dma_write = machine.bus.dma_write
+    for _ in range(bursts):
+        handles = [
+            api.map_request(
+                MapRequest(
+                    phys_addr=phys,
+                    size=1500,
+                    direction=DmaDirection.FROM_DEVICE,
+                    ring=ring,
+                )
+            ).device_addr
+            for phys in buffers
+        ]
+        for handle in handles:
+            dma_write(0x0300, handle, PACKET)
+        last = len(handles) - 1
+        for index, handle in enumerate(handles):
+            api.unmap_request(
+                UnmapRequest(device_addr=handle, end_of_burst=index == last)
+            )
+    return api.overhead_cycles
+
+
+def bench(
+    modes: Sequence[str],
+    bursts: int,
+    burst_size: int,
+    builds: Sequence[str] = repro_datapath.BUILDS,
+) -> List[Dict[str, object]]:
+    """Time the burst loop for every (mode, build); verify cycle parity."""
+    rows: List[Dict[str, object]] = []
+    for mode_label in modes:
+        timings: Dict[str, float] = {}
+        cycles: Dict[str, float] = {}
+        for build in builds:
+            repro_datapath.set_datapath(build)
+            run_bursts(mode_label, bursts=2, burst_size=burst_size)  # warmup
+            started = time.perf_counter()
+            cycles[build] = run_bursts(mode_label, bursts, burst_size)
+            timings[build] = time.perf_counter() - started
+        if len(set(cycles.values())) != 1:
+            raise AssertionError(
+                f"{mode_label}: overhead cycles diverge across builds: {cycles}"
+            )
+        rows.append(
+            {
+                "mode": mode_label,
+                "bursts": bursts,
+                "burst_size": burst_size,
+                "overhead_cycles": next(iter(cycles.values())),
+                "seconds": {b: round(s, 4) for b, s in timings.items()},
+                "bursts_per_sec": {
+                    b: round(bursts / s, 1) for b, s in timings.items()
+                },
+                "columnar_vs_scalar": (
+                    round(timings["scalar"] / timings["columnar"], 3)
+                    if "scalar" in timings and "columnar" in timings
+                    else None
+                ),
+            }
+        )
+    repro_datapath.set_datapath(repro_datapath.DEFAULT_BUILD)
+    return rows
+
+
+def render(rows: Sequence[Dict[str, object]]) -> str:
+    lines = [
+        f"{'mode':8s} {'build':9s} {'seconds':>9s} {'bursts/s':>10s}",
+    ]
+    for row in rows:
+        for build, seconds in row["seconds"].items():
+            lines.append(
+                f"{row['mode']:8s} {build:9s} {seconds:9.4f} "
+                f"{row['bursts_per_sec'][build]:10.1f}"
+            )
+        ratio = row["columnar_vs_scalar"]
+        if ratio is not None:
+            lines.append(
+                f"{row['mode']:8s} columnar/scalar = {ratio}x "
+                f"(cycles identical: {row['overhead_cycles']})"
+            )
+    return "\n".join(lines)
+
+
+def main(argv: Optional[Sequence[str]] = None) -> int:
+    parser = argparse.ArgumentParser(description=__doc__.splitlines()[0])
+    parser.add_argument(
+        "--bursts", type=int, default=800, help="timed bursts per build"
+    )
+    parser.add_argument(
+        "--burst-size", type=int, default=64, help="packets per burst"
+    )
+    parser.add_argument(
+        "--modes",
+        default=",".join(DEFAULT_MODES),
+        help="comma-separated mode labels (default: strict,riommu,none)",
+    )
+    parser.add_argument(
+        "--profile",
+        nargs="?",
+        const=20,
+        default=None,
+        type=int,
+        metavar="N",
+        help="additionally profile the columnar arm under cProfile and "
+        "print the top N functions by internal time (default 20)",
+    )
+    args = parser.parse_args(argv)
+    modes = tuple(label.strip() for label in args.modes.split(",") if label.strip())
+
+    rows = bench(modes, bursts=args.bursts, burst_size=args.burst_size)
+    print(render(rows))
+
+    if args.profile is not None:
+        import cProfile
+        import io
+        import pstats
+
+        repro_datapath.set_datapath("columnar")
+        profiler = cProfile.Profile()
+        profiler.enable()
+        try:
+            for mode_label in modes:
+                run_bursts(mode_label, args.bursts, args.burst_size)
+        finally:
+            profiler.disable()
+            repro_datapath.set_datapath(repro_datapath.DEFAULT_BUILD)
+        table = io.StringIO()
+        pstats.Stats(profiler, stream=table).sort_stats("tottime").print_stats(
+            max(args.profile, 1)
+        )
+        print(
+            f"\n--- cProfile (columnar build): top {max(args.profile, 1)} "
+            f"by internal time ---\n{table.getvalue().rstrip()}"
+        )
+    return 0
+
+
+if __name__ == "__main__":
+    sys.exit(main())

@@ -1,0 +1,194 @@
+"""Cross-build CI perf gate: the columnar build must stay fast.
+
+Runs the quick benchmark (the representative cells) twice in one
+process — once under the ``scalar`` reference build, once under the
+``columnar`` default — and fails unless:
+
+* the columnar build is at least ``--min-speedup`` (default 1.3×)
+  faster than scalar on every stream cell, and
+* neither run regresses past the history sentinel's rolling median
+  for its *own* build (``--max-regression``, default 0.25).
+
+Both runs are appended to the perf-history log (each line carries its
+``datapath`` build; the sentinel never compares across builds), and a
+combined gate report is written for the CI artifact upload::
+
+    PYTHONPATH=src python benchmarks/perf_gate.py [--min-speedup 1.3]
+"""
+
+from __future__ import annotations
+
+import argparse
+import json
+import pathlib
+import sys
+import time
+from typing import Dict, List, Optional, Sequence, Tuple
+
+sys.path.insert(0, str(pathlib.Path(__file__).resolve().parent.parent / "src"))
+sys.path.insert(1, str(pathlib.Path(__file__).resolve().parent))
+
+import perf_history  # noqa: E402
+from perf_harness import REPRESENTATIVE_CELLS, run_harness  # noqa: E402
+
+from repro import datapath as repro_datapath  # noqa: E402
+
+DEFAULT_OUTPUT = pathlib.Path(__file__).parent / "output" / "BENCH_gate.json"
+
+#: Cells the cross-build speedup is asserted on: the paper's headline
+#: stream benchmark under the most expensive protection regime, the
+#: cheapest safe one, and no protection — the three cells whose inner
+#: loops the columnar build specializes.
+STREAM_CELLS: Tuple[Tuple[str, str, str], ...] = tuple(
+    cell for cell in REPRESENTATIVE_CELLS if cell[1] == "stream"
+)
+
+
+def cell_seconds(
+    report: Dict[str, object], cell: Tuple[str, str, str]
+) -> Optional[float]:
+    """Wall-clock seconds of ``cell`` in a harness report, if present."""
+    for row in report["cells"]:
+        if (row["setup"], row["benchmark"], row["mode"]) == cell:
+            seconds = float(row["seconds"])
+            return seconds if seconds > 0 else None
+    return None
+
+
+def run_gate(
+    min_speedup: float,
+    max_regression: Optional[float],
+    repeats: int = 3,
+    history_path: Optional[pathlib.Path] = None,
+) -> Tuple[Dict[str, object], List[str]]:
+    """Bench scalar + columnar, compare, sentinel-check; returns
+    ``(gate_report, errors)`` — an empty error list means the gate is
+    green."""
+    errors: List[str] = []
+    reports: Dict[str, Dict[str, object]] = {}
+    for build in ("scalar", "columnar"):
+        repro_datapath.set_datapath(build)
+        # output=None: the gate's timings must not overwrite the
+        # trajectory baseline the regular harness compares against.
+        reports[build] = run_harness(repeats=repeats, output=None, quick=True)
+    repro_datapath.set_datapath(repro_datapath.DEFAULT_BUILD)
+
+    comparisons: List[Dict[str, object]] = []
+    for cell in STREAM_CELLS:
+        scalar_s = cell_seconds(reports["scalar"], cell)
+        columnar_s = cell_seconds(reports["columnar"], cell)
+        key = perf_history.cell_key(*cell)
+        if scalar_s is None or columnar_s is None:
+            errors.append(f"{key}: missing timing in one of the builds")
+            continue
+        ratio = scalar_s / columnar_s
+        comparisons.append(
+            {
+                "cell": key,
+                "scalar_seconds": round(scalar_s, 4),
+                "columnar_seconds": round(columnar_s, 4),
+                "speedup_vs_scalar": round(ratio, 3),
+            }
+        )
+        if ratio < min_speedup:
+            errors.append(
+                f"{key}: columnar build is only {ratio:.2f}x scalar "
+                f"(gate requires >= {min_speedup:.2f}x)"
+            )
+
+    if max_regression is not None and history_path is not None:
+        history = perf_history.load_history(history_path)
+        for build in ("scalar", "columnar"):
+            error = perf_history.check_history_regression(
+                reports[build], history, max_regression
+            )
+            if error is not None:
+                errors.append(f"[{build}] {error}")
+            perf_history.append_history(reports[build], history_path)
+
+    gate_report: Dict[str, object] = {
+        "schema": "riommu-repro/bench-gate/v1",
+        "timestamp": time.strftime("%Y-%m-%dT%H:%M:%S"),
+        "min_speedup": min_speedup,
+        "max_regression": max_regression,
+        "passed": not errors,
+        "stream_cells": comparisons,
+        "errors": errors,
+        "scalar": reports["scalar"],
+        "columnar": reports["columnar"],
+    }
+    return gate_report, errors
+
+
+def main(argv: Optional[Sequence[str]] = None) -> int:
+    parser = argparse.ArgumentParser(description=__doc__.splitlines()[0])
+    parser.add_argument(
+        "--min-speedup",
+        type=float,
+        default=1.3,
+        metavar="RATIO",
+        help="fail unless columnar is at least RATIO x faster than "
+        "scalar on every stream cell (default 1.3)",
+    )
+    parser.add_argument(
+        "--max-regression",
+        type=float,
+        default=0.25,
+        metavar="FRACTION",
+        help="fail if either build's mlx/stream/strict exceeds its "
+        "same-build rolling history median by more than FRACTION "
+        "(default 0.25); use a negative value to skip",
+    )
+    parser.add_argument("--repeats", type=int, default=3, help="best-of repeats")
+    parser.add_argument(
+        "-o", "--output", default=str(DEFAULT_OUTPUT), help="gate report path"
+    )
+    parser.add_argument(
+        "--history",
+        metavar="FILE",
+        default=None,
+        help="perf-history log (default: the tracked BENCH_history.jsonl)",
+    )
+    parser.add_argument(
+        "--no-history",
+        action="store_true",
+        help="skip the history sentinel: no rolling-median gate, no append",
+    )
+    args = parser.parse_args(argv)
+
+    history_path: Optional[pathlib.Path] = None
+    max_regression: Optional[float] = None
+    if not args.no_history and args.max_regression >= 0:
+        history_path = (
+            pathlib.Path(args.history) if args.history else perf_history.ROOT_HISTORY
+        )
+        max_regression = args.max_regression
+
+    gate_report, errors = run_gate(
+        min_speedup=args.min_speedup,
+        max_regression=max_regression,
+        repeats=args.repeats,
+        history_path=history_path,
+    )
+
+    output = pathlib.Path(args.output)
+    output.parent.mkdir(parents=True, exist_ok=True)
+    output.write_text(json.dumps(gate_report, indent=2) + "\n")
+
+    for row in gate_report["stream_cells"]:
+        print(
+            f"{row['cell']}: scalar {row['scalar_seconds']}s, "
+            f"columnar {row['columnar_seconds']}s "
+            f"-> {row['speedup_vs_scalar']}x"
+        )
+    print(f"gate report written to {output}", file=sys.stderr)
+    if errors:
+        for error in errors:
+            print(f"PERF GATE: {error}", file=sys.stderr)
+        return 1
+    print(f"perf gate passed (min speedup {args.min_speedup}x)")
+    return 0
+
+
+if __name__ == "__main__":
+    sys.exit(main())

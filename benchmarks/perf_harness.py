@@ -26,6 +26,7 @@ from typing import Dict, Iterable, List, Optional, Sequence, Tuple
 sys.path.insert(0, str(pathlib.Path(__file__).resolve().parent.parent / "src"))
 sys.path.insert(1, str(pathlib.Path(__file__).resolve().parent))
 
+from repro import datapath as repro_datapath  # noqa: E402
 from repro.modes import ALL_MODES, Mode  # noqa: E402
 from repro.sim.parallel import grid_cells, resolve_jobs, run_cell, run_grid  # noqa: E402
 from repro.sim.runner import BENCHMARK_NAMES  # noqa: E402
@@ -173,11 +174,15 @@ def run_harness(
             # > 1.0 means this tree is faster than the committed report.
             row["speedup_vs_previous"] = round(prev / row["seconds"], 3)
     report: Dict[str, object] = {
-        "schema": "riommu-repro/bench-runner/v1",
+        "schema": "riommu-repro/bench-runner/v2",
         "timestamp": time.strftime("%Y-%m-%dT%H:%M:%S"),
         "cpu_count": os.cpu_count(),
         "python": sys.version.split()[0],
-        "fastpath_enabled": "REPRO_DISABLE_FASTPATH" not in os.environ,
+        # v2: which datapath build produced these numbers — consumers
+        # must never compare timings across builds.  ``fastpath_enabled``
+        # is kept for v1 readers (it mirrors build != scalar).
+        "datapath": repro_datapath.current_build(),
+        "fastpath_enabled": repro_datapath.current_build() != "scalar",
         "quick": quick,
         "cells": cells,
         "grid": None if quick else time_grid(jobs, setups, benchmarks, modes, fast),
@@ -228,6 +233,14 @@ def main(argv: Optional[Sequence[str]] = None) -> int:
     )
     parser.add_argument("--repeats", type=int, default=3, help="best-of repeats")
     parser.add_argument(
+        "--datapath",
+        choices=sorted(repro_datapath.BUILDS),
+        default=None,
+        help="datapath build to benchmark (default: REPRO_DATAPATH or "
+        "the columnar default); recorded in the report's 'datapath' "
+        "field so trajectories never mix builds",
+    )
+    parser.add_argument(
         "-o", "--output", default=str(DEFAULT_OUTPUT), help="report path"
     )
     parser.add_argument(
@@ -268,6 +281,8 @@ def main(argv: Optional[Sequence[str]] = None) -> int:
         "falls back to the one-report speedup_vs_previous gate",
     )
     args = parser.parse_args(argv)
+    if args.datapath is not None:
+        repro_datapath.set_datapath(args.datapath)
     report = run_harness(
         jobs=args.jobs,
         fast=not args.full,

@@ -22,8 +22,10 @@ import pathlib
 import statistics
 from typing import Dict, List, Optional, Sequence, Tuple
 
-#: Schema identifier carried by every history line.
-HISTORY_SCHEMA = "riommu-repro/bench-history/v1"
+#: Schema identifier carried by every history line.  v2 adds the
+#: ``datapath`` build field; v1 entries are still read (their build is
+#: inferred from ``fastpath_enabled``).
+HISTORY_SCHEMA = "riommu-repro/bench-history/v2"
 
 #: The tracked history log at the repo root (``benchmarks/output/`` is
 #: gitignored scratch, the trajectory belongs in version control).
@@ -42,6 +44,19 @@ def cell_key(setup: str, benchmark: str, mode: str) -> str:
     return f"{setup}/{benchmark}/{mode}"
 
 
+def report_datapath(report: Dict[str, object]) -> str:
+    """The datapath build a report (or history entry) was taken under.
+
+    v2 artifacts carry it explicitly; for v1 artifacts it is inferred
+    from ``fastpath_enabled`` (the only build toggle that existed then:
+    fastpath off meant the scalar loops, on meant the batched ones).
+    """
+    build = report.get("datapath")
+    if isinstance(build, str) and build:
+        return build
+    return "batched" if report.get("fastpath_enabled", True) else "scalar"
+
+
 def history_entry(report: Dict[str, object]) -> Dict[str, object]:
     """Fold one ``BENCH_runner.json`` report into a history line."""
     rows = list(report.get("cells") or ())
@@ -54,6 +69,7 @@ def history_entry(report: Dict[str, object]) -> Dict[str, object]:
         "timestamp": report.get("timestamp"),
         "python": report.get("python"),
         "cpu_count": report.get("cpu_count"),
+        "datapath": report_datapath(report),
         "fastpath_enabled": report.get("fastpath_enabled"),
         "quick": report.get("quick"),
         "fast": bool(rows[0]["fast"]) if rows else True,
@@ -104,13 +120,21 @@ def rolling_baseline(
     history: Sequence[Dict[str, object]],
     cell: Tuple[str, str, str] = DEFAULT_CELL,
     window: int = DEFAULT_WINDOW,
+    datapath: Optional[str] = None,
 ) -> Optional[float]:
-    """Median seconds of the cell's last ``window`` history entries."""
+    """Median seconds of the cell's last ``window`` history entries.
+
+    With ``datapath`` set, only entries taken under that build
+    contribute — a columnar run must never be judged against scalar
+    medians (or vice versa).
+    """
     key = cell_key(*cell)
     series = [
         float(entry["cells"][key])
         for entry in history
-        if key in entry["cells"] and float(entry["cells"][key]) > 0
+        if key in entry["cells"]
+        and float(entry["cells"][key]) > 0
+        and (datapath is None or report_datapath(entry) == datapath)
     ]
     if not series:
         return None
@@ -127,10 +151,12 @@ def check_history_regression(
     """Error string if ``cell`` exceeds the rolling baseline's tolerance.
 
     Compares the fresh report's wall-clock against the median of the
-    last ``window`` history entries; ``None`` when within
-    ``baseline * (1 + max_regression)`` or when there is no baseline.
+    last ``window`` history entries *taken under the same datapath
+    build*; ``None`` when within ``baseline * (1 + max_regression)`` or
+    when there is no same-build baseline.
     """
-    baseline = rolling_baseline(history, cell, window)
+    build = report_datapath(report)
+    baseline = rolling_baseline(history, cell, window, datapath=build)
     if baseline is None:
         return None
     current = None
@@ -144,7 +170,8 @@ def check_history_regression(
     if current > limit:
         return (
             f"{cell_key(*cell)} regressed: {current:.4f}s > {limit:.4f}s "
-            f"(rolling median of last {min(len(history), window)} runs is "
-            f"{baseline:.4f}s, tolerance {max_regression:.0%})"
+            f"(rolling median of last {min(len(history), window)} "
+            f"{build}-build runs is {baseline:.4f}s, "
+            f"tolerance {max_regression:.0%})"
         )
     return None

@@ -34,7 +34,9 @@ def test_harness_smoke_emits_report(tmp_path):
     )
     assert out.exists()
     on_disk = json.loads(out.read_text())
-    assert on_disk["schema"] == "riommu-repro/bench-runner/v1"
+    assert on_disk["schema"] == "riommu-repro/bench-runner/v2"
+    assert on_disk["datapath"] in ("scalar", "batched", "columnar")
+    assert on_disk["fastpath_enabled"] == (on_disk["datapath"] != "scalar")
     assert on_disk["grid"]["cells"] == 2
     assert on_disk["grid"]["serial_seconds"] > 0
     assert on_disk["grid"]["parallel_seconds"] > 0

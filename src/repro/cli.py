@@ -132,6 +132,15 @@ def build_parser() -> argparse.ArgumentParser:
         "--fast", action="store_true", help="smaller runs (noisier, quicker)"
     )
     parser.add_argument(
+        "--datapath",
+        choices=("scalar", "batched", "columnar"),
+        default=None,
+        help="simulator datapath build (default: $REPRO_DATAPATH, else "
+        "columnar) — scalar is the reference per-event loop, batched "
+        "adds scatter-gather folding, columnar adds the observer-free "
+        "mode-specialized hot loop; all three are bit-identical",
+    )
+    parser.add_argument(
         "-j",
         "--jobs",
         type=int,
@@ -206,6 +215,11 @@ def main(argv: Optional[Sequence[str]] = None) -> int:
         return 2
 
     args = build_parser().parse_args(raw)
+
+    if args.datapath is not None:
+        from repro import datapath
+
+        datapath.set_datapath(args.datapath)
 
     if args.experiment == "list":
         width = max(len(name) for name in EXPERIMENTS)

@@ -13,15 +13,22 @@ baseline driver, so Figure 7's stacked bars compare like with like.
 from __future__ import annotations
 
 import warnings
-from dataclasses import dataclass
-from typing import Dict, Optional, Tuple
+from operator import itemgetter
+from typing import Dict, List, Optional, Sequence, Tuple
 
+from repro import datapath as _datapath
 from repro.core.riotlb import RIommuHardware
 from repro.core.structures import (
+    MAX_RENTRY,
+    MAX_RID,
     MAX_RPTE_SIZE,
+    OFFSET_BITS,
+    RENTRY_BITS,
     RDevice,
     RIova,
     RPte,
+    RPTE_BYTES,
+    _RPTE_STRUCT,
     pack_iova,
     unpack_iova,
 )
@@ -50,14 +57,24 @@ class RingOverflowError(RuntimeError):
     """
 
 
-@dataclass
-class RIommuMapping:
-    """Driver-side record of one live rIOVA mapping."""
+class RIommuMapping(tuple):
+    """Driver-side record of one live rIOVA mapping.
 
-    iova: RIova
-    phys_addr: int
-    size: int
-    direction: DmaDirection
+    Tuple-backed: two are created per packet on the rIOMMU map path,
+    and the C-level tuple constructor beats a dataclass ``__init__``.
+    """
+
+    __slots__ = ()
+
+    def __new__(
+        cls, iova: RIova, phys_addr: int, size: int, direction: DmaDirection
+    ) -> "RIommuMapping":
+        return tuple.__new__(cls, (iova, phys_addr, size, direction))
+
+    iova: RIova = property(itemgetter(0))
+    phys_addr: int = property(itemgetter(1))
+    size: int = property(itemgetter(2))
+    direction: DmaDirection = property(itemgetter(3))
 
 
 class RIommuDriver:
@@ -148,8 +165,61 @@ class RIommuDriver:
         phys_addr, size, direction, ring = req
         if ring is None:
             raise ValueError("rIOMMU mappings need a ring ID (create_ring first)")
+        if _datapath.COLUMNAR_ENABLED and not TRACE.active:
+            return _map_result(self._map_fast(ring, phys_addr, size, direction), ring)
         iova = self._map(ring, phys_addr, size, direction)
         return _map_result(iova.packed(), ring)
+
+    def _map_fast(
+        self, rid: int, phys_addr: int, size: int, direction: DmaDirection
+    ) -> int:
+        """Observer-free :meth:`_map`: same state transitions, memory
+        writes, staged charges, and error messages, but the rPTE is
+        packed straight to wire format (our encodes are canonical, so
+        this is bit-identical to ``RPte(...).encode()``) and the packed
+        rIOVA is computed without intermediate objects."""
+        if size <= 0:
+            raise ValueError("size must be positive")
+        if size > MAX_RPTE_SIZE:
+            raise ValueError(f"size {size} exceeds the u30 rPTE size field")
+        ring = self.device.ring(rid)
+        if ring.nmapped == ring.size:
+            raise RingOverflowError(
+                f"ring {rid} of bdf {self.bdf:#06x} is full ({ring.size} entries)"
+            )
+        live = self._live
+        rentry = ring.tail
+        key = (rid, rentry)
+        if key in live:
+            raise RingOverflowError(
+                f"ring {rid} tail entry {ring.tail} is still mapped "
+                "(out-of-order unmaps left the ring fragmented)"
+            )
+        ring.tail = (rentry + 1) % ring.size
+        ring.nmapped += 1
+        account = self.account
+        costs = self._staged_costs
+        account.stage(Component.IOVA_ALLOC, costs[0])
+
+        entry_addr = ring.table_addr + rentry * RPTE_BYTES
+        ring.mem.ram.write(
+            entry_addr,
+            _RPTE_STRUCT.pack(
+                phys_addr & 0xFFFF_FFFF_FFFF_FFFF,
+                size | (int(direction) << 30) | (1 << 32),
+            ),
+        )
+        coherency = self.coherency
+        coherency.cpu_write(entry_addr, RPTE_BYTES)
+        coherency.sync_mem(entry_addr, RPTE_BYTES)
+        account.stage(Component.MAP_PAGE_TABLE, costs[1])
+
+        account.stage(Component.MAP_OTHER, costs[2])
+        live[key] = RIommuMapping(
+            RIova(offset=0, rentry=rentry, rid=rid), phys_addr, size, direction
+        )
+        self.maps += 1
+        return (rentry << OFFSET_BITS) | (rid << (OFFSET_BITS + RENTRY_BITS))
 
     def _map(
         self, rid: int, phys_addr: int, size: int, direction: DmaDirection
@@ -275,6 +345,93 @@ class RIommuDriver:
                 end_of_burst=end_of_burst,
             )
         return mapping.phys_addr
+
+    def unmap_burst(
+        self, device_addrs: Sequence[int], end_of_burst: bool = True
+    ) -> List[int]:
+        """Unmap a completion burst; returns the physical addresses.
+
+        Semantically a loop of :meth:`unmap_request` calls with
+        ``end_of_burst`` on the last — and that is what runs when a
+        tracer is active or the columnar build is off.  The columnar
+        body does the per-item real work (valid-bit clear, publish,
+        ``nmapped`` decrement, stale flagging) in the same order but
+        patches the rPTE bytes in place and stages each Table 1
+        component once for the whole burst with an exact counted fold.
+        """
+        if not (_datapath.COLUMNAR_ENABLED and not TRACE.active):
+            last = len(device_addrs) - 1
+            return [
+                self._unmap(
+                    RIova(
+                        offset=0,
+                        rentry=(addr >> OFFSET_BITS) & MAX_RENTRY,
+                        rid=(addr >> (OFFSET_BITS + RENTRY_BITS)) & MAX_RID,
+                    ),
+                    end_of_burst and i == last,
+                )
+                for i, addr in enumerate(device_addrs)
+            ]
+
+        live = self._live
+        riotlb = self.hardware.riotlb
+        bdf = self.bdf
+        rings = self.device.rings
+        phys_addrs: List[int] = []
+        last = len(device_addrs) - 1
+        done = 0
+        invalidated = False
+        try:
+            for i, addr in enumerate(device_addrs):
+                rid = (addr >> (OFFSET_BITS + RENTRY_BITS)) & MAX_RID
+                rentry = (addr >> OFFSET_BITS) & MAX_RENTRY
+                if not 0 <= rid < len(rings):
+                    raise IndexError(f"rid {rid} out of range [0, {len(rings)})")
+                ring = rings[rid]
+                mapping = live.pop((rid, rentry), None)
+                if mapping is None:
+                    raise KeyError(
+                        f"ring {rid} entry {rentry} is not a live mapping"
+                    )
+
+                # Clear the valid bit (word1 bit 32 = byte 12 bit 0) in
+                # place.  Our own encodes are canonical, so this equals
+                # the scalar decode → valid=False → encode round-trip.
+                ram = ring.mem.ram
+                entry_addr = ring.table_addr + rentry * RPTE_BYTES
+                raw = ram.read(entry_addr, RPTE_BYTES)
+                ram.write(
+                    entry_addr, raw[:12] + bytes((raw[12] & 0xFE,)) + raw[13:]
+                )
+                coherency = ring.coherency
+                coherency.cpu_write(entry_addr, RPTE_BYTES)
+                ring.nmapped -= 1
+                coherency.sync_mem(entry_addr, RPTE_BYTES)
+                riotlb.mark_backing_invalid(bdf, rid, rentry)
+                if end_of_burst and i == last:
+                    riotlb.invalidate(bdf, rid)
+                    self.invalidations += 1
+                    invalidated = True
+                phys_addrs.append(mapping.phys_addr)
+                done += 1
+        finally:
+            if done:
+                account = self.account
+                costs = self._staged_costs
+                account.stage_many(Component.UNMAP_PAGE_TABLE, costs[3], done)
+                account.stage_many(Component.IOVA_FREE, costs[4], done)
+                if done == 1:
+                    # scalar first-touch order: ... INV before OTHER
+                    if invalidated:
+                        account.stage(Component.IOTLB_INV, costs[5])
+                    account.stage(Component.UNMAP_OTHER, costs[6])
+                else:
+                    # OTHER first touched at item 1, INV only at item n
+                    account.stage_many(Component.UNMAP_OTHER, costs[6], done)
+                    if invalidated:
+                        account.stage(Component.IOTLB_INV, costs[5])
+                self.unmaps += done
+        return phys_addrs
 
     # -- introspection / teardown -------------------------------------------------
 

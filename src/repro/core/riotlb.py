@@ -16,7 +16,18 @@ from __future__ import annotations
 from dataclasses import dataclass
 from typing import Dict, Optional, Tuple
 
-from repro.core.structures import RPTE_BYTES, RDevice, RIotlbEntry, RIova, RPte
+from repro.core.structures import (
+    MAX_OFFSET,
+    MAX_RENTRY,
+    MAX_RID,
+    OFFSET_BITS,
+    RENTRY_BITS,
+    RPTE_BYTES,
+    RDevice,
+    RIotlbEntry,
+    RIova,
+    RPte,
+)
 from repro.dma import DmaDirection
 from repro.faults import BoundsFault, ContextFault, PermissionFault, TranslationFault
 from repro.obs.tracer import TRACE
@@ -217,6 +228,43 @@ class RIommuHardware:
         if offset >= rpte.size or not rpte.direction.permits(direction):
             self._io_page_fault(bdf, iova, entry, direction)
         return rpte.phys_addr + offset
+
+    def rtranslate_span(
+        self, bdf: int, packed: int, size: int, direction: DmaDirection
+    ) -> int:
+        """Translate a packed rIOVA and bounds-check ``size`` bytes.
+
+        Bit-identical to :meth:`rtranslate` on the start offset followed
+        (for ``size > 1``) by a second call on the last byte's offset —
+        but the common case (tracer off, the ring's entry cached and
+        current, access in bounds) is folded into one lookup with both
+        calls' counter updates applied at once.  Anything else — cold
+        entry, entry sync, stale trace emission, any fault — re-runs the
+        exact scalar pair.
+        """
+        rid = (packed >> (OFFSET_BITS + RENTRY_BITS)) & MAX_RID
+        rentry = (packed >> OFFSET_BITS) & MAX_RENTRY
+        offset = packed & MAX_OFFSET
+        entry = self.riotlb._entries.get((bdf, rid))
+        hot = entry is not None and entry.rentry == rentry and not TRACE.active
+        if hot:
+            rpte = entry.rpte
+            end = offset + size - 1 if size > 1 else offset
+            dv = int(rpte.direction)
+            av = int(direction)
+            if end < rpte.size and (dv & av) != 0 and (av & ~dv) == 0:
+                stats = self.riotlb.stats
+                n = 2 if size > 1 else 1
+                stats.translations += n
+                stats.hits += n
+                if not entry.backing_valid:
+                    stats.stale_hits += n
+                return rpte.phys_addr + offset
+        iova = RIova(offset=offset, rentry=rentry, rid=rid)
+        phys = self.rtranslate(bdf, iova, direction)
+        if size > 1:
+            self.rtranslate(bdf, iova.with_offset(offset + size - 1), direction)
+        return phys
 
     def rtable_walk(self, bdf: int, iova: RIova) -> RIotlbEntry:
         """Validate the rIOVA against the structures and fetch its rPTE.

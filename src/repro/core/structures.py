@@ -15,6 +15,7 @@ Field widths follow Figure 9:
 
 from __future__ import annotations
 
+import struct
 from dataclasses import dataclass
 from typing import List, Optional
 
@@ -33,6 +34,18 @@ MAX_RENTRY = (1 << RENTRY_BITS) - 1
 MAX_RID = (1 << RID_BITS) - 1
 #: maximum mapping size encodable in the u30 rPTE size field
 MAX_RPTE_SIZE = (1 << 30) - 1
+
+#: the two 64-bit little-endian words of an rPTE
+_RPTE_STRUCT = struct.Struct("<QQ")
+
+#: direction field decode table — bits 0b00 read back as BIDIRECTIONAL
+#: (unencoded legacy entries), matching ``DmaDirection(bits) if bits``
+_DIR_BY_BITS = (
+    DmaDirection.BIDIRECTIONAL,
+    DmaDirection.TO_DEVICE,
+    DmaDirection.FROM_DEVICE,
+    DmaDirection.BIDIRECTIONAL,
+)
 
 
 def pack_iova(offset: int, rentry: int, rid: int) -> int:
@@ -88,20 +101,18 @@ class RPte:
         word1 = (self.size & MAX_RPTE_SIZE) | (int(self.direction) << 30) | (
             int(self.valid) << 32
         )
-        return word0.to_bytes(8, "little") + word1.to_bytes(8, "little")
+        return _RPTE_STRUCT.pack(word0, word1)
 
     @classmethod
     def decode(cls, raw: bytes) -> "RPte":
         """Decode from the 128-bit in-memory format."""
         if len(raw) != RPTE_BYTES:
             raise ValueError(f"rPTE must be {RPTE_BYTES} bytes, got {len(raw)}")
-        word0 = int.from_bytes(raw[:8], "little")
-        word1 = int.from_bytes(raw[8:], "little")
-        direction_bits = (word1 >> 30) & 0x3
+        word0, word1 = _RPTE_STRUCT.unpack(raw)
         return cls(
             phys_addr=word0,
             size=word1 & MAX_RPTE_SIZE,
-            direction=DmaDirection(direction_bits) if direction_bits else DmaDirection.BIDIRECTIONAL,
+            direction=_DIR_BY_BITS[(word1 >> 30) & 0x3],
             valid=bool((word1 >> 32) & 1),
         )
 

@@ -1,0 +1,131 @@
+"""Datapath build selection: scalar, batched, or columnar.
+
+The simulator has three interchangeable builds of its per-packet inner
+loop, all bit-identical in every modelled number (cycles, statistics,
+faults, memory contents) and differing only in wall-clock speed:
+
+* ``scalar`` — one Python call per event: per-page translation loops,
+  one :meth:`CycleAccount.charge` per cost, per-descriptor object
+  construction.  The reference semantics; slowest.
+* ``batched`` — the PR-1-era fast paths: single-page translation
+  shortcuts, per-burst translation memos, staged (counter-based) cycle
+  charges, bulk copies.
+* ``columnar`` — the batched paths *plus* struct-of-arrays burst
+  processing: whole map/unmap bursts charged with one exact fold per
+  component (precomputed per-mode cost vectors), raw-struct descriptor
+  and rPTE codecs, and observer-free specializations of the burst loops
+  selected when no tracer is active.  The default.
+
+Selection is one documented knob::
+
+    REPRO_DATAPATH={scalar,batched,columnar}
+
+The legacy switches ``REPRO_DISABLE_FASTPATH`` (kills the fast paths)
+and ``REPRO_DISABLE_BATCH`` (kills staged charging and bulk SG) still
+work but are deprecated; either one also disables the columnar build,
+since columnar layers on both.
+
+This module is the single source of truth for the three feature flags.
+Consumer modules (``repro.devices.dma``, ``repro.memory.physical``,
+``repro.perf.cycles``) copy ``FASTPATH_ENABLED``/``BATCH_ENABLED`` into
+module globals at import time — tests poke those globals directly, so
+:func:`set_datapath` re-pokes them when switching builds at runtime.
+Columnar burst loops read ``datapath.COLUMNAR_ENABLED`` through the
+module attribute (one lookup per burst, not per event) and additionally
+require the tracer to be inactive: with observers on, every build runs
+the fully traced per-event semantics so trace streams and profiler
+reconciliation stay bit-exact.
+"""
+
+from __future__ import annotations
+
+import os
+import warnings
+from typing import Tuple
+
+#: The recognised builds, slowest to fastest.
+BUILDS: Tuple[str, ...] = ("scalar", "batched", "columnar")
+
+#: Build used when ``REPRO_DATAPATH`` is unset.
+DEFAULT_BUILD = "columnar"
+
+#: The one documented selection knob.
+ENV_VAR = "REPRO_DATAPATH"
+
+_LEGACY_FASTPATH = "REPRO_DISABLE_FASTPATH"
+_LEGACY_BATCH = "REPRO_DISABLE_BATCH"
+
+
+def _resolve(build: str, legacy_fast: bool, legacy_batch: bool):
+    """Map (build, legacy vetoes) to the three feature flags."""
+    if build not in BUILDS:
+        raise ValueError(
+            f"unknown datapath build {build!r}: expected one of {', '.join(BUILDS)}"
+        )
+    fast = build != "scalar" and not legacy_fast
+    batch = build != "scalar" and not legacy_batch
+    columnar = build == "columnar" and not (legacy_fast or legacy_batch)
+    return fast, batch, columnar
+
+
+def _resolve_from_env():
+    build = os.environ.get(ENV_VAR, DEFAULT_BUILD)
+    legacy_fast = _LEGACY_FASTPATH in os.environ
+    legacy_batch = _LEGACY_BATCH in os.environ
+    for legacy, present in ((_LEGACY_FASTPATH, legacy_fast), (_LEGACY_BATCH, legacy_batch)):
+        if present:
+            warnings.warn(
+                f"{legacy} is deprecated; use {ENV_VAR}=scalar "
+                f"(or =batched to keep staged charging) instead",
+                DeprecationWarning,
+                stacklevel=2,
+            )
+    return _resolve(build, legacy_fast, legacy_batch)
+
+
+#: Single-page / single-frame fast paths and per-burst memos.
+FASTPATH_ENABLED: bool
+#: Staged (counter-based) cycle charging and bulk SG datapaths.
+BATCH_ENABLED: bool
+#: Struct-of-arrays burst loops with precomputed cost vectors.
+COLUMNAR_ENABLED: bool
+
+FASTPATH_ENABLED, BATCH_ENABLED, COLUMNAR_ENABLED = _resolve_from_env()
+
+
+def current_build() -> str:
+    """The active build name, derived from the live flags."""
+    if COLUMNAR_ENABLED:
+        return "columnar"
+    if FASTPATH_ENABLED or BATCH_ENABLED:
+        return "batched"
+    return "scalar"
+
+
+def set_datapath(build: str) -> None:
+    """Switch the active build at runtime.
+
+    Updates this module's flags *and* the copies consumer modules hold
+    in their own globals (the names parity tests poke), so a switch is
+    complete no matter which spelling a caller reads.  Ignores the
+    legacy environment vetoes: an explicit runtime selection wins.
+    """
+    global FASTPATH_ENABLED, BATCH_ENABLED, COLUMNAR_ENABLED
+    fast, batch, columnar = _resolve(build, False, False)
+    FASTPATH_ENABLED, BATCH_ENABLED, COLUMNAR_ENABLED = fast, batch, columnar
+
+    # Export the selection so spawned worker processes (the parallel
+    # grid runner) resolve the same build; the legacy vetoes are cleared
+    # because the explicit selection wins.
+    os.environ[ENV_VAR] = build
+    os.environ.pop(_LEGACY_FASTPATH, None)
+    os.environ.pop(_LEGACY_BATCH, None)
+
+    import repro.devices.dma as _dma
+    import repro.memory.physical as _physical
+    import repro.perf.cycles as _cycles
+
+    _dma.FASTPATH_ENABLED = fast
+    _dma.BATCH_ENABLED = batch
+    _physical.FASTPATH_ENABLED = fast
+    _cycles.BATCH_ENABLED = batch

@@ -19,10 +19,10 @@ exactly where the real hardware would abort the transaction.
 from __future__ import annotations
 
 import abc
-import os
 from dataclasses import dataclass
 from typing import Dict, List, Optional, Tuple
 
+from repro import datapath as _datapath
 from repro.core.riotlb import RIommuHardware
 from repro.core.structures import unpack_iova
 from repro.dma import DmaDirection
@@ -35,15 +35,14 @@ from repro.memory.physical import MemorySystem
 from repro.obs.tracer import TRACE
 
 #: Single-page translation fast path + per-burst memo (identical model
-#: cycles, less Python overhead).  Set ``REPRO_DISABLE_FASTPATH`` to
-#: force the generic per-page loop; parity tests also toggle this.
-FASTPATH_ENABLED = "REPRO_DISABLE_FASTPATH" not in os.environ
+#: cycles, less Python overhead).  Governed by ``REPRO_DATAPATH`` (see
+#: :mod:`repro.datapath`); parity tests also toggle this at runtime.
+FASTPATH_ENABLED = _datapath.FASTPATH_ENABLED
 
 #: Scatter-gather bulk datapath (batched translation + bulk copies —
 #: identical model cycles and fault behaviour, fewer Python dispatches).
-#: Set ``REPRO_DISABLE_BATCH`` to force the scalar per-page/per-segment
-#: paths; parity tests also toggle this at runtime.
-BATCH_ENABLED = "REPRO_DISABLE_BATCH" not in os.environ
+#: Governed by ``REPRO_DATAPATH``; parity tests also toggle this.
+BATCH_ENABLED = _datapath.BATCH_ENABLED
 
 
 class TranslationBackend(abc.ABC):
@@ -151,6 +150,8 @@ class IommuBackend(TranslationBackend):
         iotlb_stats = iotlb.stats
         coherency_stats = iommu.coherency.stats
         trace_hook = iommu.trace_hook
+        # Loop-invariant: emits inside this call cannot toggle the tracer.
+        trace_active = TRACE.active
         ranges: List[Tuple[int, int]] = []
         run_phys = 0  # physical start of the extent being built
         run_len = 0
@@ -171,7 +172,7 @@ class IommuBackend(TranslationBackend):
                     iommu_stats.translations += 1
                     if trace_hook is not None:
                         trace_hook(bdf, vpn)
-                    if TRACE.active:
+                    if trace_active:
                         TRACE.emit("translate", layer="iommu", bdf=bdf, iova=a)
                         TRACE.emit("iotlb_hit", layer="iommu", bdf=bdf, vpn=vpn)
                         if not entry.backing_valid:
@@ -269,6 +270,10 @@ class RIommuBackend(TranslationBackend):
     def translate_range(
         self, bdf: int, addr: int, size: int, direction: DmaDirection
     ) -> List[Tuple[int, int]]:
+        if _datapath.COLUMNAR_ENABLED:
+            # Folded start+end translation (rtranslate_span falls back to
+            # the scalar pair itself for cold/sync/fault/traced cases).
+            return [(self.hardware.rtranslate_span(bdf, addr, size, direction), size)]
         iova = unpack_iova(addr)
         phys = self.hardware.rtranslate(bdf, iova, direction)
         if size > 1:

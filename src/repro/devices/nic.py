@@ -18,7 +18,8 @@ from __future__ import annotations
 from dataclasses import dataclass
 from typing import Callable, List, Optional
 
-from repro.devices.descriptor import FLAG_DONE
+from repro import datapath as _datapath
+from repro.devices.descriptor import _CODEC, DESCRIPTOR_BYTES, FLAG_DONE, FLAG_VALID
 from repro.devices.dma import DmaBus, DmaEngine
 from repro.devices.ring import Ring
 from repro.faults import IoPageFault
@@ -127,6 +128,8 @@ class SimulatedNic:
         if ring.pending == 0:
             self.stats.rx_drops += 1
             return False
+        if _datapath.COLUMNAR_ENABLED:
+            return self._deliver_frame_columnar(ring, payload)
         index = ring.head
         try:
             descriptor = ring.device_fetch(self.bus, self.bdf, index)
@@ -165,6 +168,62 @@ class SimulatedNic:
             self.on_rx_complete(index, len(payload))
         return True
 
+    def _deliver_frame_columnar(self, ring: Ring, payload: bytes) -> bool:
+        """:meth:`deliver_frame` without the ``Descriptor`` round-trip.
+
+        The descriptor words are unpacked and re-packed with the same
+        codec ``Descriptor.decode``/``encode`` use — including dropping
+        zero-length segments on decode — so every DMA the bus sees is
+        byte-identical to the scalar path's.
+        """
+        index = ring.head
+        bus = self.bus
+        bdf = self.bdf
+        slot_addr = ring.slot_device_addr(index)
+        try:
+            raw = bus.dma_read(bdf, slot_addr, DESCRIPTOR_BYTES)
+        except IoPageFault as fault:
+            self._fault(fault)
+            return False
+        addr0, len0, flags, addr1, len1 = _CODEC.unpack(raw)
+        if not flags & FLAG_VALID or not (len0 or len1):
+            self.stats.rx_drops += 1
+            return False
+        nbytes = len(payload)
+        if nbytes > len0 + len1:
+            self.stats.rx_drops += 1
+            return False
+
+        parts = []
+        pos = 0
+        if len0:
+            chunk = payload[:len0]
+            parts.append((addr0, chunk))
+            pos = len(chunk)
+        if len1 and pos < nbytes:
+            parts.append((addr1, payload[pos : pos + len1]))
+        try:
+            self.engine.write_scatter(parts)
+        except IoPageFault as fault:
+            self._fault(fault)
+            return False
+
+        # Write back from the *decoded* segment list, like the scalar
+        # decode -> flags |= DONE -> encode round-trip does.
+        done = flags | FLAG_DONE
+        if len0:
+            out = _CODEC.pack(addr0, len0, done, addr1 if len1 else 0, len1)
+        else:
+            out = _CODEC.pack(addr1, len1, done, 0, 0)
+        bus.dma_write(bdf, slot_addr, out)
+        ring.device_advance_head()
+        stats = self.stats
+        stats.frames_received += 1
+        stats.bytes_received += nbytes
+        if self.on_rx_complete is not None:
+            self.on_rx_complete(index, nbytes)
+        return True
+
     # -- transmit path ------------------------------------------------------------
 
     def process_tx(self, max_frames: Optional[int] = None) -> int:
@@ -173,6 +232,8 @@ class SimulatedNic:
         Returns the number of frames transmitted this call.
         """
         ring = self._require(self.tx_ring, "tx")
+        if _datapath.COLUMNAR_ENABLED:
+            return self._process_tx_columnar(ring, max_frames)
         sent = 0
         while ring.pending > 0 and (max_frames is None or sent < max_frames):
             index = ring.head
@@ -191,6 +252,48 @@ class SimulatedNic:
             ring.device_advance_head()
             self.stats.frames_transmitted += 1
             self.stats.bytes_transmitted += len(frame)
+            if self.on_tx_complete is not None:
+                self.on_tx_complete(index, len(frame))
+            sent += 1
+        return sent
+
+    def _process_tx_columnar(self, ring: Ring, max_frames: Optional[int]) -> int:
+        """:meth:`process_tx` with raw descriptor codecs (see
+        :meth:`_deliver_frame_columnar` for the equivalence argument)."""
+        sent = 0
+        bus = self.bus
+        bdf = self.bdf
+        engine = self.engine
+        stats = self.stats
+        wire = self.wire
+        while ring.pending > 0 and (max_frames is None or sent < max_frames):
+            index = ring.head
+            slot_addr = ring.slot_device_addr(index)
+            addr0, len0, flags, addr1, len1 = _CODEC.unpack(
+                bus.dma_read(bdf, slot_addr, DESCRIPTOR_BYTES)
+            )
+            if not flags & FLAG_VALID:
+                break
+            segments = []
+            if len0:
+                segments.append((addr0, len0))
+            if len1:
+                segments.append((addr1, len1))
+            try:
+                frame = engine.read_gather(segments)
+            except IoPageFault as fault:
+                self._fault(fault)
+                break
+            wire.append(frame)
+            done = flags | FLAG_DONE
+            if len0:
+                out = _CODEC.pack(addr0, len0, done, addr1 if len1 else 0, len1)
+            else:
+                out = _CODEC.pack(addr1 if len1 else 0, len1, done, 0, 0)
+            bus.dma_write(bdf, slot_addr, out)
+            ring.device_advance_head()
+            stats.frames_transmitted += 1
+            stats.bytes_transmitted += len(frame)
             if self.on_tx_complete is not None:
                 self.on_tx_complete(index, len(frame))
             sent += 1

@@ -78,6 +78,20 @@ class Ring:
         self.tail = (self.tail + 1) % self.entries
         return index
 
+    def post_raw(self, raw: bytes) -> int:
+        """Like :meth:`post` but takes pre-encoded descriptor bytes.
+
+        The columnar datapath packs descriptors straight into wire
+        format; this skips the ``Descriptor`` object round-trip while
+        keeping identical ring-state transitions and memory writes.
+        """
+        if self.free_slots == 0:
+            raise RingFullError(f"ring is full ({self.entries} entries)")
+        index = self.tail
+        self.mem.ram.write(self.slot_phys(index), raw)
+        self.tail = (self.tail + 1) % self.entries
+        return index
+
     def read_descriptor(self, index: int) -> Descriptor:
         """Driver reads back a descriptor (e.g. to check DONE status)."""
         return Descriptor.decode(self.mem.ram.read(self.slot_phys(index), DESCRIPTOR_BYTES))

@@ -15,9 +15,10 @@ under the matching Table 1 component.
 from __future__ import annotations
 
 import warnings
-from dataclasses import dataclass
-from typing import Dict, Optional, Union
+from operator import itemgetter
+from typing import Dict, List, Optional, Sequence, Union
 
+from repro import datapath as _datapath
 from repro.dma import (
     DmaDirection,
     MapRequest,
@@ -49,14 +50,24 @@ import repro.perf.cycles as perf_cycles
 DMA_32BIT_PFN = (1 << 32) >> 12
 
 
-@dataclass(slots=True)
-class LiveMapping:
-    """Book-keeping for one live IOVA mapping."""
+class LiveMapping(tuple):
+    """Book-keeping for one live IOVA mapping.
 
-    rng: IovaRange
-    phys_addr: int
-    size: int
-    direction: DmaDirection
+    Tuple-backed (see :class:`~repro.iova.base.IovaRange`): one per map
+    on the hot path, attribute access preserved for callers.
+    """
+
+    __slots__ = ()
+
+    def __new__(
+        cls, rng: IovaRange, phys_addr: int, size: int, direction: DmaDirection
+    ) -> "LiveMapping":
+        return tuple.__new__(cls, (rng, phys_addr, size, direction))
+
+    rng: IovaRange = property(itemgetter(0))
+    phys_addr: int = property(itemgetter(1))
+    size: int = property(itemgetter(2))
+    direction: DmaDirection = property(itemgetter(3))
 
 
 class BaselineIommuDriver:
@@ -168,6 +179,14 @@ class BaselineIommuDriver:
         tables.
         """
         phys_addr, size, direction, _ring = req
+        if (
+            _datapath.COLUMNAR_ENABLED
+            and not TRACE.active
+            and self.map_hook is None
+            and self._staged_costs is not None
+            and perf_cycles.BATCH_ENABLED
+        ):
+            return self._map_fast(phys_addr, size, direction)
         if size <= 0:
             raise ValueError("size must be positive")
         # Inline pages_spanned/page_offset/iova_from_vpn: this function
@@ -232,6 +251,40 @@ class BaselineIommuDriver:
                 pages=pages,
             )
         return _map_result(iova)
+
+    def _map_fast(
+        self, phys_addr: int, size: int, direction: DmaDirection
+    ) -> MapResult:
+        """Columnar-build map body: identical work and staged charges.
+
+        Entered only when the tracer is off, no map hook is installed,
+        and per-mode CALIBRATED costs are staged — so the per-op stats
+        objects and the cost-model branches of :meth:`map_request` are
+        provably dead and skipped.
+        """
+        if size <= 0:
+            raise ValueError("size must be positive")
+        pages = ((phys_addr + size - 1) >> PAGE_SHIFT) - (phys_addr >> PAGE_SHIFT) + 1
+        rng = self.allocator.alloc(pages)
+        account = self.account
+        costs = self._staged_costs
+        account.stage(Component.IOVA_ALLOC, costs[0])
+        pfn_lo = rng[0]
+        map_page_fast = self.page_table.map_page_fast
+        phys_base = phys_addr & ~PAGE_MASK
+        if pages == 1:
+            map_page_fast(pfn_lo << PAGE_SHIFT, phys_base, direction)
+            account.stage(Component.MAP_PAGE_TABLE, costs[1])
+        else:
+            for i in range(pages):
+                map_page_fast(
+                    (pfn_lo + i) << PAGE_SHIFT, phys_base + i * PAGE_SIZE, direction
+                )
+            account.stage(Component.MAP_PAGE_TABLE, costs[1] * pages, events=pages)
+        account.stage(Component.MAP_OTHER, costs[2])
+        self._live[pfn_lo] = LiveMapping(rng, phys_addr, size, direction)
+        self.maps += 1
+        return _map_result((pfn_lo << PAGE_SHIFT) | (phys_addr & PAGE_MASK))
 
     # -- unmap (Figure 6) ---------------------------------------------------
 
@@ -357,6 +410,83 @@ class BaselineIommuDriver:
         if self.unmap_hook is not None:
             self.unmap_hook(rng.pfn_lo, rng.pages)
         return _unmap_result(mapping.phys_addr)
+
+    def unmap_burst(
+        self, device_addrs: Sequence[int], end_of_burst: bool = True
+    ) -> List[int]:
+        """Unmap a completion burst; returns the physical addresses.
+
+        Semantically a loop of :meth:`unmap_request` calls.  The
+        columnar body keeps all stateful work (IOVA-tree finds, page
+        table teardown, the mode's invalidation policy) per item in the
+        same order, but defers the constant CALIBRATED charges and
+        stages each component once per burst — the variable-cost
+        UNMAP_PAGE_TABLE charges are run-length encoded so the staged
+        folds match the scalar sequence exactly.
+        """
+        costs = self._staged_costs if perf_cycles.BATCH_ENABLED else None
+        if (
+            costs is None
+            or self.unmap_hook is not None
+            or TRACE.active
+            or not _datapath.COLUMNAR_ENABLED
+        ):
+            return [
+                self.unmap_request(UnmapRequest(device_addr=addr)).phys_addr
+                for addr in device_addrs
+            ]
+
+        allocator = self.allocator
+        live = self._live
+        page_table = self.page_table
+        domain_id = page_table.domain_id
+        unmap_page = page_table.unmap_page
+        mark_backing_invalid = self.iommu.iotlb.mark_backing_invalid
+        on_unmap = self.invalidation.on_unmap
+        phys_addrs: List[int] = []
+        # staging tallies, only folded into the account in ``finally``
+        n_find = 0
+        pt_runs: List[List] = []  # run-length: [cost, events, count]
+        n_inv = 0
+        done = 0
+        try:
+            for addr in device_addrs:
+                rng = allocator.find(addr >> PAGE_SHIFT)
+                n_find += 1
+                pfn_lo = rng.pfn_lo
+                mapping = live.pop(pfn_lo, None)
+                if mapping is None:
+                    raise IovaNotFoundError(f"IOVA {addr:#x} is not a live mapping")
+
+                pages = rng.pages
+                for i in range(pages):
+                    unmap_page((pfn_lo + i) << PAGE_SHIFT)
+                    mark_backing_invalid(domain_id, pfn_lo + i)
+                cost = costs[4] if pages == 1 else costs[4] * pages
+                if pt_runs and pt_runs[-1][0] == cost and pt_runs[-1][1] == pages:
+                    pt_runs[-1][2] += 1
+                else:
+                    pt_runs.append([cost, pages, 1])
+
+                n_inv += 1
+                on_unmap(domain_id, rng)
+                phys_addrs.append(mapping.phys_addr)
+                done += 1
+        finally:
+            account = self.account
+            if n_find:
+                account.stage_many(Component.IOVA_FIND, costs[3], n_find)
+            for cost, events, count in pt_runs:
+                account.stage_many(
+                    Component.UNMAP_PAGE_TABLE, cost, count, events=events
+                )
+            if n_inv:
+                account.stage_many(Component.IOTLB_INV, costs[5], n_inv)
+            if done:
+                account.stage_many(Component.IOVA_FREE, costs[6], done)
+                account.stage_many(Component.UNMAP_OTHER, costs[7], done)
+                self.unmaps += done
+        return phys_addrs
 
     # -- introspection / teardown -----------------------------------------------
 

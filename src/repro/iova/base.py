@@ -9,6 +9,7 @@ from __future__ import annotations
 
 import abc
 from dataclasses import dataclass
+from operator import itemgetter
 
 
 class IovaExhaustedError(RuntimeError):
@@ -19,32 +20,40 @@ class IovaNotFoundError(KeyError):
     """No allocated IOVA range matches the given PFN."""
 
 
-@dataclass(frozen=True)
-class IovaRange:
+class IovaRange(tuple):
     """A half-open range of allocated I/O virtual PFNs ``[pfn_lo, pfn_hi]``.
 
     Both bounds are inclusive, matching Linux's ``struct iova``.
+    Tuple-backed: one of these is created per map, and the C-level
+    tuple constructor beats a frozen dataclass's guarded ``__setattr__``
+    pair by a wide margin on that path.
     """
 
-    pfn_lo: int
-    pfn_hi: int
+    __slots__ = ()
 
-    def __post_init__(self) -> None:
-        if self.pfn_lo < 0 or self.pfn_hi < self.pfn_lo:
-            raise ValueError(f"invalid IOVA range [{self.pfn_lo}, {self.pfn_hi}]")
+    def __new__(cls, pfn_lo: int, pfn_hi: int) -> "IovaRange":
+        if pfn_lo < 0 or pfn_hi < pfn_lo:
+            raise ValueError(f"invalid IOVA range [{pfn_lo}, {pfn_hi}]")
+        return tuple.__new__(cls, (pfn_lo, pfn_hi))
+
+    pfn_lo: int = property(itemgetter(0))
+    pfn_hi: int = property(itemgetter(1))
+
+    def __repr__(self) -> str:
+        return f"IovaRange(pfn_lo={self[0]}, pfn_hi={self[1]})"
 
     @property
     def pages(self) -> int:
         """Number of pages covered by the range."""
-        return self.pfn_hi - self.pfn_lo + 1
+        return self[1] - self[0] + 1
 
     def contains(self, pfn: int) -> bool:
         """True if ``pfn`` falls inside the range."""
-        return self.pfn_lo <= pfn <= self.pfn_hi
+        return self[0] <= pfn <= self[1]
 
     def overlaps(self, other: "IovaRange") -> bool:
         """True if the two ranges share at least one PFN."""
-        return self.pfn_lo <= other.pfn_hi and other.pfn_lo <= self.pfn_hi
+        return self[0] <= other[1] and other[0] <= self[1]
 
 
 @dataclass

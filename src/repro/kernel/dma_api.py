@@ -106,6 +106,41 @@ class DmaApi(abc.ABC):
     def shutdown(self) -> None:
         """Tear down backend state (default: nothing)."""
 
+    # -- burst forms (columnar datapath) -----------------------------------
+
+    def map_burst(
+        self,
+        specs: Sequence[Tuple[int, int]],
+        direction: DmaDirection,
+        ring: Optional[int] = None,
+    ) -> List[int]:
+        """Map a burst of (phys_addr, size) buffers; returns device addresses.
+
+        Semantically a loop of :meth:`map_request` calls (and that is the
+        default implementation); backends override it to charge the
+        whole burst with per-component folds instead of per-item calls.
+        """
+        return [
+            self.map_request(_map_request(phys, size, direction, ring)).device_addr
+            for phys, size in specs
+        ]
+
+    def unmap_burst(
+        self, device_addrs: Sequence[int], end_of_burst: bool = True
+    ) -> List[int]:
+        """Unmap a completion burst; returns the physical addresses.
+
+        ``end_of_burst`` applies to the last address only, exactly like
+        the equivalent loop of :meth:`unmap_request` calls.
+        """
+        last = len(device_addrs) - 1
+        return [
+            self.unmap_request(
+                _unmap_request(addr, end_of_burst and i == last)
+            ).phys_addr
+            for i, addr in enumerate(device_addrs)
+        ]
+
     # -- scatter-gather (dma_map_sg analogue) ------------------------------
 
     def map_sg(
@@ -163,6 +198,23 @@ class IdentityDmaApi(DmaApi):
     def unmap_request(self, req: UnmapRequest) -> UnmapResult:
         return _unmap_result(req.device_addr)
 
+    def map_burst(
+        self,
+        specs: Sequence[Tuple[int, int]],
+        direction: DmaDirection,
+        ring: Optional[int] = None,
+    ) -> List[int]:
+        # No state and no cost: validate in request order, pass through.
+        for _, size in specs:
+            if size <= 0:
+                raise ValueError("size must be positive")
+        return [phys for phys, _ in specs]
+
+    def unmap_burst(
+        self, device_addrs: Sequence[int], end_of_burst: bool = True
+    ) -> List[int]:
+        return list(device_addrs)
+
     def create_ring(self, entries: int) -> Optional[int]:
         return None
 
@@ -180,6 +232,11 @@ class BaselineDmaApi(DmaApi):
 
     def unmap_request(self, req: UnmapRequest) -> UnmapResult:
         return self.driver.unmap_request(req)
+
+    def unmap_burst(
+        self, device_addrs: Sequence[int], end_of_burst: bool = True
+    ) -> List[int]:
+        return self.driver.unmap_burst(device_addrs, end_of_burst)
 
     def create_ring(self, entries: int) -> Optional[int]:
         return None
@@ -204,6 +261,11 @@ class RIommuDmaApi(DmaApi):
 
     def unmap_request(self, req: UnmapRequest) -> UnmapResult:
         return self.driver.unmap_request(req)
+
+    def unmap_burst(
+        self, device_addrs: Sequence[int], end_of_burst: bool = True
+    ) -> List[int]:
+        return self.driver.unmap_burst(device_addrs, end_of_burst)
 
     def create_ring(self, entries: int) -> Optional[int]:
         return self.driver.create_ring(entries)

@@ -107,12 +107,23 @@ class CoherencyDomain:
         """The paper's ``sync_mem`` (Figure 11, bottom right).
 
         Non-coherent platforms: barrier + cacheline flush + barrier.
-        Coherent platforms: a single barrier.
+        Coherent platforms: a single barrier.  (Inlined: this runs once
+        per simulated table write; the counter math is identical to
+        calling :meth:`memory_barrier`/:meth:`cache_line_flush`.)
         """
+        stats = self.stats
         if not self.coherent:
-            self.memory_barrier()
-            self.cache_line_flush(addr, size)
-        self.memory_barrier()
+            stats.barriers += 2
+            stats.flushes += 1
+            if size > 0:
+                base = addr & ~(CACHELINE_SIZE - 1)
+                last = (addr + size - 1) & ~(CACHELINE_SIZE - 1)
+                dirty = self._dirty
+                while base <= last:
+                    dirty.discard(base)
+                    base += CACHELINE_SIZE
+        else:
+            stats.barriers += 1
 
     # -- hardware side ----------------------------------------------------
 

@@ -9,9 +9,9 @@ that are actually touched consume space.
 
 from __future__ import annotations
 
-import os
 from typing import Dict, Iterable, List, Optional, Set
 
+from repro import datapath as _datapath
 from repro.memory.address import (
     PAGE_MASK,
     PAGE_SHIFT,
@@ -22,9 +22,9 @@ from repro.memory.address import (
 )
 
 #: Single-frame read/write fast paths (identical semantics, less Python
-#: overhead).  Set ``REPRO_DISABLE_FASTPATH`` to force the generic
-#: chunk loop everywhere; parity tests also toggle this at runtime.
-FASTPATH_ENABLED = "REPRO_DISABLE_FASTPATH" not in os.environ
+#: overhead).  Governed by ``REPRO_DATAPATH`` (see
+#: :mod:`repro.datapath`); parity tests also toggle this at runtime.
+FASTPATH_ENABLED = _datapath.FASTPATH_ENABLED
 
 
 class OutOfMemoryError(RuntimeError):
@@ -178,6 +178,23 @@ class PhysicalMemory:
         no intermediate ``bytes`` objects.
         """
         extents = list(extents)
+        # Fast path: one single-frame extent (most descriptor fetches and
+        # sub-page packet buffers) — one dict probe, one slice.
+        if FASTPATH_ENABLED and len(extents) == 1:
+            addr, size = extents[0]
+            if (
+                type(addr) is int
+                and type(size) is int
+                and 0 <= addr
+                and 0 < size
+                and (addr & PAGE_MASK) + size <= PAGE_SIZE
+                and addr + size <= self.size_bytes
+            ):
+                page = self._frames.get(addr >> PAGE_SHIFT)
+                if page is None:
+                    return bytes(size)
+                off = addr & PAGE_MASK
+                return bytes(page[off : off + size])
         total = 0
         for _, size in extents:
             total += size
@@ -222,6 +239,25 @@ class PhysicalMemory:
         extents' combined size.
         """
         extents = list(extents)
+        # Fast path: one single-frame extent covering all of ``data``.
+        if FASTPATH_ENABLED and len(extents) == 1:
+            addr, size = extents[0]
+            if (
+                type(addr) is int
+                and size == len(data)
+                and 0 <= addr
+                and 0 < size
+                and (addr & PAGE_MASK) + size <= PAGE_SIZE
+                and addr + size <= self.size_bytes
+            ):
+                frame = addr >> PAGE_SHIFT
+                page = self._frames.get(frame)
+                if page is None:
+                    page = bytearray(PAGE_SIZE)
+                    self._frames[frame] = page
+                off = addr & PAGE_MASK
+                page[off : off + size] = data
+                return
         total = 0
         for _, size in extents:
             total += size
@@ -447,13 +483,57 @@ class MemorySystem:
         self.allocator = FrameAllocator(self.ram, reserved_frames)
 
     def alloc_dma_buffer(self, size: int, pin: bool = True) -> int:
-        """Allocate (and by default pin) a DMA target buffer; returns its address."""
+        """Allocate (and by default pin) a DMA target buffer; returns its address.
+
+        Single-page pinned buffers (every per-packet buffer) take an
+        inlined fast path replicating ``alloc_frame`` + ``pin`` exactly:
+        same LIFO frame reuse, same zero-fill, same allocator state.
+        Exhaustion falls through to the slow path for the canonical
+        :class:`OutOfMemoryError`.
+        """
+        if FASTPATH_ENABLED and pin and 0 < size <= PAGE_SIZE:
+            allocator = self.allocator
+            free = allocator._free
+            if free:
+                frame = free.pop()
+                self.ram.discard_frame(frame)
+            else:
+                frame = allocator._next_frame
+                if frame >= self.ram.num_frames:
+                    frame = -1  # exhausted: take the slow path below
+                else:
+                    allocator._next_frame = frame + 1
+            if frame >= 0:
+                allocator._allocated.add(frame)
+                allocator._pinned.add(frame)
+                return frame << PAGE_SHIFT
         addr = self.allocator.alloc_buffer(size)
         if pin:
             self.allocator.pin(addr, size)
         return addr
 
     def free_dma_buffer(self, addr: int, size: int) -> None:
-        """Unpin and free a DMA target buffer."""
+        """Unpin and free a DMA target buffer.
+
+        The aligned single-page case is inlined (``unpin`` +
+        ``free_frame`` with identical state transitions); anything else
+        — including the not-allocated error case, so the canonical
+        ``ValueError`` is raised — uses the generic path.
+        """
+        if (
+            FASTPATH_ENABLED
+            and type(addr) is int
+            and 0 < size <= PAGE_SIZE
+            and addr >= 0
+            and addr & PAGE_MASK == 0
+        ):
+            frame = addr >> PAGE_SHIFT
+            allocator = self.allocator
+            allocated = allocator._allocated
+            if frame in allocated:
+                allocator._pinned.discard(frame)
+                allocated.remove(frame)
+                allocator._free.append(frame)
+                return
         self.allocator.unpin(addr, size)
         self.allocator.free_buffer(addr, size)

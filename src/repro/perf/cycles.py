@@ -22,15 +22,15 @@ from __future__ import annotations
 
 import enum
 import itertools
-import os
 from typing import Dict, Iterable, List, Mapping, Optional, Tuple
 
+from repro import datapath as _datapath
 from repro.obs.tracer import TRACE
 
 #: Counter-based charge staging (identical model cycles, fewer Python
-#: dict operations per burst).  Set ``REPRO_DISABLE_BATCH`` to force the
-#: scalar charge-per-event path; parity tests also toggle this.
-BATCH_ENABLED = "REPRO_DISABLE_BATCH" not in os.environ
+#: dict operations per burst).  Governed by ``REPRO_DATAPATH`` (see
+#: :mod:`repro.datapath`); parity tests also toggle this at runtime.
+BATCH_ENABLED = _datapath.BATCH_ENABLED
 
 #: Largest magnitude at which float addition of integers is exact, so a
 #: fold ``total += cycles * n`` is bit-identical to ``n`` repeated adds.
@@ -261,6 +261,44 @@ class CycleAccount:
         staged[component] = [cycles, events, 1]
         if TRACE.active:
             TRACE.emit_charge(self._tid, component.value, cycles, events, 1, self._label)
+
+    def stage_many(self, component: Component, cycles: float, count: int, events: int = 1) -> None:
+        """Stage ``count`` identical charges in one step.
+
+        Bit-for-bit equivalent to ``count`` calls of
+        ``stage(component, cycles, events)`` — the columnar burst loops
+        use it to charge a whole burst's worth of one component with a
+        single dict operation.  Emits one counted ``cycle_charge`` trace
+        event, which the streaming profiler folds with the same
+        :func:`exact_add` arithmetic the account itself uses.
+        """
+        if count <= 0:
+            raise ValueError("count must be positive")
+        if not BATCH_ENABLED:
+            for _ in range(count):
+                self.charge(component, cycles, events)
+            return
+        staged = self._staged
+        pending = staged.get(component)
+        if pending is not None:
+            if pending[0] == cycles and pending[1] == events:
+                pending[2] += count
+                if TRACE.active:
+                    TRACE.emit_charge(self._tid, component.value, cycles, events, count, self._label)
+                return
+            del staged[component]
+            self._fold(component, pending)
+        if cycles < 0:
+            raise ValueError(f"cannot charge negative cycles ({cycles})")
+        # Pin the component's position in dict insertion order now, so
+        # total() sums components in the same order as the scalar path.
+        cyc = self._cycles
+        if component not in cyc:
+            cyc[component] = 0.0
+            self._events[component] = 0
+        staged[component] = [cycles, events, count]
+        if TRACE.active:
+            TRACE.emit_charge(self._tid, component.value, cycles, events, count, self._label)
 
     # -- reads ----------------------------------------------------------
 
