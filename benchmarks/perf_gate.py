@@ -1,4 +1,4 @@
-"""Cross-build CI perf gate: the columnar build must stay fast.
+"""Cross-build + event-kernel CI perf gate.
 
 Runs the quick benchmark (the representative cells) twice in one
 process — once under the ``scalar`` reference build, once under the
@@ -9,9 +9,23 @@ process — once under the ``scalar`` reference build, once under the
 * neither run regresses past the history sentinel's rolling median
   for its *own* build (``--max-regression``, default 0.25).
 
-Both runs are appended to the perf-history log (each line carries its
-``datapath`` build; the sentinel never compares across builds), and a
-combined gate report is written for the CI artifact upload::
+On top of the build gate, the event-kernel gate checks the scheduler
+refactor's contract on every run:
+
+* every representative cell is bit-identical between the legacy loop
+  engine and the event kernel (``to_dict`` equality), and the
+  multi-ring cell is bit-identical between serial and sharded
+  execution;
+* on hosts with enough cores (>= the shard count), the sharded run of
+  the multi-ring cell is at least ``--min-shard-speedup`` (default
+  1.5×) faster than the serial reference.  On smaller hosts the
+  measured numbers are still recorded, with the enforcement skipped —
+  a 1-core container cannot physically show a parallel speedup.
+
+Both harness runs are appended to the perf-history log (each line
+carries its ``datapath`` build; the sentinel never compares across
+builds or across quick/full runs), and a combined gate report is
+written for the CI artifact upload::
 
     PYTHONPATH=src python benchmarks/perf_gate.py [--min-speedup 1.3]
 """
@@ -20,6 +34,7 @@ from __future__ import annotations
 
 import argparse
 import json
+import os
 import pathlib
 import sys
 import time
@@ -29,9 +44,17 @@ sys.path.insert(0, str(pathlib.Path(__file__).resolve().parent.parent / "src"))
 sys.path.insert(1, str(pathlib.Path(__file__).resolve().parent))
 
 import perf_history  # noqa: E402
-from perf_harness import REPRESENTATIVE_CELLS, run_harness  # noqa: E402
+from perf_harness import (  # noqa: E402
+    REPRESENTATIVE_CELLS,
+    SHARDING_CELL,
+    run_harness,
+    time_sharding,
+)
 
 from repro import datapath as repro_datapath  # noqa: E402
+from repro.modes import Mode  # noqa: E402
+from repro.sim.runner import run_benchmark  # noqa: E402
+from repro.sim.setups import setup_by_name  # noqa: E402
 
 DEFAULT_OUTPUT = pathlib.Path(__file__).parent / "output" / "BENCH_gate.json"
 
@@ -55,11 +78,77 @@ def cell_seconds(
     return None
 
 
+def check_engine_parity(
+    cells: Sequence[Tuple[str, str, str]] = REPRESENTATIVE_CELLS,
+    shards: int = 4,
+) -> Tuple[List[Dict[str, object]], List[str]]:
+    """Bit-parity sweep: loop vs event kernel, serial vs sharded.
+
+    Every cell must produce an identical ``to_dict`` under the legacy
+    loop engine and the event kernel; the multi-ring sharding cell must
+    additionally be identical between serial and ``shards``-way sharded
+    execution.  Returns ``(rows, errors)``.
+    """
+    rows: List[Dict[str, object]] = []
+    errors: List[str] = []
+    for setup_name, benchmark, mode_label in cells:
+        setup = setup_by_name(setup_name)
+        mode = Mode(mode_label)
+        key = perf_history.cell_key(setup_name, benchmark, mode_label)
+        loop = run_benchmark(setup, mode, benchmark, fast=True, engine="loop")
+        events = run_benchmark(setup, mode, benchmark, fast=True, engine="events")
+        row = {"cell": key, "loop_vs_events": loop.to_dict() == events.to_dict()}
+        if not row["loop_vs_events"]:
+            errors.append(f"{key}: event kernel diverges from the loop engine")
+        if (setup_name, benchmark, mode_label) == SHARDING_CELL:
+            sharded = run_benchmark(
+                setup, mode, benchmark, fast=True, engine="events", shards=shards
+            )
+            row["serial_vs_sharded"] = events.to_dict() == sharded.to_dict()
+            if not row["serial_vs_sharded"]:
+                errors.append(
+                    f"{key}: {shards}-shard run diverges from the serial reference"
+                )
+        rows.append(row)
+    return rows, errors
+
+
+def check_shard_speedup(
+    min_shard_speedup: float, shards: int = 4
+) -> Tuple[Dict[str, object], List[str]]:
+    """Wall-clock gate: sharded multi-ring run vs the serial reference.
+
+    Enforced only when the host has at least ``shards`` cores — the
+    measurement is always taken and recorded, but a 1-core container
+    cannot show a parallel speedup and must not fail CI for it.
+    """
+    errors: List[str] = []
+    measurement = time_sharding(shards=shards, fast=False)
+    cores = os.cpu_count() or 1
+    enforced = cores >= shards
+    measurement["min_speedup"] = min_shard_speedup
+    measurement["enforced"] = enforced
+    if not enforced:
+        measurement["skip_reason"] = (
+            f"host has {cores} cores < {shards} shards; speedup recorded "
+            f"but not gated"
+        )
+    elif measurement["speedup_vs_serial"] < min_shard_speedup:
+        errors.append(
+            f"{measurement['cell']}: {shards}-shard speedup is only "
+            f"{measurement['speedup_vs_serial']:.2f}x serial "
+            f"(gate requires >= {min_shard_speedup:.2f}x)"
+        )
+    return measurement, errors
+
+
 def run_gate(
     min_speedup: float,
     max_regression: Optional[float],
     repeats: int = 3,
     history_path: Optional[pathlib.Path] = None,
+    min_shard_speedup: float = 1.5,
+    shards: int = 4,
 ) -> Tuple[Dict[str, object], List[str]]:
     """Bench scalar + columnar, compare, sentinel-check; returns
     ``(gate_report, errors)`` — an empty error list means the gate is
@@ -106,6 +195,14 @@ def run_gate(
                 errors.append(f"[{build}] {error}")
             perf_history.append_history(reports[build], history_path)
 
+    # The event-kernel gate: bit-parity (loop vs events, serial vs
+    # sharded) on every run, shard wall-clock speedup where the host
+    # has the cores to show one.
+    parity_rows, parity_errors = check_engine_parity(shards=shards)
+    errors.extend(parity_errors)
+    shard_speedup, shard_errors = check_shard_speedup(min_shard_speedup, shards)
+    errors.extend(shard_errors)
+
     gate_report: Dict[str, object] = {
         "schema": "riommu-repro/bench-gate/v1",
         "timestamp": time.strftime("%Y-%m-%dT%H:%M:%S"),
@@ -113,6 +210,8 @@ def run_gate(
         "max_regression": max_regression,
         "passed": not errors,
         "stream_cells": comparisons,
+        "engine_parity": parity_rows,
+        "shard_speedup": shard_speedup,
         "errors": errors,
         "scalar": reports["scalar"],
         "columnar": reports["columnar"],
@@ -138,6 +237,23 @@ def main(argv: Optional[Sequence[str]] = None) -> int:
         help="fail if either build's mlx/stream/strict exceeds its "
         "same-build rolling history median by more than FRACTION "
         "(default 0.25); use a negative value to skip",
+    )
+    parser.add_argument(
+        "--min-shard-speedup",
+        type=float,
+        default=1.5,
+        metavar="RATIO",
+        help="fail unless the sharded multi-ring run is at least RATIO x "
+        "faster than the serial event kernel (default 1.5); only "
+        "enforced on hosts with at least --shards cores",
+    )
+    parser.add_argument(
+        "--shards",
+        type=int,
+        default=4,
+        metavar="N",
+        help="shard count for the sharded parity + speedup checks "
+        "(default 4)",
     )
     parser.add_argument("--repeats", type=int, default=3, help="best-of repeats")
     parser.add_argument(
@@ -169,6 +285,8 @@ def main(argv: Optional[Sequence[str]] = None) -> int:
         max_regression=max_regression,
         repeats=args.repeats,
         history_path=history_path,
+        min_shard_speedup=args.min_shard_speedup,
+        shards=args.shards,
     )
 
     output = pathlib.Path(args.output)
@@ -181,6 +299,20 @@ def main(argv: Optional[Sequence[str]] = None) -> int:
             f"columnar {row['columnar_seconds']}s "
             f"-> {row['speedup_vs_scalar']}x"
         )
+    parity_ok = sum(
+        1 for row in gate_report["engine_parity"] if row["loop_vs_events"]
+    )
+    print(
+        f"engine parity: {parity_ok}/{len(gate_report['engine_parity'])} "
+        f"cells bit-identical loop vs events"
+    )
+    shard = gate_report["shard_speedup"]
+    status = "enforced" if shard["enforced"] else "recorded only"
+    print(
+        f"shard speedup ({shard['cell']}, {shard['shards']} shards, {status}): "
+        f"serial {shard['serial_seconds']}s, sharded {shard['sharded_seconds']}s "
+        f"-> {shard['speedup_vs_serial']}x"
+    )
     print(f"gate report written to {output}", file=sys.stderr)
     if errors:
         for error in errors:

@@ -28,8 +28,9 @@ sys.path.insert(1, str(pathlib.Path(__file__).resolve().parent))
 
 from repro import datapath as repro_datapath  # noqa: E402
 from repro.modes import ALL_MODES, Mode  # noqa: E402
+from repro.sim import scheduler as repro_scheduler  # noqa: E402
 from repro.sim.parallel import grid_cells, resolve_jobs, run_cell, run_grid  # noqa: E402
-from repro.sim.runner import BENCHMARK_NAMES  # noqa: E402
+from repro.sim.runner import BENCHMARK_NAMES, run_benchmark  # noqa: E402
 from repro.sim.setups import ALL_SETUPS, setup_by_name  # noqa: E402
 
 DEFAULT_OUTPUT = pathlib.Path(__file__).parent / "output" / "BENCH_runner.json"
@@ -49,7 +50,13 @@ REPRESENTATIVE_CELLS: Tuple[Tuple[str, str, str], ...] = (
     ("mlx", "stream", "none"),
     ("mlx", "rr", "strict"),
     ("mlx", "memcached", "defer"),
+    # The event kernel's multi-domain scaling cell (not a figure-12
+    # workload): N independent stream domains on one event heap.
+    ("mlx", "mstream", "strict"),
 )
+
+#: The cell the intra-run sharding measurement times serial vs sharded.
+SHARDING_CELL: Tuple[str, str, str] = ("mlx", "mstream", "strict")
 
 
 def time_call(fn, repeats: int = 3) -> float:
@@ -118,6 +125,47 @@ def time_grid(
     }
 
 
+def time_sharding(
+    shards: int = 4,
+    fast: bool = True,
+    repeats: int = 1,
+    cell: Tuple[str, str, str] = SHARDING_CELL,
+) -> Dict[str, object]:
+    """Wall-clock the multi-ring cell serially and with ``shards`` shards.
+
+    Both runs use the event kernel; the serial run is the deterministic
+    reference (one event heap, one process), the sharded run fans
+    domains over a worker pool.  Results are bit-identical (the parity
+    tests and the perf gate pin this) — only wall-clock differs, and
+    only meaningfully when the host actually has cores to use
+    (``cpu_count`` is recorded so consumers can judge the number).
+    """
+    setup_name, benchmark, mode_label = cell
+    setup = setup_by_name(setup_name)
+    mode = Mode(mode_label)
+    serial_s = time_call(
+        lambda: run_benchmark(
+            setup, mode, benchmark, fast, engine="events", shards=1
+        ),
+        repeats,
+    )
+    sharded_s = time_call(
+        lambda: run_benchmark(
+            setup, mode, benchmark, fast, engine="events", shards=shards
+        ),
+        repeats,
+    )
+    return {
+        "cell": "/".join(cell),
+        "fast": fast,
+        "shards": shards,
+        "cpu_count": os.cpu_count(),
+        "serial_seconds": round(serial_s, 4),
+        "sharded_seconds": round(sharded_s, 4),
+        "speedup_vs_serial": round(serial_s / sharded_s, 3),
+    }
+
+
 def load_previous_cells(
     output: Optional[pathlib.Path],
 ) -> Dict[Tuple[str, str, str, bool], float]:
@@ -158,11 +206,15 @@ def run_harness(
     modes: Sequence[str] = (),
     output: Optional[pathlib.Path] = DEFAULT_OUTPUT,
     quick: bool = False,
+    shard_bench: Optional[int] = 4,
 ) -> Dict[str, object]:
     """Time representative cells + the grid; write ``BENCH_runner.json``.
 
     ``quick`` times only the representative cells (skipping the
     serial-vs-parallel grid sweep) — the CI perf-smoke configuration.
+    ``shard_bench`` adds the intra-run sharding measurement (serial vs
+    N-shard wall-clock on the multi-ring cell) to the report; None
+    skips it.
     """
     baselines = load_previous_cells(output)
     cells = time_representative_cells(fast=fast, repeats=repeats)
@@ -183,8 +235,18 @@ def run_harness(
         # is kept for v1 readers (it mirrors build != scalar).
         "datapath": repro_datapath.current_build(),
         "fastpath_enabled": repro_datapath.current_build() != "scalar",
+        # v2: the simulation engine and shard knob the timings ran under
+        # (cells time whatever the knobs select; the sharding section
+        # below always compares serial vs sharded explicitly).
+        "engine": repro_scheduler.resolve_engine(None),
+        "shards": repro_scheduler.resolve_shards(None),
         "quick": quick,
         "cells": cells,
+        "sharding": (
+            None
+            if not shard_bench or shard_bench <= 1
+            else time_sharding(shards=shard_bench, fast=fast)
+        ),
         "grid": None if quick else time_grid(jobs, setups, benchmarks, modes, fast),
     }
     if output is not None:
@@ -241,6 +303,32 @@ def main(argv: Optional[Sequence[str]] = None) -> int:
         "field so trajectories never mix builds",
     )
     parser.add_argument(
+        "--engine",
+        choices=sorted(repro_scheduler.ENGINES),
+        default=None,
+        help="simulation engine to benchmark (default: REPRO_ENGINE or "
+        "the event-kernel default); recorded in the report's 'engine' "
+        "field",
+    )
+    parser.add_argument(
+        "--shards",
+        type=int,
+        default=None,
+        metavar="N",
+        help="intra-run shard count the timed cells run under (default: "
+        "REPRO_SHARDS or 1); the explicit serial-vs-sharded comparison "
+        "in the report's 'sharding' section is controlled by "
+        "--shard-bench, not this",
+    )
+    parser.add_argument(
+        "--shard-bench",
+        type=int,
+        default=4,
+        metavar="N",
+        help="shard count for the serial-vs-sharded measurement on the "
+        "multi-ring cell (default 4; 0/1 to skip)",
+    )
+    parser.add_argument(
         "-o", "--output", default=str(DEFAULT_OUTPUT), help="report path"
     )
     parser.add_argument(
@@ -283,12 +371,17 @@ def main(argv: Optional[Sequence[str]] = None) -> int:
     args = parser.parse_args(argv)
     if args.datapath is not None:
         repro_datapath.set_datapath(args.datapath)
+    if args.engine is not None:
+        repro_scheduler.set_engine(args.engine)
+    if args.shards is not None:
+        repro_scheduler.set_shards(args.shards)
     report = run_harness(
         jobs=args.jobs,
         fast=not args.full,
         repeats=args.repeats,
         output=pathlib.Path(args.output),
         quick=args.quick,
+        shard_bench=args.shard_bench,
     )
     print(json.dumps(report, indent=2))
     # Mirror the report to the tracked root copy so the perf trajectory

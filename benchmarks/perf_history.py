@@ -64,7 +64,7 @@ def history_entry(report: Dict[str, object]) -> Dict[str, object]:
         cell_key(row["setup"], row["benchmark"], row["mode"]): float(row["seconds"])
         for row in rows
     }
-    return {
+    entry = {
         "schema": HISTORY_SCHEMA,
         "timestamp": report.get("timestamp"),
         "python": report.get("python"),
@@ -75,6 +75,15 @@ def history_entry(report: Dict[str, object]) -> Dict[str, object]:
         "fast": bool(rows[0]["fast"]) if rows else True,
         "cells": cells,
     }
+    # v2 extensions carried through when the report has them: the
+    # simulation engine the timings were taken under, and the intra-run
+    # sharding measurement (serial vs sharded wall-clock on the
+    # multi-ring cell).
+    if report.get("engine") is not None:
+        entry["engine"] = report["engine"]
+    if report.get("sharding") is not None:
+        entry["sharding"] = report["sharding"]
+    return entry
 
 
 def append_history(
@@ -121,12 +130,17 @@ def rolling_baseline(
     cell: Tuple[str, str, str] = DEFAULT_CELL,
     window: int = DEFAULT_WINDOW,
     datapath: Optional[str] = None,
+    quick: Optional[bool] = None,
 ) -> Optional[float]:
     """Median seconds of the cell's last ``window`` history entries.
 
     With ``datapath`` set, only entries taken under that build
     contribute — a columnar run must never be judged against scalar
-    medians (or vice versa).
+    medians (or vice versa).  With ``quick`` set, only entries with the
+    matching quick flag contribute: quick runs (representative cells
+    only) and full runs (with the grid sweep warm in the process) have
+    different cache behaviour and must never share a baseline.  Entries
+    predating the quick field count as full runs.
     """
     key = cell_key(*cell)
     series = [
@@ -135,6 +149,7 @@ def rolling_baseline(
         if key in entry["cells"]
         and float(entry["cells"][key]) > 0
         and (datapath is None or report_datapath(entry) == datapath)
+        and (quick is None or bool(entry.get("quick")) == quick)
     ]
     if not series:
         return None
@@ -151,12 +166,14 @@ def check_history_regression(
     """Error string if ``cell`` exceeds the rolling baseline's tolerance.
 
     Compares the fresh report's wall-clock against the median of the
-    last ``window`` history entries *taken under the same datapath
-    build*; ``None`` when within ``baseline * (1 + max_regression)`` or
-    when there is no same-build baseline.
+    last ``window`` history entries taken under the same datapath build
+    *and* the same quick flag; ``None`` when within
+    ``baseline * (1 + max_regression)`` or when there is no comparable
+    baseline.
     """
     build = report_datapath(report)
-    baseline = rolling_baseline(history, cell, window, datapath=build)
+    quick = bool(report.get("quick"))
+    baseline = rolling_baseline(history, cell, window, datapath=build, quick=quick)
     if baseline is None:
         return None
     current = None
@@ -168,10 +185,11 @@ def check_history_regression(
         return None
     limit = baseline * (1.0 + max_regression)
     if current > limit:
+        kind = "quick" if quick else "full"
         return (
             f"{cell_key(*cell)} regressed: {current:.4f}s > {limit:.4f}s "
             f"(rolling median of last {min(len(history), window)} "
-            f"{build}-build runs is {baseline:.4f}s, "
+            f"{build}-build {kind} runs is {baseline:.4f}s, "
             f"tolerance {max_regression:.0%})"
         )
     return None

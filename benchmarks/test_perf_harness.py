@@ -41,9 +41,16 @@ def test_harness_smoke_emits_report(tmp_path):
     assert on_disk["grid"]["serial_seconds"] > 0
     assert on_disk["grid"]["parallel_seconds"] > 0
     assert on_disk["grid"]["speedup_vs_serial"] > 0
-    assert len(on_disk["cells"]) == 5
+    assert len(on_disk["cells"]) == 6
     for row in on_disk["cells"]:
         assert row["seconds"] > 0
+    assert on_disk["engine"] in ("loop", "events")
+    assert on_disk["shards"] >= 1
+    sharding = on_disk["sharding"]
+    assert sharding["cell"] == "mlx/mstream/strict"
+    assert sharding["serial_seconds"] > 0
+    assert sharding["sharded_seconds"] > 0
+    assert sharding["speedup_vs_serial"] > 0
     assert report["output_path"] == str(out)
 
 

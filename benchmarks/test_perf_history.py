@@ -130,6 +130,71 @@ def test_seeded_root_history_is_a_valid_baseline():
     assert baseline is not None and baseline > 0
 
 
+def test_rolling_baseline_keys_on_quick_flag(tmp_path):
+    """Quick and full runs must never share a baseline.
+
+    Quick runs (representative cells only) and full runs (grid sweep
+    warm in the process) have different cache behaviour; one pool of
+    fast full-run entries must not mask a quick-run regression, nor
+    slow quick entries fabricate a full-run one.
+    """
+    path = tmp_path / "history.jsonl"
+    for seconds in (0.05, 0.05):
+        append_history(_report(seconds), path)  # quick entries
+    full = _report(0.20)
+    full["quick"] = False
+    for _ in range(2):
+        append_history(full, path)
+    history = load_history(path)
+    assert rolling_baseline(history, DEFAULT_CELL, quick=True) == 0.05
+    assert rolling_baseline(history, DEFAULT_CELL, quick=False) == 0.20
+    # Unkeyed, the pools blur together — exactly what the gate must not do.
+    assert rolling_baseline(history, DEFAULT_CELL, quick=None) not in (0.05, 0.20)
+
+
+def test_entries_predating_quick_field_count_as_full(tmp_path):
+    path = tmp_path / "history.jsonl"
+    legacy = _report(0.30)
+    del legacy["quick"]
+    append_history(legacy, path)
+    history = load_history(path)
+    assert rolling_baseline(history, DEFAULT_CELL, quick=False) == 0.30
+    assert rolling_baseline(history, DEFAULT_CELL, quick=True) is None
+
+
+def test_regression_check_compares_within_quick_pool(tmp_path):
+    """A quick report is judged only against quick history (and names
+    the pool in its verdict), even with slower full entries present."""
+    path = tmp_path / "history.jsonl"
+    for seconds in (0.05, 0.05, 0.05, 0.05, 0.05):
+        append_history(_report(seconds), path)
+    full = _report(0.50)
+    full["quick"] = False
+    for _ in range(5):
+        append_history(full, path)
+    history = load_history(path)
+    # 0.12s is fine against the 0.50s full pool but a 2.4x quick
+    # regression; the quick-keyed gate must catch it.
+    error = check_history_regression(_report(0.12), history, 0.25)
+    assert error is not None and "quick runs" in error
+    # The same seconds in a full report passes against the full pool.
+    ok = _report(0.12)
+    ok["quick"] = False
+    assert check_history_regression(ok, history, 0.25) is None
+
+
+def test_history_entry_carries_engine_and_sharding():
+    report = _report(0.07)
+    report["engine"] = "events"
+    report["sharding"] = {"cell": "mlx/mstream/strict", "speedup_vs_serial": 2.1}
+    entry = history_entry(report)
+    assert entry["engine"] == "events"
+    assert entry["sharding"]["speedup_vs_serial"] == 2.1
+    # Reports without the v2 extensions produce entries without them.
+    bare = history_entry(_report(0.07))
+    assert "engine" not in bare and "sharding" not in bare
+
+
 def test_history_entry_captures_environment():
     entry = history_entry(_report(0.07))
     assert entry["python"] == "3.11.7"

@@ -79,6 +79,7 @@ from repro.obs import (
     write_metrics,
     write_timeline,
 )
+from repro.sim.multiring import MultiRingStream
 from repro.sim.registry import BENCHMARKS, BenchmarkSpec, register_benchmark
 from repro.sim.results import RunResult, normalized, normalized_cpu
 from repro.sim.runner import (
@@ -88,6 +89,20 @@ from repro.sim.runner import (
     run_benchmark,
     run_figure12,
     run_mode_sweep,
+)
+from repro.sim.scheduler import (
+    ENGINE_ENV,
+    ENGINES,
+    SHARDS_ENV,
+    EventScheduler,
+    EventSim,
+    load_checkpoint,
+    resolve_engine,
+    resolve_shards,
+    run_events,
+    save_checkpoint,
+    set_engine,
+    set_shards,
 )
 from repro.sim.setups import ALL_SETUPS, BRCM_SETUP, MLX_SETUP, Setup, setup_by_name
 
@@ -121,6 +136,20 @@ __all__ = [
     "run_benchmark",
     "run_figure12",
     "run_mode_sweep",
+    # event-scheduled kernel & sharding
+    "ENGINES",
+    "ENGINE_ENV",
+    "SHARDS_ENV",
+    "EventScheduler",
+    "EventSim",
+    "MultiRingStream",
+    "load_checkpoint",
+    "resolve_engine",
+    "resolve_shards",
+    "run_events",
+    "save_checkpoint",
+    "set_engine",
+    "set_shards",
     # observability bus
     "EVENT_TYPES",
     "MetricsRegistry",

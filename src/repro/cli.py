@@ -141,6 +141,24 @@ def build_parser() -> argparse.ArgumentParser:
         "mode-specialized hot loop; all three are bit-identical",
     )
     parser.add_argument(
+        "--engine",
+        choices=("loop", "events"),
+        default=None,
+        help="simulation engine (default: $REPRO_ENGINE, else events) — "
+        "events is the cycle-stamped event-scheduled kernel, loop the "
+        "legacy fixed call-order reference; both are bit-identical",
+    )
+    parser.add_argument(
+        "--shards",
+        type=int,
+        default=None,
+        metavar="N",
+        help="intra-run shards for multi-domain workloads (mstream): "
+        "domains partition into N shards run on a worker pool; 0 = one "
+        "per CPU, default serial — results are identical for any value "
+        "(default: $REPRO_SHARDS)",
+    )
+    parser.add_argument(
         "-j",
         "--jobs",
         type=int,
@@ -220,6 +238,14 @@ def main(argv: Optional[Sequence[str]] = None) -> int:
         from repro import datapath
 
         datapath.set_datapath(args.datapath)
+
+    if args.engine is not None or args.shards is not None:
+        from repro.sim import scheduler
+
+        if args.engine is not None:
+            scheduler.set_engine(args.engine)
+        if args.shards is not None:
+            scheduler.set_shards(args.shards)
 
     if args.experiment == "list":
         width = max(len(name) for name in EXPERIMENTS)

@@ -71,6 +71,11 @@ class RIommuMapping(tuple):
     ) -> "RIommuMapping":
         return tuple.__new__(cls, (iova, phys_addr, size, direction))
 
+    def __getnewargs__(self):
+        # Pickle support for the custom positional __new__ (simulation
+        # checkpoints serialise the driver's live-mapping records).
+        return tuple(self)
+
     iova: RIova = property(itemgetter(0))
     phys_addr: int = property(itemgetter(1))
     size: int = property(itemgetter(2))

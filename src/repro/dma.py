@@ -63,6 +63,12 @@ class _Record(tuple):
     __slots__ = ()
     _fields: tuple = ()
 
+    def __getnewargs_ex__(self):
+        # The subclasses' __new__ methods are keyword-only, so pickle
+        # must rebuild with kwargs (simulation checkpoints serialise
+        # any in-flight request/result records).
+        return (), dict(zip(self._fields, self))
+
     def __repr__(self) -> str:
         inner = ", ".join(
             f"{name}={value!r}" for name, value in zip(self._fields, self)

@@ -64,6 +64,11 @@ class LiveMapping(tuple):
     ) -> "LiveMapping":
         return tuple.__new__(cls, (rng, phys_addr, size, direction))
 
+    def __getnewargs__(self):
+        # Pickle support for the custom positional __new__ (simulation
+        # checkpoints serialise the live-mapping table).
+        return tuple(self)
+
     rng: IovaRange = property(itemgetter(0))
     phys_addr: int = property(itemgetter(1))
     size: int = property(itemgetter(2))

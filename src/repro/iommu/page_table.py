@@ -94,6 +94,11 @@ class WalkResult(tuple):
     def __new__(cls, frame_addr: int, perms: int, levels_read: int) -> "WalkResult":
         return tuple.__new__(cls, (frame_addr, perms, levels_read))
 
+    def __getnewargs__(self):
+        # Pickle support for the custom positional __new__ (simulation
+        # checkpoints serialise cached walk results).
+        return tuple(self)
+
     frame_addr: int = property(itemgetter(0))
     perms: int = property(itemgetter(1))
     levels_read: int = property(itemgetter(2))

@@ -36,6 +36,12 @@ class IovaRange(tuple):
             raise ValueError(f"invalid IOVA range [{pfn_lo}, {pfn_hi}]")
         return tuple.__new__(cls, (pfn_lo, pfn_hi))
 
+    def __getnewargs__(self):
+        # Spell out the __new__ args for pickle (tuple subclasses with a
+        # custom __new__ don't round-trip otherwise); checkpoints of a
+        # mid-run simulation carry these records in the allocator trees.
+        return tuple(self)
+
     pfn_lo: int = property(itemgetter(0))
     pfn_hi: int = property(itemgetter(1))
 

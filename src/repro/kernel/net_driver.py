@@ -41,9 +41,39 @@ class MappedBuffer(tuple):
     def __new__(cls, device_addr: int, phys_addr: int, size: int) -> "MappedBuffer":
         return tuple.__new__(cls, (device_addr, phys_addr, size))
 
+    def __getnewargs__(self):
+        # tuple.__reduce_ex__ would rebuild via __new__(cls) with no
+        # arguments; spelling the args out makes the record picklable
+        # (simulation checkpoints serialise the posted-buffer deques).
+        return tuple(self)
+
     device_addr: int = property(itemgetter(0))
     phys_addr: int = property(itemgetter(1))
     size: int = property(itemgetter(2))
+
+
+class _CompletionAdapter:
+    """Picklable bridge from a NIC completion callback to a coalescer.
+
+    A bound-lambda (``lambda idx, n: coalescer.completion((idx, n))``)
+    would pin the driver's object graph to the process: lambdas cannot
+    be pickled, and simulation checkpoints serialise the whole driver.
+    This adapter is plain data with a ``__call__``, so it round-trips.
+    """
+
+    __slots__ = ("coalescer",)
+
+    def __init__(self, coalescer: "InterruptCoalescer") -> None:
+        self.coalescer = coalescer
+
+    def __call__(self, index: int, nbytes: int) -> None:
+        self.coalescer.completion((index, nbytes))
+
+    def __getstate__(self):
+        return self.coalescer
+
+    def __setstate__(self, state):
+        self.coalescer = state
 
 
 @dataclass
@@ -123,8 +153,8 @@ class NetDriver:
         self._tx_coalescer: InterruptCoalescer = InterruptCoalescer(
             self._handle_tx_burst, coalesce_threshold
         )
-        nic.on_rx_complete = lambda idx, n: self._rx_coalescer.completion((idx, n))
-        nic.on_tx_complete = lambda idx, n: self._tx_coalescer.completion((idx, n))
+        nic.on_rx_complete = _CompletionAdapter(self._rx_coalescer)
+        nic.on_tx_complete = _CompletionAdapter(self._tx_coalescer)
 
         # Completions arrive in ring order, so posted descriptors are
         # matched to completions FIFO.  (A dict keyed by ring index would

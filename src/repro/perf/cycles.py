@@ -364,3 +364,37 @@ class CycleAccount:
             for c, cyc in sorted(self.cycles.items(), key=lambda kv: kv[0].value)
         )
         return f"CycleAccount({parts})"
+
+
+class MonotonicClock:
+    """A never-decreasing cycle clock derived from a :class:`CycleAccount`.
+
+    The event scheduler orders actors by modelled time, which it reads
+    off each actor's cycle account — but accounts are *resettable* (the
+    workloads zero them between warmup and the measured phase), and a
+    scheduler keyed on a clock that jumps backwards would dispatch the
+    post-reset events before still-queued pre-reset ones.  This wrapper
+    detects each reset (the total dropping below its last reading) and
+    re-bases, so :meth:`now` is monotonic across any number of resets
+    while still advancing by exactly the account's modelled cycles.
+
+    Reads are cheap (one ``total()`` call) and the wrapper is plain
+    data, so it pickles with the rest of a simulation checkpoint.
+    """
+
+    __slots__ = ("_account", "_base", "_last")
+
+    def __init__(self, account: CycleAccount) -> None:
+        self._account = account
+        self._base = 0.0
+        self._last = 0.0
+
+    def now(self) -> float:
+        """Current monotonic reading, in modelled cycles."""
+        total = self._account.total()
+        if total < self._last:
+            # The account was reset since the previous read: fold the
+            # pre-reset cycles into the base so time keeps advancing.
+            self._base += self._last
+        self._last = total
+        return self._base + total

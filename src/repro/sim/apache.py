@@ -14,7 +14,7 @@ workload behave like Netperf stream (paper §5.2).
 from __future__ import annotations
 
 from dataclasses import dataclass, field
-from typing import Dict
+from typing import Dict, List, Tuple
 
 from repro.devices.nic import SimulatedNic
 from repro.kernel.machine import Machine
@@ -26,6 +26,7 @@ from repro.perf.cycles import Component
 from repro.perf.model import requests_per_second
 from repro.sim.netperf import NIC_BDF, build_machine
 from repro.sim.results import RunResult
+from repro.sim.scheduler import WorkloadActor
 from repro.sim.setups import Setup
 
 #: TCP MSS carried per full-size response frame
@@ -66,17 +67,28 @@ class ApacheBench:
         """All frames the server handles per request."""
         return 1 + CONN_RX_FRAMES + self.response_frames + CONN_TX_FRAMES
 
-    def run(self, setup: Setup, mode: Mode) -> RunResult:
-        """Serve ``requests`` requests; returns requests/s and CPU."""
+    def _build(self, setup: Setup, mode: Mode) -> Tuple[Machine, NetDriver]:
+        """Construct the machine + driver complex one run (or actor) owns."""
         machine = build_machine(setup, mode, **self.machine_kwargs)
         nic = SimulatedNic(machine.bus, NIC_BDF, setup.nic_profile)
         driver = NetDriver(machine, nic, coalesce_threshold=setup.stream_burst)
         driver.fill_rx()
+        return machine, driver
+
+    def run(self, setup: Setup, mode: Mode) -> RunResult:
+        """Serve ``requests`` requests; returns requests/s and CPU."""
+        machine, driver = self._build(setup, mode)
 
         self._serve(driver, self.warmup, setup)
         driver.account.reset()
         self._serve(driver, self.requests, setup)
 
+        return self._result(machine, driver, setup, mode)
+
+    def _result(
+        self, machine: Machine, driver: NetDriver, setup: Setup, mode: Mode
+    ) -> RunResult:
+        """Fold the finished run's account into the Figure-12 result."""
         account = driver.account
         packets = self.requests * self.frames_per_request
         cycles_per_request = account.total() / self.requests
@@ -104,25 +116,87 @@ class ApacheBench:
 
     def _serve(self, driver: NetDriver, count: int, setup: Setup) -> None:
         for _ in range(count):
-            # Inbound: SYN, request, FIN.
-            for frame in (b"S" * 60, b"G" * REQUEST_BYTES, b"F" * 60):
-                driver.nic.deliver_frame(frame)
-                driver.account.stage(Component.PROCESSING, setup.c_none_stream)
-            # Outbound: SYN-ACK, the file, FIN-ACK.
-            frames = [b"A" * 60]
-            remaining = self.file_bytes
-            while remaining > 0:
-                take = min(MSS_BYTES, remaining)
-                frames.append(b"D" * take)
-                remaining -= take
-            frames.append(b"K" * 60)
-            for frame in frames:
-                while not driver.transmit(frame):
-                    driver.pump_tx()
-                driver.account.stage(Component.PROCESSING, setup.c_none_stream)
-            driver.pump_tx()
-            # The application work for this request.
-            driver.account.stage(Component.PROCESSING, self.app_cycles)
+            self._serve_one(driver, setup)
         driver.pump_tx()
         driver.flush_tx()
         driver.flush_rx()
+
+    def _serve_one(self, driver: NetDriver, setup: Setup) -> None:
+        """Serve one complete non-keep-alive request."""
+        # Inbound: SYN, request, FIN.
+        for frame in (b"S" * 60, b"G" * REQUEST_BYTES, b"F" * 60):
+            driver.nic.deliver_frame(frame)
+            driver.account.stage(Component.PROCESSING, setup.c_none_stream)
+        # Outbound: SYN-ACK, the file, FIN-ACK.
+        frames = [b"A" * 60]
+        remaining = self.file_bytes
+        while remaining > 0:
+            take = min(MSS_BYTES, remaining)
+            frames.append(b"D" * take)
+            remaining -= take
+        frames.append(b"K" * 60)
+        for frame in frames:
+            while not driver.transmit(frame):
+                driver.pump_tx()
+            driver.account.stage(Component.PROCESSING, setup.c_none_stream)
+        driver.pump_tx()
+        # The application work for this request.
+        driver.account.stage(Component.PROCESSING, self.app_cycles)
+
+    def build_actors(self, setup: Setup, mode: Mode) -> List["ApacheActor"]:
+        """The event-kernel form of this workload: one server actor."""
+        return [ApacheActor(self, setup, mode)]
+
+    def finalize_events(
+        self, actors: List["ApacheActor"], setup: Setup, mode: Mode
+    ) -> RunResult:
+        """Build the result from completed actors (event-kernel path)."""
+        actor = actors[0]
+        return self._result(actor.machine, actor.driver, setup, mode)
+
+
+class ApacheActor(WorkloadActor):
+    """:class:`ApacheBench` as an event-kernel actor.
+
+    One burst = one served request — connection setup, the whole file
+    (up to ~725 frames for 1 MB), teardown, and the application work.
+    Every request ends at a pump boundary, the workload's natural
+    synchronization point.
+    """
+
+    _WARMUP, _MEASURE, _DONE = range(3)
+
+    def __init__(self, workload: ApacheBench, setup: Setup, mode: Mode) -> None:
+        self.workload = workload
+        self.setup = setup
+        self.machine, self.driver = workload._build(setup, mode)
+        super().__init__(self.driver.account)
+        self.phase = self._WARMUP
+        self.i = 0
+
+    def _burst(self, count: int) -> bool:
+        """Serve one request; True once the phase (incl. tail) completes."""
+        driver = self.driver
+        if self.i < count:
+            self.workload._serve_one(driver, self.setup)
+            self.i += 1
+            if self.i < count:
+                return False
+        driver.pump_tx()
+        driver.flush_tx()
+        driver.flush_rx()
+        return True
+
+    def step(self) -> bool:
+        if self.phase == self._WARMUP:
+            if self._burst(self.workload.warmup):
+                self.driver.account.reset()
+                self.i = 0
+                self.phase = self._MEASURE
+            return True
+        if self.phase == self._MEASURE:
+            if self._burst(self.workload.requests):
+                self.phase = self._DONE
+                return False
+            return True
+        return False

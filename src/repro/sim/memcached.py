@@ -11,7 +11,7 @@ visible (paper §5.2).
 from __future__ import annotations
 
 from dataclasses import dataclass, field
-from typing import Dict
+from typing import Dict, List, Tuple
 
 from repro.devices.nic import SimulatedNic
 from repro.kernel.machine import Machine
@@ -23,6 +23,7 @@ from repro.perf.cycles import Component
 from repro.perf.model import requests_per_second
 from repro.sim.netperf import NIC_BDF, build_machine
 from repro.sim.results import RunResult
+from repro.sim.scheduler import WorkloadActor
 from repro.sim.setups import Setup
 
 KEY_BYTES = 64
@@ -41,17 +42,28 @@ class MemcachedBench:
     #: extra Machine() arguments (cost policy/overrides for ablations)
     machine_kwargs: Dict = field(default_factory=dict)
 
-    def run(self, setup: Setup, mode: Mode) -> RunResult:
-        """Serve the request mix; returns requests/s and CPU."""
+    def _build(self, setup: Setup, mode: Mode) -> Tuple[Machine, NetDriver]:
+        """Construct the machine + driver complex one run (or actor) owns."""
         machine = build_machine(setup, mode, **self.machine_kwargs)
         nic = SimulatedNic(machine.bus, NIC_BDF, setup.nic_profile)
         driver = NetDriver(machine, nic, coalesce_threshold=setup.stream_burst)
         driver.fill_rx()
+        return machine, driver
+
+    def run(self, setup: Setup, mode: Mode) -> RunResult:
+        """Serve the request mix; returns requests/s and CPU."""
+        machine, driver = self._build(setup, mode)
 
         self._serve(driver, self.warmup, setup)
         driver.account.reset()
         self._serve(driver, self.requests, setup)
 
+        return self._result(machine, driver, setup, mode)
+
+    def _result(
+        self, machine: Machine, driver: NetDriver, setup: Setup, mode: Mode
+    ) -> RunResult:
+        """Fold the finished run's account into the Figure-12 result."""
         account = driver.account
         packets = self.requests * 2  # one frame in, one frame out
         cycles_per_request = account.total() / self.requests
@@ -80,17 +92,80 @@ class MemcachedBench:
     def _serve(self, driver: NetDriver, count: int, setup: Setup) -> None:
         gets = int(count * GET_FRACTION)
         for i in range(count):
-            is_get = i < gets or count == 1
-            # Query in: a key for gets, key+value for sets.
-            query = b"g" * KEY_BYTES if is_get else b"s" * (KEY_BYTES + VALUE_BYTES)
-            driver.nic.deliver_frame(query)
-            driver.account.stage(Component.PROCESSING, setup.c_none_stream)
-            # Response out: the value for gets, a short STORED ack for sets.
-            response = b"v" * VALUE_BYTES if is_get else b"ok"
-            while not driver.transmit(response):
-                driver.pump_tx()
-            driver.account.stage(Component.PROCESSING, setup.c_none_stream)
-            driver.account.stage(Component.PROCESSING, self.app_cycles)
+            self._serve_one(driver, i, gets, count, setup)
         driver.pump_tx()
         driver.flush_tx()
         driver.flush_rx()
+
+    def _serve_one(
+        self, driver: NetDriver, i: int, gets: int, count: int, setup: Setup
+    ) -> None:
+        """Serve request ``i`` of a ``count``-request phase."""
+        is_get = i < gets or count == 1
+        # Query in: a key for gets, key+value for sets.
+        query = b"g" * KEY_BYTES if is_get else b"s" * (KEY_BYTES + VALUE_BYTES)
+        driver.nic.deliver_frame(query)
+        driver.account.stage(Component.PROCESSING, setup.c_none_stream)
+        # Response out: the value for gets, a short STORED ack for sets.
+        response = b"v" * VALUE_BYTES if is_get else b"ok"
+        while not driver.transmit(response):
+            driver.pump_tx()
+        driver.account.stage(Component.PROCESSING, setup.c_none_stream)
+        driver.account.stage(Component.PROCESSING, self.app_cycles)
+
+    def build_actors(self, setup: Setup, mode: Mode) -> List["MemcachedActor"]:
+        """The event-kernel form of this workload: one server actor."""
+        return [MemcachedActor(self, setup, mode)]
+
+    def finalize_events(
+        self, actors: List["MemcachedActor"], setup: Setup, mode: Mode
+    ) -> RunResult:
+        """Build the result from completed actors (event-kernel path)."""
+        actor = actors[0]
+        return self._result(actor.machine, actor.driver, setup, mode)
+
+
+class MemcachedActor(WorkloadActor):
+    """:class:`MemcachedBench` as an event-kernel actor.
+
+    One burst = one served request (query in, response out, application
+    work) — already a full map/unmap round trip, so finer slicing would
+    add scheduling overhead without exposing more concurrency.
+    """
+
+    _WARMUP, _MEASURE, _DONE = range(3)
+
+    def __init__(self, workload: MemcachedBench, setup: Setup, mode: Mode) -> None:
+        self.workload = workload
+        self.setup = setup
+        self.machine, self.driver = workload._build(setup, mode)
+        super().__init__(self.driver.account)
+        self.phase = self._WARMUP
+        self.i = 0
+
+    def _burst(self, count: int) -> bool:
+        """Serve one request; True once the phase (incl. tail) completes."""
+        driver, w = self.driver, self.workload
+        if self.i < count:
+            w._serve_one(driver, self.i, int(count * GET_FRACTION), count, self.setup)
+            self.i += 1
+            if self.i < count:
+                return False
+        driver.pump_tx()
+        driver.flush_tx()
+        driver.flush_rx()
+        return True
+
+    def step(self) -> bool:
+        if self.phase == self._WARMUP:
+            if self._burst(self.workload.warmup):
+                self.driver.account.reset()
+                self.i = 0
+                self.phase = self._MEASURE
+            return True
+        if self.phase == self._MEASURE:
+            if self._burst(self.workload.requests):
+                self.phase = self._DONE
+                return False
+            return True
+        return False

@@ -21,7 +21,7 @@ from __future__ import annotations
 
 import os
 import pickle
-from typing import Callable, Iterable, List, Optional, Sequence, Tuple, TypeVar
+from typing import Callable, Dict, Iterable, List, Optional, Sequence, Tuple, TypeVar
 
 from repro.modes import ALL_MODES, Mode
 from repro.sim.results import RunResult
@@ -45,6 +45,22 @@ def resolve_jobs(jobs: Optional[int]) -> int:
     if jobs <= 0:
         return os.cpu_count() or 1
     return jobs
+
+
+def worker_env_probe(names: Tuple[str, ...]) -> Dict[str, Optional[str]]:
+    """Report a worker process's view of the given environment variables.
+
+    A module-level function so it pickles to pool workers; the env
+    propagation tests map it across a real pool to pin that the knob
+    exports (``set_datapath``/``set_engine``/``REPRO_OBSERVE``) actually
+    reach ``run_grid``'s worker processes, not just the parent.  Also
+    carries the worker's PID so a test can tell whether a pool was
+    really used or the serial fallback ran.
+    """
+    return dict(
+        {name: os.environ.get(name) for name in names},
+        _pid=str(os.getpid()),
+    )
 
 
 def run_cell(cell: GridCell) -> RunResult:

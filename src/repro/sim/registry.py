@@ -16,6 +16,7 @@ from typing import Callable, Dict
 
 from repro.sim.apache import ApacheBench
 from repro.sim.memcached import MemcachedBench
+from repro.sim.multiring import MultiRingStream
 from repro.sim.netperf import NetperfRR, NetperfStream
 
 
@@ -26,11 +27,16 @@ class BenchmarkSpec:
     ``factory(fast)`` instantiates the workload: full-size parameters
     when ``fast`` is False (the reproduction benchmarks), shrunk runs
     when True (unit tests and ``--fast``).
+
+    ``figure12`` marks workloads that belong to the paper's Figure 12
+    grid; simulator-scaling benchmarks (``mstream``) register with it
+    False so default grids, goldens and tables never pick them up.
     """
 
     name: str
     factory: Callable[[bool], object]
     description: str
+    figure12: bool = True
 
     def make(self, fast: bool = False):
         """Instantiate the workload."""
@@ -108,5 +114,18 @@ register_benchmark(
             MemcachedBench(requests=60, warmup=15) if fast else MemcachedBench()
         ),
         description="Memslap mix: 90% get / 10% set, 64 B keys, 1 KB values",
+    )
+)
+register_benchmark(
+    BenchmarkSpec(
+        name="mstream",
+        factory=lambda fast: (
+            MultiRingStream(domains=4, packets=200, warmup=50)
+            if fast
+            else MultiRingStream()
+        ),
+        description="N independent stream domains, one ring each "
+        "(event-kernel scaling benchmark; shards with REPRO_SHARDS)",
+        figure12=False,
     )
 )

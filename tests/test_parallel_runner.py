@@ -12,7 +12,14 @@ import pathlib
 import pytest
 
 from repro.modes import ALL_MODES, Mode
-from repro.sim.parallel import grid_cells, parallel_map, resolve_jobs, run_cell, run_grid
+from repro.sim.parallel import (
+    grid_cells,
+    parallel_map,
+    resolve_jobs,
+    run_cell,
+    run_grid,
+    worker_env_probe,
+)
 from repro.sim.runner import BENCHMARK_NAMES, run_figure12
 from repro.sim.setups import ALL_SETUPS, MLX_SETUP
 
@@ -92,3 +99,41 @@ def test_run_figure12_jobs_parity_and_golden():
 def test_run_grid_defaults_cover_all_benchmarks():
     cells = grid_cells(ALL_SETUPS, BENCHMARK_NAMES, ALL_MODES, fast=True)
     assert len(cells) == len(ALL_SETUPS) * len(BENCHMARK_NAMES) * len(ALL_MODES)
+
+
+def test_knob_env_exports_reach_worker_processes(monkeypatch):
+    """set_datapath/set_engine/set_shards and REPRO_OBSERVE must be
+    visible inside ``run_grid``'s worker processes, not just the parent.
+
+    The knobs work by exporting environment variables that fork (or
+    spawn) carries into the pool; this pins that contract with a real
+    pool, using the same ``parallel_map`` the grid runner uses.  On
+    hosts where no pool can be created, ``parallel_map`` degrades to
+    the in-process loop — the probe's PID tells us which happened, and
+    the env assertions must hold either way.
+    """
+    from repro import datapath
+    from repro.obs.profile import OBSERVE_ENV
+    from repro.sim import scheduler
+
+    names = (datapath.ENV_VAR, OBSERVE_ENV, scheduler.ENGINE_ENV,
+             scheduler.SHARDS_ENV)
+    # monkeypatch registers restores for every name before the sets.
+    for name in names:
+        monkeypatch.delenv(name, raising=False)
+    datapath.set_datapath("batched")
+    scheduler.set_engine("events")
+    scheduler.set_shards(3)
+    monkeypatch.setenv(OBSERVE_ENV, "1")
+    try:
+        probes = parallel_map(
+            worker_env_probe, [names, names, names, names], max_workers=4
+        )
+    finally:
+        datapath.set_datapath(datapath.DEFAULT_BUILD)
+    for probe in probes:
+        assert probe[datapath.ENV_VAR] == "batched"
+        assert probe[OBSERVE_ENV] == "1"
+        assert probe[scheduler.ENGINE_ENV] == "events"
+        assert probe[scheduler.SHARDS_ENV] == "3"
+        assert probe["_pid"]
