@@ -19,8 +19,9 @@ refactor's contract on every run:
 * on hosts with enough cores (>= the shard count), the sharded run of
   the multi-ring cell is at least ``--min-shard-speedup`` (default
   1.5×) faster than the serial reference.  On smaller hosts the
-  measured numbers are still recorded, with the enforcement skipped —
-  a 1-core container cannot physically show a parallel speedup.
+  measurement is skipped entirely (the report records why) — a 1-core
+  container cannot physically show a parallel speedup, and a ratio
+  taken there would only pollute the trajectory.
 
 Both harness runs are appended to the perf-history log (each line
 carries its ``datapath`` build; the sentinel never compares across
@@ -52,8 +53,9 @@ from perf_harness import (  # noqa: E402
 )
 
 from repro import datapath as repro_datapath  # noqa: E402
+from repro.config import RunConfig  # noqa: E402
 from repro.modes import Mode  # noqa: E402
-from repro.sim.runner import run_benchmark  # noqa: E402
+from repro.sim.runner import run_with_config  # noqa: E402
 from repro.sim.setups import setup_by_name  # noqa: E402
 
 DEFAULT_OUTPUT = pathlib.Path(__file__).parent / "output" / "BENCH_gate.json"
@@ -91,19 +93,20 @@ def check_engine_parity(
     """
     rows: List[Dict[str, object]] = []
     errors: List[str] = []
+    loop_config = RunConfig.from_env(fast=True, engine="loop", shards=1)
+    events_config = RunConfig.from_env(fast=True, engine="events", shards=1)
+    sharded_config = RunConfig.from_env(fast=True, engine="events", shards=shards)
     for setup_name, benchmark, mode_label in cells:
         setup = setup_by_name(setup_name)
         mode = Mode(mode_label)
         key = perf_history.cell_key(setup_name, benchmark, mode_label)
-        loop = run_benchmark(setup, mode, benchmark, fast=True, engine="loop")
-        events = run_benchmark(setup, mode, benchmark, fast=True, engine="events")
+        loop = run_with_config(setup, mode, benchmark, loop_config)
+        events = run_with_config(setup, mode, benchmark, events_config)
         row = {"cell": key, "loop_vs_events": loop.to_dict() == events.to_dict()}
         if not row["loop_vs_events"]:
             errors.append(f"{key}: event kernel diverges from the loop engine")
         if (setup_name, benchmark, mode_label) == SHARDING_CELL:
-            sharded = run_benchmark(
-                setup, mode, benchmark, fast=True, engine="events", shards=shards
-            )
+            sharded = run_with_config(setup, mode, benchmark, sharded_config)
             row["serial_vs_sharded"] = events.to_dict() == sharded.to_dict()
             if not row["serial_vs_sharded"]:
                 errors.append(
@@ -113,27 +116,56 @@ def check_engine_parity(
     return rows, errors
 
 
+def shard_speedup_skip_reason(
+    shards: int, cores: Optional[int] = None
+) -> Optional[str]:
+    """Why the shard-speedup gate cannot run here, or None if it can.
+
+    A host with fewer cores than shards cannot physically show a
+    parallel speedup; any ratio measured there is scheduler noise, so
+    the gate must skip the measurement entirely rather than record a
+    misleading number (``cores=None`` consults ``os.cpu_count()``).
+    """
+    if cores is None:
+        cores = os.cpu_count() or 1
+    if cores < shards:
+        return (
+            f"host has {cores} cores < {shards} shards; a parallel "
+            f"speedup cannot be measured here"
+        )
+    return None
+
+
 def check_shard_speedup(
     min_shard_speedup: float, shards: int = 4
 ) -> Tuple[Dict[str, object], List[str]]:
     """Wall-clock gate: sharded multi-ring run vs the serial reference.
 
-    Enforced only when the host has at least ``shards`` cores — the
-    measurement is always taken and recorded, but a 1-core container
-    cannot show a parallel speedup and must not fail CI for it.
+    On hosts with fewer cores than shards the measurement is skipped
+    outright (see :func:`shard_speedup_skip_reason`) — a ratio taken
+    there would be meaningless and would pollute the recorded
+    trajectory — and the gate reports the skip instead of a number.
     """
     errors: List[str] = []
-    measurement = time_sharding(shards=shards, fast=False)
-    cores = os.cpu_count() or 1
-    enforced = cores >= shards
-    measurement["min_speedup"] = min_shard_speedup
-    measurement["enforced"] = enforced
-    if not enforced:
-        measurement["skip_reason"] = (
-            f"host has {cores} cores < {shards} shards; speedup recorded "
-            f"but not gated"
+    skip = shard_speedup_skip_reason(shards)
+    if skip is not None:
+        return (
+            {
+                "cell": "/".join(SHARDING_CELL),
+                "shards": shards,
+                "cpu_count": os.cpu_count(),
+                "min_speedup": min_shard_speedup,
+                "enforced": False,
+                "skipped": True,
+                "skip_reason": skip,
+            },
+            errors,
         )
-    elif measurement["speedup_vs_serial"] < min_shard_speedup:
+    measurement = time_sharding(shards=shards, fast=False)
+    measurement["min_speedup"] = min_shard_speedup
+    measurement["enforced"] = True
+    measurement["skipped"] = False
+    if measurement["speedup_vs_serial"] < min_shard_speedup:
         errors.append(
             f"{measurement['cell']}: {shards}-shard speedup is only "
             f"{measurement['speedup_vs_serial']:.2f}x serial "
@@ -307,12 +339,17 @@ def main(argv: Optional[Sequence[str]] = None) -> int:
         f"cells bit-identical loop vs events"
     )
     shard = gate_report["shard_speedup"]
-    status = "enforced" if shard["enforced"] else "recorded only"
-    print(
-        f"shard speedup ({shard['cell']}, {shard['shards']} shards, {status}): "
-        f"serial {shard['serial_seconds']}s, sharded {shard['sharded_seconds']}s "
-        f"-> {shard['speedup_vs_serial']}x"
-    )
+    if shard.get("skipped"):
+        print(
+            f"shard speedup ({shard['cell']}, {shard['shards']} shards): "
+            f"skipped — {shard['skip_reason']}"
+        )
+    else:
+        print(
+            f"shard speedup ({shard['cell']}, {shard['shards']} shards, enforced): "
+            f"serial {shard['serial_seconds']}s, sharded {shard['sharded_seconds']}s "
+            f"-> {shard['speedup_vs_serial']}x"
+        )
     print(f"gate report written to {output}", file=sys.stderr)
     if errors:
         for error in errors:

@@ -27,10 +27,11 @@ sys.path.insert(0, str(pathlib.Path(__file__).resolve().parent.parent / "src"))
 sys.path.insert(1, str(pathlib.Path(__file__).resolve().parent))
 
 from repro import datapath as repro_datapath  # noqa: E402
+from repro.config import RunConfig  # noqa: E402
 from repro.modes import ALL_MODES, Mode  # noqa: E402
 from repro.sim import scheduler as repro_scheduler  # noqa: E402
 from repro.sim.parallel import grid_cells, resolve_jobs, run_cell, run_grid  # noqa: E402
-from repro.sim.runner import BENCHMARK_NAMES, run_benchmark  # noqa: E402
+from repro.sim.runner import BENCHMARK_NAMES, run_with_config  # noqa: E402
 from repro.sim.setups import ALL_SETUPS, setup_by_name  # noqa: E402
 
 DEFAULT_OUTPUT = pathlib.Path(__file__).parent / "output" / "BENCH_runner.json"
@@ -53,6 +54,11 @@ REPRESENTATIVE_CELLS: Tuple[Tuple[str, str, str], ...] = (
     # The event kernel's multi-domain scaling cell (not a figure-12
     # workload): N independent stream domains on one event heap.
     ("mlx", "mstream", "strict"),
+    # The multi-tenant interference scenario (balanced preset): four
+    # heterogeneous tenants on one contended IOMMU, under the costliest
+    # baseline and under rIOMMU — the scenario sweep's wall-clock cells.
+    ("mlx", "tenants", "strict"),
+    ("mlx", "tenants", "riommu"),
 )
 
 #: The cell the intra-run sharding measurement times serial vs sharded.
@@ -143,16 +149,14 @@ def time_sharding(
     setup_name, benchmark, mode_label = cell
     setup = setup_by_name(setup_name)
     mode = Mode(mode_label)
+    serial_config = RunConfig.from_env(fast=fast, engine="events", shards=1)
+    sharded_config = RunConfig.from_env(fast=fast, engine="events", shards=shards)
     serial_s = time_call(
-        lambda: run_benchmark(
-            setup, mode, benchmark, fast, engine="events", shards=1
-        ),
+        lambda: run_with_config(setup, mode, benchmark, serial_config),
         repeats,
     )
     sharded_s = time_call(
-        lambda: run_benchmark(
-            setup, mode, benchmark, fast, engine="events", shards=shards
-        ),
+        lambda: run_with_config(setup, mode, benchmark, sharded_config),
         repeats,
     )
     return {
@@ -225,6 +229,10 @@ def run_harness(
         if prev is not None and row["seconds"] > 0:
             # > 1.0 means this tree is faster than the committed report.
             row["speedup_vs_previous"] = round(prev / row["seconds"], 3)
+    # The one funnel for every knob the timings ran under: the same
+    # RunConfig.from_env() the grid workers resolve, so the recorded
+    # fields can never drift from what actually executed.
+    config = RunConfig.from_env()
     report: Dict[str, object] = {
         "schema": "riommu-repro/bench-runner/v2",
         "timestamp": time.strftime("%Y-%m-%dT%H:%M:%S"),
@@ -233,13 +241,13 @@ def run_harness(
         # v2: which datapath build produced these numbers — consumers
         # must never compare timings across builds.  ``fastpath_enabled``
         # is kept for v1 readers (it mirrors build != scalar).
-        "datapath": repro_datapath.current_build(),
-        "fastpath_enabled": repro_datapath.current_build() != "scalar",
+        "datapath": config.datapath,
+        "fastpath_enabled": config.datapath != "scalar",
         # v2: the simulation engine and shard knob the timings ran under
         # (cells time whatever the knobs select; the sharding section
         # below always compares serial vs sharded explicitly).
-        "engine": repro_scheduler.resolve_engine(None),
-        "shards": repro_scheduler.resolve_shards(None),
+        "engine": config.engine,
+        "shards": config.shards,
         "quick": quick,
         "cells": cells,
         "sharding": (

@@ -41,9 +41,13 @@ def test_harness_smoke_emits_report(tmp_path):
     assert on_disk["grid"]["serial_seconds"] > 0
     assert on_disk["grid"]["parallel_seconds"] > 0
     assert on_disk["grid"]["speedup_vs_serial"] > 0
-    assert len(on_disk["cells"]) == 6
+    assert len(on_disk["cells"]) == 8
     for row in on_disk["cells"]:
         assert row["seconds"] > 0
+    # The tenant sweep cells ride in the representative set: the
+    # balanced multi-tenant scenario under strict and under rIOMMU.
+    tenant_rows = [r for r in on_disk["cells"] if r["benchmark"] == "tenants"]
+    assert {r["mode"] for r in tenant_rows} == {"strict", "riommu"}
     assert on_disk["engine"] in ("loop", "events")
     assert on_disk["shards"] >= 1
     sharding = on_disk["sharding"]
@@ -58,6 +62,35 @@ def test_default_output_location():
     """The default report path sits under benchmarks/output/."""
     assert DEFAULT_OUTPUT.name == "BENCH_runner.json"
     assert DEFAULT_OUTPUT.parent.name == "output"
+
+
+def test_shard_speedup_skip_predicate():
+    """The gate skips exactly when the host has fewer cores than shards."""
+    import perf_gate
+
+    assert perf_gate.shard_speedup_skip_reason(4, cores=1) is not None
+    assert perf_gate.shard_speedup_skip_reason(4, cores=3) is not None
+    assert perf_gate.shard_speedup_skip_reason(4, cores=4) is None
+    assert perf_gate.shard_speedup_skip_reason(4, cores=16) is None
+    assert perf_gate.shard_speedup_skip_reason(1, cores=1) is None
+
+
+def test_shard_speedup_skips_without_timing(monkeypatch):
+    """Under-provisioned hosts never time the cell (no misleading ratio)."""
+    import perf_gate
+
+    monkeypatch.setattr(perf_gate.os, "cpu_count", lambda: 1)
+    monkeypatch.setattr(
+        perf_gate,
+        "time_sharding",
+        lambda **kwargs: pytest.fail("time_sharding must not run when skipped"),
+    )
+    measurement, errors = perf_gate.check_shard_speedup(1.5, shards=4)
+    assert errors == []
+    assert measurement["skipped"] is True
+    assert measurement["enforced"] is False
+    assert "1 cores < 4 shards" in measurement["skip_reason"]
+    assert "speedup_vs_serial" not in measurement
 
 
 @pytest.mark.perf

@@ -20,7 +20,8 @@ The package provides:
 Quick start::
 
     from repro import run_mode_sweep, MLX_SETUP
-    results = run_mode_sweep(MLX_SETUP, "stream", fast=True)
+    from repro.config import RunConfig
+    results = run_mode_sweep(MLX_SETUP, "stream", config=RunConfig(fast=True))
     for mode, r in results.items():
         print(mode.label, f"{r.gbps:.1f} Gbps")
 """

@@ -29,6 +29,7 @@ from repro.analysis.sata import SataResult, run_sata
 from repro.analysis.table1 import Table1Result, run_table1
 from repro.analysis.table2 import Table2Result, run_table2, table2_from_grid
 from repro.analysis.table3 import Table3Result, run_table3
+from repro.analysis.tenancy import TENANCY_MODES, TenancyResult, run_tenants
 
 __all__ = [
     "BurstSweepResult",
@@ -50,9 +51,11 @@ __all__ = [
     "SafetyResult",
     "SataResult",
     "TABLE2_DENOMINATORS",
+    "TENANCY_MODES",
     "Table1Result",
     "Table2Result",
     "Table3Result",
+    "TenancyResult",
     "ablate_prefetch",
     "format_table",
     "run_figure12_analysis",
@@ -73,5 +76,6 @@ __all__ = [
     "run_table1",
     "run_table2",
     "run_table3",
+    "run_tenants",
     "table2_from_grid",
 ]

@@ -20,6 +20,8 @@ from dataclasses import dataclass, field
 from typing import Dict, Iterable, List, Optional, Tuple
 
 from repro.analysis.report import format_table
+from repro.analysis.tenancy import TenancyResult, run_tenants
+from repro.config import RunConfig
 from repro.modes import ALL_MODES, Mode
 from repro.obs.metrics import Log2Histogram, MetricsRegistry
 from repro.obs.profile import OBS_SCHEMA
@@ -136,6 +138,9 @@ class RunReport:
 
     grid: EvaluationGrid
     fast: bool = False
+    #: the multi-tenant interference scenario (balanced preset) run
+    #: alongside the grid; ``None`` when the report skipped it
+    tenancy: Optional[TenancyResult] = None
 
     # -- aggregation -----------------------------------------------------
 
@@ -181,7 +186,11 @@ class RunReport:
     @property
     def passed(self) -> bool:
         """The report's overall verdict (drives the CLI exit code)."""
-        return self.reconciles and self.audit_ok
+        return (
+            self.reconciles
+            and self.audit_ok
+            and (self.tenancy is None or self.tenancy.passed)
+        )
 
     # -- terminal rendering ----------------------------------------------
 
@@ -220,6 +229,8 @@ class RunReport:
         sections.append(self._render_attribution(summaries))
         sections.append(self._render_percentiles(summaries))
         sections.append(self._render_audit(summaries))
+        if self.tenancy is not None:
+            sections.append(self.tenancy.render())
         if timelines:
             section = self._render_timelines(summaries)
             if section:
@@ -429,6 +440,43 @@ class RunReport:
             + "".join(rows)
             + "</table>"
         )
+
+        if self.tenancy is not None:
+            parts.append(
+                f"<h2>Multi-tenant interference "
+                f"({html.escape(self.tenancy.scenario.name)} scenario)</h2>"
+            )
+            for mode, result in self.tenancy.results.items():
+                rows = []
+                for row in result.tenants["tenants"]:
+                    if row["slo_p99_us"] is None:
+                        slo = "&ndash;"
+                    else:
+                        cls = "pass" if row["slo_ok"] else "fail"
+                        word = "ok" if row["slo_ok"] else "VIOLATED"
+                        slo = (
+                            f'{row["slo_p99_us"]:g}&micro;s '
+                            f'<span class="badge {cls}">{word}</span>'
+                        )
+                    rows.append(
+                        f"<tr><td>{html.escape(row['tenant'])}</td>"
+                        f"<td>{html.escape(row['workload'])}</td>"
+                        f"<td>{row['domains']}</td>"
+                        f"<td>{row['intensity']:g}</td>"
+                        f"<td>{row['p50_us']:.2f}</td>"
+                        f"<td>{row['p95_us']:.2f}</td>"
+                        f"<td>{row['p99_us']:.2f}</td>"
+                        f"<td>{row['gbps']:.1f}</td>"
+                        f"<td>{slo}</td></tr>"
+                    )
+                parts.append(
+                    f"<h3>{html.escape(mode.label)}</h3>"
+                    "<table><tr><th>tenant</th><th>workload</th>"
+                    "<th>domains</th><th>intensity</th><th>p50&micro;s</th>"
+                    "<th>p95&micro;s</th><th>p99&micro;s</th><th>Gbps</th>"
+                    "<th>SLO (p99)</th></tr>" + "".join(rows) + "</table>"
+                )
+
         parts.append("</body></html>")
         return "\n".join(parts)
 
@@ -506,20 +554,23 @@ def run_report(
     setups=None,
     benchmarks: Optional[Iterable[str]] = None,
     modes: Optional[Iterable[Mode]] = None,
+    tenants: bool = True,
 ) -> RunReport:
     """Run the evaluation grid with observation on and build its report.
 
     Positional subsets (``setups`` / ``benchmarks`` / ``modes``) narrow
     the grid — the CI smoke job runs a one-setup, two-benchmark slice.
+    ``tenants=False`` skips the multi-tenant interference section.
     """
     from repro.sim.setups import ALL_SETUPS
 
+    config = RunConfig.from_env(fast=fast, observe=True)
     grid = run_figure12(
         setups=ALL_SETUPS if setups is None else setups,
         benchmarks=BENCHMARK_NAMES if benchmarks is None else tuple(benchmarks),
         modes=ALL_MODES if modes is None else tuple(modes),
-        fast=fast,
         jobs=jobs,
-        observe=True,
+        config=config,
     )
-    return RunReport(grid=grid, fast=fast)
+    tenancy = run_tenants(fast=fast) if tenants else None
+    return RunReport(grid=grid, fast=fast, tenancy=tenancy)

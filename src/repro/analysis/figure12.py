@@ -12,6 +12,7 @@ from typing import List, Optional
 
 from repro.analysis.ascii_plot import bar_chart
 from repro.analysis.report import format_table
+from repro.config import RunConfig
 from repro.modes import ALL_MODES
 from repro.sim.runner import BENCHMARK_NAMES, EvaluationGrid, run_figure12
 
@@ -68,4 +69,5 @@ def run_figure12_analysis(
     ``jobs`` distributes cells over worker processes; the rendered
     artefact is identical for any value (see :mod:`repro.sim.parallel`).
     """
-    return Figure12Result(grid=run_figure12(fast=fast, jobs=jobs))
+    config = RunConfig.from_env(fast=fast)
+    return Figure12Result(grid=run_figure12(jobs=jobs, config=config))

@@ -13,6 +13,7 @@ from typing import Dict, List, Optional
 
 from repro.analysis.paper_data import PAPER_TABLE2, TABLE2_DENOMINATORS
 from repro.analysis.report import format_table
+from repro.config import RunConfig
 from repro.modes import Mode
 from repro.sim.runner import EvaluationGrid, run_figure12
 
@@ -85,4 +86,5 @@ def run_table2(fast: bool = False, jobs: Optional[int] = None) -> Table2Result:
 
     ``jobs`` parallelises the underlying grid; ratios are unchanged.
     """
-    return table2_from_grid(run_figure12(fast=fast, jobs=jobs))
+    config = RunConfig.from_env(fast=fast)
+    return table2_from_grid(run_figure12(jobs=jobs, config=config))

@@ -8,35 +8,43 @@ package is internal and may move without notice.
 
 Quick start::
 
-    from repro.api import MLX_SETUP, run_mode_sweep
+    from repro.api import MLX_SETUP, RunConfig, run_mode_sweep
 
-    results = run_mode_sweep(MLX_SETUP, "stream", fast=True)
+    results = run_mode_sweep(MLX_SETUP, "stream", config=RunConfig(fast=True))
     for mode, r in results.items():
         print(mode.label, f"{r.gbps:.1f} Gbps")
 
+All run-shaping knobs (datapath build, engine, shards, observation,
+timeline window, tenancy scenario) travel in one frozen
+:class:`~repro.config.RunConfig`; the legacy ``fast=``/``engine=``/
+``shards=`` kwargs and the ``REPRO_DISABLE_*`` variables still work
+through a single deprecation shim (see ``repro.config``).
+
 Tracing a run::
 
-    from repro.api import TRACE, export_all, run_benchmark
+    from repro.api import TRACE, RunConfig, export_all, run_benchmark
 
     TRACE.enable()
     try:
-        run_benchmark(MLX_SETUP, Mode.RIOMMU, "stream", fast=True)
+        run_benchmark(MLX_SETUP, Mode.RIOMMU, "stream",
+                      config=RunConfig(fast=True))
         export_all(TRACE, "run.jsonl")   # + run.chrome.json, run.metrics.json
     finally:
         TRACE.disable()
 
 Observing a run (attribution + protection audit, no trace retention)::
 
-    from repro.api import MLX_SETUP, Mode, run_benchmark
+    from repro.api import MLX_SETUP, Mode, RunConfig, run_benchmark
 
-    result = run_benchmark(MLX_SETUP, Mode.DEFER, "stream", fast=True,
-                           observe=True)
+    result = run_benchmark(MLX_SETUP, Mode.DEFER, "stream",
+                           config=RunConfig(fast=True, observe=True))
     print(result.obs["profile"]["reconciles"])     # True — bit-exact
     print(result.obs["audit"]["stale_window_dmas"])  # > 0 under defer
 """
 
 from __future__ import annotations
 
+from repro.config import RunConfig, resolve_run_config
 from repro.dma import (
     DmaDirection,
     MapRequest,
@@ -89,6 +97,14 @@ from repro.sim.runner import (
     run_benchmark,
     run_figure12,
     run_mode_sweep,
+    run_with_config,
+)
+from repro.sim.tenancy import (
+    SCENARIO_PRESETS,
+    ScenarioSpec,
+    TenantScenario,
+    TenantSpec,
+    preset_scenario,
 )
 from repro.sim.scheduler import (
     ENGINE_ENV,
@@ -136,6 +152,16 @@ __all__ = [
     "run_benchmark",
     "run_figure12",
     "run_mode_sweep",
+    "run_with_config",
+    # unified run configuration
+    "RunConfig",
+    "resolve_run_config",
+    # multi-tenant contention scenario
+    "SCENARIO_PRESETS",
+    "ScenarioSpec",
+    "TenantScenario",
+    "TenantSpec",
+    "preset_scenario",
     # event-scheduled kernel & sharding
     "ENGINES",
     "ENGINE_ENV",

@@ -124,9 +124,10 @@ def build_parser() -> argparse.ArgumentParser:
     )
     parser.add_argument(
         "experiment",
-        choices=sorted(EXPERIMENTS) + ["all", "list", "report"],
+        choices=sorted(EXPERIMENTS) + ["all", "list", "report", "tenants"],
         help="experiment to run ('list' to describe them, 'all' for "
-        "everything, 'report' for the observed-grid run report)",
+        "everything, 'report' for the observed-grid run report, "
+        "'tenants' for the multi-tenant interference scenario)",
     )
     parser.add_argument(
         "--fast", action="store_true", help="smaller runs (noisier, quicker)"
@@ -209,6 +210,14 @@ def build_parser() -> argparse.ArgumentParser:
         help="with 'report': render per-mode ASCII timeline sparklines "
         "(cycles, throughput, hit rate, open windows per cycle window)",
     )
+    parser.add_argument(
+        "--scenario",
+        metavar="NAME|FILE",
+        default="balanced",
+        help="with 'tenants': scenario preset (balanced, aggressor, "
+        "critical) or a ScenarioSpec JSON file (default: balanced); "
+        "'critical' gates the exit code on the victim's p99 SLO",
+    )
     return parser
 
 
@@ -253,6 +262,8 @@ def main(argv: Optional[Sequence[str]] = None) -> int:
             print(f"{name:<{width}}  {EXPERIMENTS[name]}")
         print(f"{'report':<{width}}  observed-grid run report "
               "(--timeline for sparklines, --html FILE)")
+        print(f"{'tenants':<{width}}  S1: multi-tenant IOMMU interference "
+              "scenario (--scenario balanced|aggressor|critical|FILE.json)")
         print(f"{'diff':<{width}}  compare two runs/artifacts, localize "
               "the first divergence (repro diff A B)")
         print(f"{'obs':<{width}}  validate observability artifacts "
@@ -276,6 +287,30 @@ def main(argv: Optional[Sequence[str]] = None) -> int:
             print(f"written to {args.output}")
         # The report doubles as a gate: exact attribution + protection.
         return 0 if report.passed else 1
+
+    if args.experiment == "tenants":
+        from repro.analysis.tenancy import run_tenants
+        from repro.sim.tenancy import SCENARIO_PRESETS, ScenarioSpec, preset_scenario
+
+        if args.scenario in SCENARIO_PRESETS:
+            scenario = preset_scenario(args.scenario)
+        else:
+            import json
+
+            with open(args.scenario) as handle:
+                scenario = ScenarioSpec.from_dict(json.load(handle))
+        started = time.time()
+        result = run_tenants(scenario=scenario, fast=args.fast)
+        text = result.render()
+        print(text)
+        print(f"\n[tenants in {time.time() - started:.1f}s]")
+        if args.output:
+            with open(args.output, "w") as handle:
+                handle.write(text + "\n")
+            print(f"written to {args.output}")
+        # Mixed-criticality gate: non-zero when a critical tenant's
+        # p99 SLO was breached under any run mode.
+        return 0 if result.passed else 1
 
     tracing = args.trace is not None
     if tracing:

@@ -40,47 +40,41 @@ reconciliation stay bit-exact.
 from __future__ import annotations
 
 import os
-import warnings
-from typing import Tuple
 
-#: The recognised builds, slowest to fastest.
-BUILDS: Tuple[str, ...] = ("scalar", "batched", "columnar")
+# The knob constants and the resolve truth table live in repro.config —
+# the single source every reader (this module, RunConfig.from_env, the
+# perf harness) funnels through.  The historical names stay importable
+# from here.
+from repro.config import (
+    BUILDS,
+    DEFAULT_BUILD,
+    LEGACY_BATCH_ENV as _LEGACY_BATCH,
+    LEGACY_FASTPATH_ENV as _LEGACY_FASTPATH,
+    DATAPATH_ENV as ENV_VAR,
+    datapath_build_name,
+    resolve_datapath_flags as _resolve,
+    warn_legacy_datapath_env,
+)
 
-#: Build used when ``REPRO_DATAPATH`` is unset.
-DEFAULT_BUILD = "columnar"
-
-#: The one documented selection knob.
-ENV_VAR = "REPRO_DATAPATH"
-
-_LEGACY_FASTPATH = "REPRO_DISABLE_FASTPATH"
-_LEGACY_BATCH = "REPRO_DISABLE_BATCH"
-
-
-def _resolve(build: str, legacy_fast: bool, legacy_batch: bool):
-    """Map (build, legacy vetoes) to the three feature flags."""
-    if build not in BUILDS:
-        raise ValueError(
-            f"unknown datapath build {build!r}: expected one of {', '.join(BUILDS)}"
-        )
-    fast = build != "scalar" and not legacy_fast
-    batch = build != "scalar" and not legacy_batch
-    columnar = build == "columnar" and not (legacy_fast or legacy_batch)
-    return fast, batch, columnar
+__all__ = [
+    "BUILDS",
+    "DEFAULT_BUILD",
+    "ENV_VAR",
+    "FASTPATH_ENABLED",
+    "BATCH_ENABLED",
+    "COLUMNAR_ENABLED",
+    "current_build",
+    "set_datapath",
+]
 
 
 def _resolve_from_env():
-    build = os.environ.get(ENV_VAR, DEFAULT_BUILD)
-    legacy_fast = _LEGACY_FASTPATH in os.environ
-    legacy_batch = _LEGACY_BATCH in os.environ
-    for legacy, present in ((_LEGACY_FASTPATH, legacy_fast), (_LEGACY_BATCH, legacy_batch)):
-        if present:
-            warnings.warn(
-                f"{legacy} is deprecated; use {ENV_VAR}=scalar "
-                f"(or =batched to keep staged charging) instead",
-                DeprecationWarning,
-                stacklevel=2,
-            )
-    return _resolve(build, legacy_fast, legacy_batch)
+    warn_legacy_datapath_env(os.environ)
+    return _resolve(
+        os.environ.get(ENV_VAR, DEFAULT_BUILD),
+        _LEGACY_FASTPATH in os.environ,
+        _LEGACY_BATCH in os.environ,
+    )
 
 
 #: Single-page / single-frame fast paths and per-burst memos.
@@ -95,11 +89,7 @@ FASTPATH_ENABLED, BATCH_ENABLED, COLUMNAR_ENABLED = _resolve_from_env()
 
 def current_build() -> str:
     """The active build name, derived from the live flags."""
-    if COLUMNAR_ENABLED:
-        return "columnar"
-    if FASTPATH_ENABLED or BATCH_ENABLED:
-        return "batched"
-    return "scalar"
+    return datapath_build_name(FASTPATH_ENABLED, BATCH_ENABLED, COLUMNAR_ENABLED)
 
 
 def set_datapath(build: str) -> None:

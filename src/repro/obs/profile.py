@@ -25,7 +25,6 @@ each cell observes itself.
 
 from __future__ import annotations
 
-import os
 from typing import Dict, List, Optional, Tuple
 
 from repro.obs.audit import ProtectionAuditor
@@ -37,9 +36,9 @@ from repro.perf.cycles import Component, exact_add
 #: Schema identifier stamped into every ``RunResult.obs`` summary.
 OBS_SCHEMA = "riommu-repro/obs/v1"
 
-#: Environment variable that turns per-run observation on everywhere
-#: (inherited by parallel worker processes).
-OBSERVE_ENV = "REPRO_OBSERVE"
+# The observe knob lives in repro.config (the single RunConfig.from_env
+# path); the historical names stay importable from here.
+from repro.config import OBSERVE_ENV, observe_from_env
 
 #: Table 1 presentation order for per-primitive breakdowns.
 _COMPONENT_ORDER = tuple(c.value for c in Component)
@@ -47,7 +46,7 @@ _COMPONENT_ORDER = tuple(c.value for c in Component)
 
 def observe_requested() -> bool:
     """True when ``REPRO_OBSERVE`` asks for per-run observation."""
-    return os.environ.get(OBSERVE_ENV, "") not in ("", "0")
+    return observe_from_env()
 
 
 class _AccountFold:

@@ -39,7 +39,6 @@ sparklines for ``repro report --timeline`` and the HTML dashboard.
 from __future__ import annotations
 
 import json
-import os
 from typing import Dict, Iterable, List, Optional, Sequence
 
 from repro.perf.cycles import Component, exact_add
@@ -47,10 +46,9 @@ from repro.perf.cycles import Component, exact_add
 #: Schema identifier stamped into every exported timeline.
 TIMELINE_SCHEMA = "riommu-repro/timeline/v1"
 
-#: Environment override for the sampling window width, in modelled
-#: cycles (inherited by parallel worker processes, so every cell of a
-#: grid samples on the same grid of window boundaries).
-TIMELINE_WINDOW_ENV = "REPRO_TIMELINE_WINDOW"
+# The knob name lives in repro.config (the single RunConfig.from_env
+# path); the historical name stays importable from here.
+from repro.config import TIMELINE_WINDOW_ENV, timeline_window_from_env
 
 #: Default window width: ~25 strict-mode packets per window, giving
 #: fast runs tens of windows and full runs hundreds.
@@ -83,15 +81,8 @@ _GAUGES = ("qi_depth_max", "defer_pending_max", "open_windows_max")
 
 def window_cycles_requested() -> float:
     """The sampling window width, honouring ``REPRO_TIMELINE_WINDOW``."""
-    raw = os.environ.get(TIMELINE_WINDOW_ENV, "")
-    if raw:
-        try:
-            value = float(raw)
-            if value > 0:
-                return value
-        except ValueError:
-            pass
-    return DEFAULT_WINDOW_CYCLES
+    override = timeline_window_from_env()
+    return override if override is not None else DEFAULT_WINDOW_CYCLES
 
 
 class _TimelineFold:

@@ -31,13 +31,15 @@ NIC_BDF = make_bdf(0, 3, 0)
 
 
 def build_machine(setup: Setup, mode: Mode, **machine_kwargs) -> Machine:
-    """Create a machine configured with the setup's cost calibration."""
-    return Machine(
-        mode,
-        cost_scale=setup.cost_scale(mode),
-        cost_primitives=setup.riommu_primitives,
-        **machine_kwargs,
-    )
+    """Create a machine configured with the setup's cost calibration.
+
+    Explicit ``machine_kwargs`` win over the setup's defaults, so
+    workloads that model contention (the tenancy scenario) can swap in
+    inflated primitive costs without tripping a duplicate-kwarg error.
+    """
+    machine_kwargs.setdefault("cost_scale", setup.cost_scale(mode))
+    machine_kwargs.setdefault("cost_primitives", setup.riommu_primitives)
+    return Machine(mode, **machine_kwargs)
 
 
 @dataclass

@@ -63,14 +63,37 @@ def worker_env_probe(names: Tuple[str, ...]) -> Dict[str, Optional[str]]:
     )
 
 
+def worker_config_probe(_: object = None) -> "RunConfig":
+    """Reconstruct a worker process's :class:`RunConfig` from its env.
+
+    A module-level function so it pickles to pool workers; the config
+    round-trip test maps it across a real pool to pin that a parent's
+    ``RunConfig.exported()`` block makes every worker resolve an
+    *identical* config — the one-funnel replacement for probing knob
+    variables individually.
+    """
+    from repro.config import RunConfig
+
+    return RunConfig.from_env()
+
+
 def run_cell(cell: GridCell) -> RunResult:
-    """Execute one grid cell (the worker-process entry point)."""
+    """Execute one grid cell (the worker-process entry point).
+
+    The worker's knobs come from the environment the parent exported
+    (``RunConfig.from_env()``); only ``fast`` rides in the cell itself,
+    because it is per-work-item sizing, not process configuration.
+    """
     # Imported lazily: the runner imports this module for its public
     # helpers, so a top-level import would be circular.
-    from repro.sim.runner import run_benchmark
+    from repro.config import RunConfig
+    from repro.sim.runner import run_with_config
 
     setup_name, benchmark, mode_label, fast = cell
-    return run_benchmark(setup_by_name(setup_name), Mode(mode_label), benchmark, fast)
+    config = RunConfig.from_env(fast=fast)
+    return run_with_config(
+        setup_by_name(setup_name), Mode(mode_label), benchmark, config
+    )
 
 
 def parallel_map(

@@ -18,6 +18,7 @@ from repro.sim.apache import ApacheBench
 from repro.sim.memcached import MemcachedBench
 from repro.sim.multiring import MultiRingStream
 from repro.sim.netperf import NetperfRR, NetperfStream
+from repro.sim.tenancy import TenantScenario, preset_scenario
 
 
 @dataclass(frozen=True)
@@ -53,13 +54,20 @@ def register_benchmark(spec: BenchmarkSpec) -> BenchmarkSpec:
     return spec
 
 
-def make_benchmark(name: str, fast: bool = False):
+def make_benchmark(name: str, fast: bool = False, tenancy=None):
     """Instantiate a workload by its paper name.
 
     ``fast=True`` shrinks the run for use inside unit tests; the full
     sizes are used by the reproduction benchmarks.  Unknown names raise
     ``KeyError`` listing every registered benchmark.
+
+    ``tenancy`` (a :class:`~repro.sim.tenancy.ScenarioSpec`, usually
+    from ``RunConfig.tenancy``) parameterises the ``"tenants"``
+    benchmark; other benchmarks ignore it, so a config carrying a
+    scenario does not perturb the figure-12 grid.
     """
+    if name == "tenants" and tenancy is not None:
+        return TenantScenario(spec=tenancy, fast=fast)
     spec = BENCHMARKS.get(name)
     if spec is None:
         known = ", ".join(sorted(BENCHMARKS))
@@ -126,6 +134,18 @@ register_benchmark(
         ),
         description="N independent stream domains, one ring each "
         "(event-kernel scaling benchmark; shards with REPRO_SHARDS)",
+        figure12=False,
+    )
+)
+register_benchmark(
+    BenchmarkSpec(
+        name="tenants",
+        factory=lambda fast: TenantScenario(
+            spec=preset_scenario("balanced"), fast=fast
+        ),
+        description="N tenants contending for one IOMMU: shared "
+        "IOTLB capacity + invalidation queue, per-tenant p50/p95/p99 "
+        "and Gbps (scenario via RunConfig.tenancy / REPRO_TENANCY)",
         figure12=False,
     )
 )

@@ -42,6 +42,10 @@ class RunResult:
     #: percentiles) attached by ``run_benchmark(..., observe=True)``;
     #: excluded from :meth:`to_dict` for the same golden-JSON reason
     obs: Optional[Dict[str, object]] = None
+    #: per-tenant report (``riommu-repro/tenants/v1``) attached by the
+    #: multi-tenant scenario; excluded from :meth:`to_dict` for the same
+    #: golden-JSON reason
+    tenants: Optional[Dict[str, object]] = None
 
     def overhead_per_packet(self) -> float:
         """Map/unmap cycles per packet (everything except PROCESSING)."""

@@ -7,17 +7,17 @@ the whole evaluation grid.
 
 from __future__ import annotations
 
-import os
 from dataclasses import dataclass, field
 from typing import Dict, Iterable, Optional
 
+from repro.config import UNSET, RunConfig, resolve_run_config
 from repro.modes import ALL_MODES, Mode
-from repro.obs.profile import OBSERVE_ENV, RunObserver, observe_requested
+from repro.obs.profile import RunObserver
 from repro.obs.tracer import TRACE
 from repro.sim.parallel import resolve_jobs
 from repro.sim.registry import BENCHMARKS, BenchmarkSpec, make_benchmark
 from repro.sim.results import RunResult
-from repro.sim.scheduler import resolve_engine, run_events
+from repro.sim.scheduler import run_events
 from repro.sim.setups import ALL_SETUPS, Setup
 
 #: Benchmarks in the paper's Figure 12 order (registry insertion order).
@@ -33,56 +33,76 @@ def run_benchmark(
     setup: Setup,
     mode: Mode,
     benchmark: str,
-    fast: bool = False,
-    observe: Optional[bool] = None,
-    engine: Optional[str] = None,
-    shards: Optional[int] = None,
+    fast=UNSET,
+    observe=UNSET,
+    engine=UNSET,
+    shards=UNSET,
+    *,
+    config: Optional[RunConfig] = None,
 ) -> RunResult:
     """Run one benchmark under one mode on one setup.
 
-    ``observe=True`` attaches a :class:`~repro.obs.profile.RunObserver`
+    All run-shaping knobs travel in ``config`` — one frozen
+    :class:`~repro.config.RunConfig` record (datapath build, engine,
+    shard count, observation, timeline window, tenancy scenario).
+    ``config=None`` resolves the environment (``RunConfig.from_env()``),
+    which is what grid worker processes see after the parent exports
+    its config.
+
+    ``config.observe`` attaches a :class:`~repro.obs.profile.RunObserver`
     for the duration of the run and stores its summary (cycle
     attribution, protection audit, latency percentiles) on
-    ``result.obs``.  The default ``None`` consults the ``REPRO_OBSERVE``
-    environment variable, which parallel worker processes inherit — so
-    an observed grid stays parallel, each cell observing itself
-    in-worker.  Observation is strictly observational: every modelled
-    number is bit-identical with it on or off.
+    ``result.obs``.  Observation is strictly observational: every
+    modelled number is bit-identical with it on or off.  Engine and
+    shard choice are equally bit-invisible (see
+    :mod:`repro.sim.scheduler`; the parity tests pin this).
 
-    ``engine`` selects the simulation kernel (``"events"`` — the
-    cycle-stamped event scheduler — or ``"loop"``, the legacy fixed
-    call-order loop; default consults ``REPRO_ENGINE``) and ``shards``
-    the intra-run shard count for multi-domain workloads (default
-    consults ``REPRO_SHARDS``).  Both are bit-invisible in the result:
-    every engine/shard combination produces identical modelled numbers
-    (see :mod:`repro.sim.scheduler`; the parity tests pin this).
+    The legacy ``fast=``/``engine=``/``shards=`` kwargs still work but
+    are deprecated (one :class:`DeprecationWarning` via
+    :func:`repro.config.resolve_run_config`); ``observe=`` merges
+    silently, with ``None`` deferring to the config.
     """
-    if observe is None:
-        observe = observe_requested()
-    bench = make_benchmark(benchmark, fast)
-    if not observe:
-        return _execute(bench, setup, mode, engine, shards)
-    with RunObserver(clock_hz=setup.clock_hz) as observer:
-        result = _execute(bench, setup, mode, engine, shards)
+    config = resolve_run_config(
+        config, fast=fast, observe=observe, engine=engine, shards=shards
+    )
+    return run_with_config(setup, mode, benchmark, config)
+
+
+def run_with_config(
+    setup: Setup, mode: Mode, benchmark: str, config: RunConfig
+) -> RunResult:
+    """Run one cell from an already-resolved :class:`RunConfig`.
+
+    The shim-free core of :func:`run_benchmark` — internal callers that
+    already hold a config (the grid worker, the sweep, the harness) go
+    straight here.
+    """
+    bench = make_benchmark(benchmark, config.fast, tenancy=config.tenancy)
+    if not config.observe:
+        return _execute(bench, setup, mode, config)
+    with RunObserver(
+        clock_hz=setup.clock_hz, timeline_window=config.timeline_window
+    ) as observer:
+        result = _execute(bench, setup, mode, config)
     result.obs = observer.summary(result)
     return result
 
 
-def _execute(
-    bench, setup: Setup, mode: Mode, engine: Optional[str], shards: Optional[int]
-) -> RunResult:
+def _execute(bench, setup: Setup, mode: Mode, config: RunConfig) -> RunResult:
     """Dispatch one instantiated workload to the selected engine."""
-    if resolve_engine(engine) == "loop":
+    if config.engine == "loop":
         return bench.run(setup, mode)
-    return run_events(bench, setup, mode, shards)
+    return run_events(bench, setup, mode, config.shards)
 
 
 def run_mode_sweep(
     setup: Setup,
     benchmark: str,
     modes: Iterable[Mode] = ALL_MODES,
-    fast: bool = False,
-    observe: Optional[bool] = None,
+    fast=UNSET,
+    observe=UNSET,
+    *,
+    config: Optional[RunConfig] = None,
 ) -> Dict[Mode, RunResult]:
     """One benchmark across the given modes (one Figure 12 panel).
 
@@ -92,9 +112,15 @@ def run_mode_sweep(
     results — tested), but per-mode instantiation makes each cell
     structurally identical to the parallel runner's, and keeps any
     future stateful workload from bleeding counters between modes.
+
+    Knobs ride in ``config`` (see :func:`run_benchmark`); the legacy
+    ``fast=``/``observe=`` kwargs go through the same deprecation shim.
     """
+    config = resolve_run_config(
+        config, fast=fast, observe=observe, caller="run_mode_sweep"
+    )
     return {
-        mode: run_benchmark(setup, mode, benchmark, fast, observe) for mode in modes
+        mode: run_with_config(setup, mode, benchmark, config) for mode in modes
     }
 
 
@@ -152,53 +178,55 @@ def run_figure12(
     setups: Iterable[Setup] = ALL_SETUPS,
     benchmarks: Iterable[str] = BENCHMARK_NAMES,
     modes: Iterable[Mode] = ALL_MODES,
-    fast: bool = False,
+    fast=UNSET,
     jobs: Optional[int] = None,
-    observe: bool = False,
+    observe=UNSET,
+    *,
+    config: Optional[RunConfig] = None,
 ) -> EvaluationGrid:
     """Run the complete evaluation grid of the paper's Figure 12.
 
     ``jobs`` fans independent cells out over worker processes (``None``
     or 1 = serial, 0 = one per CPU); results are identical for any
-    value — see :mod:`repro.sim.parallel`.
+    value — see :mod:`repro.sim.parallel`.  It stays a direct argument
+    because it shapes this call's fan-out, not a run's semantics.
 
-    ``observe=True`` attaches a per-run observer to every cell (see
-    :func:`run_benchmark`), carried to worker processes through the
-    ``REPRO_OBSERVE`` environment variable so the grid stays parallel.
+    Every other knob rides in ``config``: for the duration of the grid
+    the config is exported to the environment
+    (:meth:`RunConfig.exported`), so worker processes reconstruct it
+    bit-identically via ``RunConfig.from_env()`` — observation,
+    engine, shards and the datapath build all reach every cell.
 
     When the process-local tracer is recording the grid runs serially
     regardless of ``jobs``: events emitted inside worker processes
     would never reach this process's trace buffer.  Results are
     identical either way (the parity tests pin this).
     """
-    if not observe:
-        return _run_grid(setups, benchmarks, modes, fast, jobs)
-    previous = os.environ.get(OBSERVE_ENV)
-    os.environ[OBSERVE_ENV] = "1"
-    try:
-        return _run_grid(setups, benchmarks, modes, fast, jobs)
-    finally:
-        if previous is None:
-            os.environ.pop(OBSERVE_ENV, None)
-        else:
-            os.environ[OBSERVE_ENV] = previous
+    config = resolve_run_config(
+        config, fast=fast, observe=observe, caller="run_figure12"
+    )
+    with config.exported():
+        return _run_grid(setups, benchmarks, modes, config, jobs)
 
 
 def _run_grid(
     setups: Iterable[Setup],
     benchmarks: Iterable[str],
     modes: Iterable[Mode],
-    fast: bool,
+    config: RunConfig,
     jobs: Optional[int],
 ) -> EvaluationGrid:
     if resolve_jobs(jobs) > 1 and not TRACE.active:
         from repro.sim.parallel import run_grid
 
-        return run_grid(setups, benchmarks, modes, fast, jobs)
+        return run_grid(setups, benchmarks, modes, config.fast, jobs)
     grid = EvaluationGrid()
     for setup in setups:
         per_setup: Dict[str, Dict[Mode, RunResult]] = {}
         for benchmark in benchmarks:
-            per_setup[benchmark] = run_mode_sweep(setup, benchmark, modes, fast)
+            per_setup[benchmark] = {
+                mode: run_with_config(setup, mode, benchmark, config)
+                for mode in modes
+            }
         grid.results[setup.name] = per_setup
     return grid

@@ -68,35 +68,20 @@ from repro.perf.cycles import CycleAccount, MonotonicClock
 from repro.sim.results import RunResult
 from repro.sim.setups import Setup
 
-#: The recognised engines: the legacy fixed call-order loop and the
-#: event-scheduled kernel.
-ENGINES: Tuple[str, ...] = ("loop", "events")
-
-#: Engine used when ``REPRO_ENGINE`` is unset.
-DEFAULT_ENGINE = "events"
-
-#: Engine selection knob (exported to grid worker processes).
-ENGINE_ENV = "REPRO_ENGINE"
-
-#: Intra-run shard count knob (exported to grid worker processes).
-SHARDS_ENV = "REPRO_SHARDS"
+# The engine/shard knob constants and resolvers live in repro.config
+# (the single RunConfig.from_env path); the historical names stay
+# importable from here.
+from repro.config import (  # noqa: F401  (re-exported compatibility names)
+    DEFAULT_ENGINE,
+    ENGINE_ENV,
+    ENGINES,
+    SHARDS_ENV,
+    resolve_engine,
+    resolve_shards,
+)
 
 #: Schema identifier carried by every checkpoint file.
 CHECKPOINT_SCHEMA = "riommu-repro/checkpoint/v1"
-
-
-def resolve_engine(engine: Optional[str] = None) -> str:
-    """Normalise an engine request: explicit argument, else the env knob.
-
-    Unknown names raise :class:`ValueError` listing the valid engines.
-    """
-    if engine is None:
-        engine = os.environ.get(ENGINE_ENV, DEFAULT_ENGINE)
-    if engine not in ENGINES:
-        raise ValueError(
-            f"unknown engine {engine!r}: expected one of {', '.join(ENGINES)}"
-        )
-    return engine
 
 
 def set_engine(engine: str) -> str:
@@ -104,23 +89,6 @@ def set_engine(engine: str) -> str:
     engine = resolve_engine(engine)
     os.environ[ENGINE_ENV] = engine
     return engine
-
-
-def resolve_shards(shards: Optional[int] = None) -> int:
-    """Normalise a shard-count request to a positive worker count.
-
-    ``None`` consults ``REPRO_SHARDS``; ``0`` (and negatives) mean "one
-    shard per available CPU"; anything else is taken literally.
-    """
-    if shards is None:
-        raw = os.environ.get(SHARDS_ENV, "")
-        try:
-            shards = int(raw) if raw else 1
-        except ValueError:
-            shards = 1
-    if shards <= 0:
-        return os.cpu_count() or 1
-    return shards
 
 
 def set_shards(shards: int) -> int:

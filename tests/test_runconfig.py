@@ -1,0 +1,235 @@
+"""The unified RunConfig surface: round trips, shims, worker parity.
+
+The api_redesign contract: every run-shaping knob lives in one frozen
+``RunConfig``; the environment is just its wire format
+(``from_env(to_env()) == config``); the legacy kwargs and the
+pre-PR-6 veto variables keep working through exactly one deprecation
+funnel; and grid worker processes reconstruct the parent's config
+bit-identically from the exported environment.
+"""
+
+import os
+import warnings
+from dataclasses import FrozenInstanceError, replace
+
+import pytest
+
+from repro.config import (
+    DATAPATH_ENV,
+    DEFAULT_BUILD,
+    DEFAULT_ENGINE,
+    ENGINE_ENV,
+    ENV_VARS,
+    LEGACY_BATCH_ENV,
+    LEGACY_FASTPATH_ENV,
+    OBSERVE_ENV,
+    SHARDS_ENV,
+    TENANCY_ENV,
+    TIMELINE_WINDOW_ENV,
+    RunConfig,
+    datapath_from_env,
+    resolve_run_config,
+)
+from repro.modes import Mode
+from repro.sim.runner import run_benchmark, run_with_config
+from repro.sim.setups import MLX_SETUP
+from repro.sim.tenancy import preset_scenario
+
+
+@pytest.fixture(autouse=True)
+def _clean_knob_env(monkeypatch):
+    """Every test sees a pristine knob environment."""
+    for name in ENV_VARS + (LEGACY_FASTPATH_ENV, LEGACY_BATCH_ENV):
+        monkeypatch.delenv(name, raising=False)
+
+
+# -- the record itself ---------------------------------------------------
+
+
+def test_defaults_match_the_documented_knob_defaults():
+    config = RunConfig()
+    assert config.fast is False
+    assert config.datapath == DEFAULT_BUILD
+    assert config.engine == DEFAULT_ENGINE
+    assert config.shards == 1
+    assert config.observe is False
+    assert config.timeline_window is None
+    assert config.tenancy is None
+
+
+def test_config_is_frozen():
+    config = RunConfig()
+    with pytest.raises(FrozenInstanceError):
+        config.engine = "loop"
+
+
+def test_bad_build_and_engine_fail_loudly():
+    with pytest.raises(ValueError, match="unknown datapath build"):
+        RunConfig(datapath="vectorized")
+    with pytest.raises(ValueError, match="unknown engine"):
+        RunConfig(engine="vroom")
+    with pytest.raises(ValueError, match="unknown engine"):
+        RunConfig.from_env({ENGINE_ENV: "vroom"})
+
+
+def test_shards_normalize_at_construction():
+    assert RunConfig(shards=4).shards == 4
+    per_cpu = RunConfig(shards=0).shards
+    assert per_cpu == (os.cpu_count() or 1)
+    assert RunConfig(shards=-3).shards == per_cpu
+
+
+# -- env round trip ------------------------------------------------------
+
+
+def test_to_env_from_env_round_trips_every_field():
+    config = RunConfig(
+        fast=True,
+        datapath="batched",
+        engine="loop",
+        shards=4,
+        observe=True,
+        timeline_window=5000.0,
+        tenancy=preset_scenario("critical"),
+    )
+    rebuilt = RunConfig.from_env(config.to_env())
+    # fast rides in the work item, never the environment.
+    assert rebuilt == replace(config, fast=False)
+    assert rebuilt.tenancy == config.tenancy
+    assert rebuilt.tenancy.slo_gated
+
+
+def test_to_env_omits_unset_optionals():
+    exported = RunConfig().to_env()
+    assert TIMELINE_WINDOW_ENV not in exported
+    assert TENANCY_ENV not in exported
+    assert exported[DATAPATH_ENV] == DEFAULT_BUILD
+    assert exported[SHARDS_ENV] == "1"
+    assert exported[OBSERVE_ENV] == "0"
+
+
+def test_from_env_reads_the_documented_variables():
+    env = {
+        DATAPATH_ENV: "scalar",
+        ENGINE_ENV: "loop",
+        SHARDS_ENV: "3",
+        OBSERVE_ENV: "1",
+        TIMELINE_WINDOW_ENV: "250000.0",
+    }
+    config = RunConfig.from_env(env)
+    assert config.datapath == "scalar"
+    assert config.engine == "loop"
+    assert config.shards == 3
+    assert config.observe is True
+    assert config.timeline_window == 250000.0
+
+
+def test_exported_sets_then_restores_the_environment():
+    os.environ[ENGINE_ENV] = "loop"
+    os.environ.pop(SHARDS_ENV, None)
+    config = RunConfig(engine="events", shards=2, tenancy=preset_scenario("balanced"))
+    with config.exported():
+        assert os.environ[ENGINE_ENV] == "events"
+        assert os.environ[SHARDS_ENV] == "2"
+        assert TENANCY_ENV in os.environ
+        assert RunConfig.from_env() == replace(config, fast=False)
+    assert os.environ[ENGINE_ENV] == "loop"
+    assert SHARDS_ENV not in os.environ
+    assert TENANCY_ENV not in os.environ
+
+
+# -- the legacy veto variables -------------------------------------------
+
+
+def test_legacy_fastpath_veto_warns_and_downgrades_the_build():
+    with pytest.warns(DeprecationWarning, match=LEGACY_FASTPATH_ENV):
+        build = datapath_from_env({LEGACY_FASTPATH_ENV: "1"})
+    assert build == "batched"   # columnar needs both fast paths
+    with pytest.warns(DeprecationWarning):
+        both = datapath_from_env(
+            {LEGACY_FASTPATH_ENV: "1", LEGACY_BATCH_ENV: "1"}
+        )
+    assert both == "scalar"
+
+
+def test_legacy_vetoes_reach_from_env_with_one_warning_each():
+    with pytest.warns(DeprecationWarning, match=LEGACY_BATCH_ENV):
+        config = RunConfig.from_env({LEGACY_BATCH_ENV: "1"})
+    assert config.datapath == "batched"
+
+
+# -- the kwarg shim ------------------------------------------------------
+
+
+def test_legacy_kwargs_warn_once_naming_the_replacement():
+    with pytest.warns(DeprecationWarning) as caught:
+        config = resolve_run_config(None, fast=True, engine="loop", shards=2)
+    assert len(caught) == 1
+    message = str(caught[0].message)
+    assert "fast=True" in message and "engine='loop'" in message
+    assert "config=RunConfig(" in message
+    assert config.fast is True
+    assert config.engine == "loop"
+    assert config.shards == 2
+
+
+def test_none_engine_and_shards_consult_env_without_warning():
+    os.environ[ENGINE_ENV] = "loop"
+    os.environ[SHARDS_ENV] = "3"
+    with warnings.catch_warnings():
+        warnings.simplefilter("error", DeprecationWarning)
+        config = resolve_run_config(None, engine=None, shards=None)
+    assert config.engine == "loop"
+    assert config.shards == 3
+
+
+def test_observe_kwarg_merges_silently():
+    with warnings.catch_warnings():
+        warnings.simplefilter("error", DeprecationWarning)
+        assert resolve_run_config(None, observe=True).observe is True
+        assert resolve_run_config(None, observe=None).observe is False
+        explicit = resolve_run_config(RunConfig(observe=True), observe=False)
+    assert explicit.observe is False
+
+
+def test_config_argument_passes_through_unchanged():
+    config = RunConfig(fast=True, engine="loop")
+    with warnings.catch_warnings():
+        warnings.simplefilter("error", DeprecationWarning)
+        assert resolve_run_config(config) is config
+
+
+# -- behavioural equivalence ---------------------------------------------
+
+
+def test_run_benchmark_config_is_bit_identical_to_legacy_kwargs():
+    with pytest.warns(DeprecationWarning):
+        legacy = run_benchmark(MLX_SETUP, Mode.STRICT, "rr", fast=True)
+    via_config = run_benchmark(
+        MLX_SETUP, Mode.STRICT, "rr", config=RunConfig(fast=True)
+    )
+    direct = run_with_config(MLX_SETUP, Mode.STRICT, "rr", RunConfig(fast=True))
+    assert legacy.to_dict() == via_config.to_dict() == direct.to_dict()
+
+
+def test_worker_pool_reconstructs_an_identical_config():
+    """Every pool worker's from_env() equals the parent's exported config."""
+    from concurrent.futures import ProcessPoolExecutor
+
+    from repro.sim.parallel import worker_config_probe
+
+    config = RunConfig(
+        datapath="batched",
+        engine="loop",
+        shards=2,
+        observe=True,
+        tenancy=preset_scenario("aggressor"),
+    )
+    with config.exported():
+        try:
+            with ProcessPoolExecutor(max_workers=2) as pool:
+                probes = list(pool.map(worker_config_probe, range(4)))
+        except OSError:
+            pytest.skip("process pools unavailable on this host")
+    expected = replace(config, fast=False)
+    assert all(probe == expected for probe in probes)
