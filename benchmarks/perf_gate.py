@@ -23,6 +23,12 @@ refactor's contract on every run:
   container cannot physically show a parallel speedup, and a ratio
   taken there would only pollute the trajectory.
 
+The lite-telemetry gate (``--max-lite-overhead``, default 0.03) times
+the stream cells under ``observe=off`` and ``observe=lite`` and fails
+if the lite tier costs more than the allowed fraction in aggregate —
+the always-on contract.  ``--lite-only`` runs just this check (the CI
+telemetry-smoke configuration).
+
 Both harness runs are appended to the perf-history log (each line
 carries its ``datapath`` build; the sentinel never compares across
 builds or across quick/full runs), and a combined gate report is
@@ -46,9 +52,11 @@ sys.path.insert(1, str(pathlib.Path(__file__).resolve().parent))
 
 import perf_history  # noqa: E402
 from perf_harness import (  # noqa: E402
+    OBSERVE_CELLS,
     REPRESENTATIVE_CELLS,
     SHARDING_CELL,
     run_harness,
+    time_observe_overhead,
     time_sharding,
 )
 
@@ -174,6 +182,41 @@ def check_shard_speedup(
     return measurement, errors
 
 
+def check_lite_overhead(
+    max_overhead: float,
+    cells: Sequence[Tuple[str, str, str]] = OBSERVE_CELLS,
+    repeats: int = 3,
+) -> Tuple[Dict[str, object], List[str]]:
+    """Wall-clock gate: ``observe=lite`` vs ``observe=off``.
+
+    The lite tier's promise is "always-on telemetry": it reads counters
+    at burst boundaries instead of streaming per-event records, so the
+    observer-free columnar loops stay active and the cost stays within
+    ``max_overhead`` (CI uses 3%) of an unobserved run.  Per-cell
+    columns are recorded, but the gate compares the *aggregate* across
+    the stream cells: the fastest cell is ~13ms at fast sizing, and a
+    per-cell ratio at that scale gates scheduler jitter, not the tier.
+    """
+    errors: List[str] = []
+    rows = time_observe_overhead(cells=cells, repeats=repeats)
+    off_total = sum(row["off_seconds"] for row in rows)
+    lite_total = sum(row["lite_seconds"] for row in rows)
+    overhead = (lite_total / off_total - 1.0) if off_total > 0 else 0.0
+    measurement: Dict[str, object] = {
+        "cells": rows,
+        "off_seconds": round(off_total, 4),
+        "lite_seconds": round(lite_total, 4),
+        "overhead_vs_off": round(overhead, 4),
+        "max_overhead": max_overhead,
+    }
+    if overhead > max_overhead:
+        errors.append(
+            f"observe=lite costs {overhead:+.1%} over observe=off "
+            f"across the stream cells (gate requires <= {max_overhead:.0%})"
+        )
+    return measurement, errors
+
+
 def run_gate(
     min_speedup: float,
     max_regression: Optional[float],
@@ -181,6 +224,7 @@ def run_gate(
     history_path: Optional[pathlib.Path] = None,
     min_shard_speedup: float = 1.5,
     shards: int = 4,
+    max_lite_overhead: Optional[float] = 0.03,
 ) -> Tuple[Dict[str, object], List[str]]:
     """Bench scalar + columnar, compare, sentinel-check; returns
     ``(gate_report, errors)`` — an empty error list means the gate is
@@ -235,20 +279,44 @@ def run_gate(
     shard_speedup, shard_errors = check_shard_speedup(min_shard_speedup, shards)
     errors.extend(shard_errors)
 
+    # The lite-telemetry gate: observe="lite" must stay within a few
+    # percent of observe="off" on the stream cells (the always-on
+    # contract — lite never touches the trace bus).
+    lite_overhead: Optional[Dict[str, object]] = None
+    if max_lite_overhead is not None:
+        lite_overhead, lite_errors = check_lite_overhead(max_lite_overhead)
+        errors.extend(lite_errors)
+
     gate_report: Dict[str, object] = {
         "schema": "riommu-repro/bench-gate/v1",
         "timestamp": time.strftime("%Y-%m-%dT%H:%M:%S"),
         "min_speedup": min_speedup,
         "max_regression": max_regression,
+        "max_lite_overhead": max_lite_overhead,
         "passed": not errors,
         "stream_cells": comparisons,
         "engine_parity": parity_rows,
         "shard_speedup": shard_speedup,
+        "lite_overhead": lite_overhead,
         "errors": errors,
         "scalar": reports["scalar"],
         "columnar": reports["columnar"],
     }
     return gate_report, errors
+
+
+def _print_lite_overhead(measurement: Dict[str, object]) -> None:
+    for row in measurement["cells"]:
+        print(
+            f"{row['cell']}: observe=off {row['off_seconds']}s, "
+            f"observe=lite {row['lite_seconds']}s "
+            f"-> {row['overhead_vs_off']:+.1%} overhead"
+        )
+    print(
+        f"lite overhead (aggregate over {len(measurement['cells'])} "
+        f"stream cells): {measurement['overhead_vs_off']:+.1%} "
+        f"(gate <= {measurement['max_overhead']:.0%})"
+    )
 
 
 def main(argv: Optional[Sequence[str]] = None) -> int:
@@ -287,6 +355,21 @@ def main(argv: Optional[Sequence[str]] = None) -> int:
         help="shard count for the sharded parity + speedup checks "
         "(default 4)",
     )
+    parser.add_argument(
+        "--max-lite-overhead",
+        type=float,
+        default=0.03,
+        metavar="FRACTION",
+        help="fail if observe=lite costs more than FRACTION over "
+        "observe=off on any stream cell (default 0.03); use a negative "
+        "value to skip",
+    )
+    parser.add_argument(
+        "--lite-only",
+        action="store_true",
+        help="run only the lite-overhead check (the CI telemetry-smoke "
+        "configuration): no build/engine/shard gates, no history",
+    )
     parser.add_argument("--repeats", type=int, default=3, help="best-of repeats")
     parser.add_argument(
         "-o", "--output", default=str(DEFAULT_OUTPUT), help="gate report path"
@@ -303,6 +386,38 @@ def main(argv: Optional[Sequence[str]] = None) -> int:
         help="skip the history sentinel: no rolling-median gate, no append",
     )
     args = parser.parse_args(argv)
+    max_lite_overhead: Optional[float] = (
+        args.max_lite_overhead if args.max_lite_overhead >= 0 else None
+    )
+
+    if args.lite_only:
+        if max_lite_overhead is None:
+            parser.error("--lite-only needs a non-negative --max-lite-overhead")
+        lite_overhead, errors = check_lite_overhead(
+            max_lite_overhead, repeats=args.repeats
+        )
+        lite_report = {
+            "schema": "riommu-repro/bench-gate/v1",
+            "timestamp": time.strftime("%Y-%m-%dT%H:%M:%S"),
+            "max_lite_overhead": max_lite_overhead,
+            "passed": not errors,
+            "lite_overhead": lite_overhead,
+            "errors": errors,
+        }
+        output = pathlib.Path(args.output)
+        output.parent.mkdir(parents=True, exist_ok=True)
+        output.write_text(json.dumps(lite_report, indent=2) + "\n")
+        _print_lite_overhead(lite_overhead)
+        print(f"gate report written to {output}", file=sys.stderr)
+        if errors:
+            for error in errors:
+                print(f"PERF GATE: {error}", file=sys.stderr)
+            return 1
+        print(
+            f"lite-overhead gate passed (<= {max_lite_overhead:.0%} "
+            f"over observe=off)"
+        )
+        return 0
 
     history_path: Optional[pathlib.Path] = None
     max_regression: Optional[float] = None
@@ -319,6 +434,7 @@ def main(argv: Optional[Sequence[str]] = None) -> int:
         history_path=history_path,
         min_shard_speedup=args.min_shard_speedup,
         shards=args.shards,
+        max_lite_overhead=max_lite_overhead,
     )
 
     output = pathlib.Path(args.output)
@@ -350,6 +466,8 @@ def main(argv: Optional[Sequence[str]] = None) -> int:
             f"serial {shard['serial_seconds']}s, sharded {shard['sharded_seconds']}s "
             f"-> {shard['speedup_vs_serial']}x"
         )
+    if gate_report.get("lite_overhead") is not None:
+        _print_lite_overhead(gate_report["lite_overhead"])
     print(f"gate report written to {output}", file=sys.stderr)
     if errors:
         for error in errors:

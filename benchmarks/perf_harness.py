@@ -27,7 +27,7 @@ sys.path.insert(0, str(pathlib.Path(__file__).resolve().parent.parent / "src"))
 sys.path.insert(1, str(pathlib.Path(__file__).resolve().parent))
 
 from repro import datapath as repro_datapath  # noqa: E402
-from repro.config import RunConfig  # noqa: E402
+from repro.config import OBSERVE_ENV, OBSERVE_LEVELS, RunConfig  # noqa: E402
 from repro.modes import ALL_MODES, Mode  # noqa: E402
 from repro.sim import scheduler as repro_scheduler  # noqa: E402
 from repro.sim.parallel import grid_cells, resolve_jobs, run_cell, run_grid  # noqa: E402
@@ -63,6 +63,13 @@ REPRESENTATIVE_CELLS: Tuple[Tuple[str, str, str], ...] = (
 
 #: The cell the intra-run sharding measurement times serial vs sharded.
 SHARDING_CELL: Tuple[str, str, str] = ("mlx", "mstream", "strict")
+
+#: Cells the lite-telemetry overhead measurement times observe=off vs
+#: observe=lite: the stream cells, whose observer-free columnar loops
+#: the lite tier must leave active.
+OBSERVE_CELLS: Tuple[Tuple[str, str, str], ...] = tuple(
+    cell for cell in REPRESENTATIVE_CELLS if cell[1] == "stream"
+)
 
 
 def time_call(fn, repeats: int = 3) -> float:
@@ -170,6 +177,60 @@ def time_sharding(
     }
 
 
+def time_observe_overhead(
+    cells: Sequence[Tuple[str, str, str]] = OBSERVE_CELLS,
+    fast: bool = True,
+    repeats: int = 3,
+) -> List[Dict[str, object]]:
+    """Wall-clock each cell under ``observe=off`` and ``observe=lite``.
+
+    The lite tier's contract is "cheap enough to leave on": it reads
+    counters at burst boundaries and never touches the trace bus, so
+    the columnar fast path stays active in both arms and the overhead
+    column should stay within the CI gate's few percent.  (The full
+    tier is deliberately not timed here — it vetoes the observer-free
+    loops, so its cost is a different build's trajectory, not an
+    overhead column.)
+    """
+    rows: List[Dict[str, object]] = []
+    for setup_name, benchmark, mode_label in cells:
+        setup = setup_by_name(setup_name)
+        mode = Mode(mode_label)
+        off_config = RunConfig.from_env(fast=fast, observe="off")
+        lite_config = RunConfig.from_env(fast=fast, observe="lite")
+        # One untimed pass warms the cell (allocators, memo caches),
+        # then the arms alternate so load drift on a shared host hits
+        # both equally instead of biasing whichever ran second.
+        run_with_config(setup, mode, benchmark, off_config)
+        off_s = lite_s = float("inf")
+        for _ in range(max(repeats, 1)):
+            off_s = min(
+                off_s,
+                time_call(
+                    lambda: run_with_config(setup, mode, benchmark, off_config),
+                    repeats=1,
+                ),
+            )
+            lite_s = min(
+                lite_s,
+                time_call(
+                    lambda: run_with_config(setup, mode, benchmark, lite_config),
+                    repeats=1,
+                ),
+            )
+        rows.append(
+            {
+                "cell": f"{setup_name}/{benchmark}/{mode_label}",
+                "fast": fast,
+                "best_of": repeats,
+                "off_seconds": round(off_s, 4),
+                "lite_seconds": round(lite_s, 4),
+                "overhead_vs_off": round(lite_s / off_s - 1.0, 4),
+            }
+        )
+    return rows
+
+
 def load_previous_cells(
     output: Optional[pathlib.Path],
 ) -> Dict[Tuple[str, str, str, bool], float]:
@@ -211,6 +272,7 @@ def run_harness(
     output: Optional[pathlib.Path] = DEFAULT_OUTPUT,
     quick: bool = False,
     shard_bench: Optional[int] = 4,
+    observe_bench: bool = True,
 ) -> Dict[str, object]:
     """Time representative cells + the grid; write ``BENCH_runner.json``.
 
@@ -218,7 +280,8 @@ def run_harness(
     serial-vs-parallel grid sweep) — the CI perf-smoke configuration.
     ``shard_bench`` adds the intra-run sharding measurement (serial vs
     N-shard wall-clock on the multi-ring cell) to the report; None
-    skips it.
+    skips it.  ``observe_bench`` adds the lite-telemetry overhead
+    column (observe=off vs observe=lite on the stream cells).
     """
     baselines = load_previous_cells(output)
     cells = time_representative_cells(fast=fast, repeats=repeats)
@@ -248,12 +311,20 @@ def run_harness(
         # below always compares serial vs sharded explicitly).
         "engine": config.engine,
         "shards": config.shards,
+        # The observe tier the timed cells ran under (off|lite|full) —
+        # like datapath, consumers must never compare across tiers.
+        "observe": config.observe,
         "quick": quick,
         "cells": cells,
         "sharding": (
             None
             if not shard_bench or shard_bench <= 1
             else time_sharding(shards=shard_bench, fast=fast)
+        ),
+        "observe_lite": (
+            time_observe_overhead(fast=fast, repeats=repeats)
+            if observe_bench
+            else None
         ),
         "grid": None if quick else time_grid(jobs, setups, benchmarks, modes, fast),
     }
@@ -337,6 +408,19 @@ def main(argv: Optional[Sequence[str]] = None) -> int:
         "multi-ring cell (default 4; 0/1 to skip)",
     )
     parser.add_argument(
+        "--observe",
+        choices=OBSERVE_LEVELS,
+        default=None,
+        help="observe tier the timed cells run under (default: "
+        "REPRO_OBSERVE or off); recorded in the report's 'observe' "
+        "field so trajectories never mix tiers",
+    )
+    parser.add_argument(
+        "--no-observe-bench",
+        action="store_true",
+        help="skip the observe=off vs observe=lite overhead column",
+    )
+    parser.add_argument(
         "-o", "--output", default=str(DEFAULT_OUTPUT), help="report path"
     )
     parser.add_argument(
@@ -383,6 +467,8 @@ def main(argv: Optional[Sequence[str]] = None) -> int:
         repro_scheduler.set_engine(args.engine)
     if args.shards is not None:
         repro_scheduler.set_shards(args.shards)
+    if args.observe is not None:
+        os.environ[OBSERVE_ENV] = args.observe
     report = run_harness(
         jobs=args.jobs,
         fast=not args.full,
@@ -390,6 +476,7 @@ def main(argv: Optional[Sequence[str]] = None) -> int:
         output=pathlib.Path(args.output),
         quick=args.quick,
         shard_bench=args.shard_bench,
+        observe_bench=not args.no_observe_bench,
     )
     print(json.dumps(report, indent=2))
     # Mirror the report to the tracked root copy so the perf trajectory

@@ -22,10 +22,12 @@ import pathlib
 import statistics
 from typing import Dict, List, Optional, Sequence, Tuple
 
-#: Schema identifier carried by every history line.  v2 adds the
-#: ``datapath`` build field; v1 entries are still read (their build is
-#: inferred from ``fastpath_enabled``).
-HISTORY_SCHEMA = "riommu-repro/bench-history/v2"
+#: Schema identifier carried by every history line.  v2 added the
+#: ``datapath`` build field; v3 adds the ``observe`` tier.  Older
+#: entries are still read (the build is inferred from
+#: ``fastpath_enabled``, the tier defaults to ``off`` — nothing before
+#: v3 ever timed an observed run).
+HISTORY_SCHEMA = "riommu-repro/bench-history/v3"
 
 #: The tracked history log at the repo root (``benchmarks/output/`` is
 #: gitignored scratch, the trajectory belongs in version control).
@@ -57,6 +59,18 @@ def report_datapath(report: Dict[str, object]) -> str:
     return "batched" if report.get("fastpath_enabled", True) else "scalar"
 
 
+def report_observe(report: Dict[str, object]) -> str:
+    """The observe tier a report (or history entry) was taken under.
+
+    v3 artifacts carry it explicitly; anything older predates the lite
+    tier and was always timed unobserved, so the default is ``off``.
+    """
+    observe = report.get("observe")
+    if isinstance(observe, str) and observe:
+        return observe
+    return "off"
+
+
 def history_entry(report: Dict[str, object]) -> Dict[str, object]:
     """Fold one ``BENCH_runner.json`` report into a history line."""
     rows = list(report.get("cells") or ())
@@ -71,18 +85,24 @@ def history_entry(report: Dict[str, object]) -> Dict[str, object]:
         "cpu_count": report.get("cpu_count"),
         "datapath": report_datapath(report),
         "fastpath_enabled": report.get("fastpath_enabled"),
+        # v3: the observe tier the timings ran under — like the build,
+        # the sentinel never compares medians across tiers.
+        "observe": report_observe(report),
         "quick": report.get("quick"),
         "fast": bool(rows[0]["fast"]) if rows else True,
         "cells": cells,
     }
-    # v2 extensions carried through when the report has them: the
-    # simulation engine the timings were taken under, and the intra-run
+    # v2/v3 extensions carried through when the report has them: the
+    # simulation engine the timings were taken under, the intra-run
     # sharding measurement (serial vs sharded wall-clock on the
-    # multi-ring cell).
+    # multi-ring cell), and the observe=off vs observe=lite overhead
+    # column.
     if report.get("engine") is not None:
         entry["engine"] = report["engine"]
     if report.get("sharding") is not None:
         entry["sharding"] = report["sharding"]
+    if report.get("observe_lite") is not None:
+        entry["observe_lite"] = report["observe_lite"]
     return entry
 
 
@@ -131,6 +151,7 @@ def rolling_baseline(
     window: int = DEFAULT_WINDOW,
     datapath: Optional[str] = None,
     quick: Optional[bool] = None,
+    observe: Optional[str] = None,
 ) -> Optional[float]:
     """Median seconds of the cell's last ``window`` history entries.
 
@@ -140,7 +161,9 @@ def rolling_baseline(
     matching quick flag contribute: quick runs (representative cells
     only) and full runs (with the grid sweep warm in the process) have
     different cache behaviour and must never share a baseline.  Entries
-    predating the quick field count as full runs.
+    predating the quick field count as full runs.  With ``observe``
+    set, only entries timed under that tier contribute (entries
+    predating the field count as ``off`` — no pre-v3 run was observed).
     """
     key = cell_key(*cell)
     series = [
@@ -150,6 +173,7 @@ def rolling_baseline(
         and float(entry["cells"][key]) > 0
         and (datapath is None or report_datapath(entry) == datapath)
         and (quick is None or bool(entry.get("quick")) == quick)
+        and (observe is None or report_observe(entry) == observe)
     ]
     if not series:
         return None
@@ -166,14 +190,17 @@ def check_history_regression(
     """Error string if ``cell`` exceeds the rolling baseline's tolerance.
 
     Compares the fresh report's wall-clock against the median of the
-    last ``window`` history entries taken under the same datapath build
-    *and* the same quick flag; ``None`` when within
-    ``baseline * (1 + max_regression)`` or when there is no comparable
-    baseline.
+    last ``window`` history entries taken under the same datapath
+    build, the same quick flag *and* the same observe tier; ``None``
+    when within ``baseline * (1 + max_regression)`` or when there is
+    no comparable baseline.
     """
     build = report_datapath(report)
     quick = bool(report.get("quick"))
-    baseline = rolling_baseline(history, cell, window, datapath=build, quick=quick)
+    observe = report_observe(report)
+    baseline = rolling_baseline(
+        history, cell, window, datapath=build, quick=quick, observe=observe
+    )
     if baseline is None:
         return None
     current = None
@@ -186,10 +213,11 @@ def check_history_regression(
     limit = baseline * (1.0 + max_regression)
     if current > limit:
         kind = "quick" if quick else "full"
+        tier = "" if observe == "off" else f" observe={observe}"
         return (
             f"{cell_key(*cell)} regressed: {current:.4f}s > {limit:.4f}s "
             f"(rolling median of last {min(len(history), window)} "
-            f"{build}-build {kind} runs is {baseline:.4f}s, "
+            f"{build}-build {kind}{tier} runs is {baseline:.4f}s, "
             f"tolerance {max_regression:.0%})"
         )
     return None

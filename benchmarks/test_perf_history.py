@@ -22,6 +22,7 @@ from perf_history import (
     check_history_regression,
     history_entry,
     load_history,
+    report_observe,
     rolling_baseline,
 )
 
@@ -193,6 +194,60 @@ def test_history_entry_carries_engine_and_sharding():
     # Reports without the v2 extensions produce entries without them.
     bare = history_entry(_report(0.07))
     assert "engine" not in bare and "sharding" not in bare
+
+
+def test_history_entry_carries_the_observe_tier():
+    """v3: entries record the observe tier; older artifacts infer off.
+
+    No run before v3 ever timed an observed cell, so the inference is
+    exact, not a guess — and the sentinel's medians never mix an
+    always-on-lite trajectory with the unobserved one.
+    """
+    report = _report(0.07)
+    assert report_observe(report) == "off"        # v1/v2: no field
+    assert history_entry(report)["observe"] == "off"
+    report["observe"] = "lite"
+    entry = history_entry(report)
+    assert entry["observe"] == "lite"
+    assert report_observe(entry) == "lite"
+    # The overhead column rides along when the report has one.
+    report["observe_lite"] = [
+        {"cell": "mlx/stream/strict", "overhead_vs_off": 0.01}
+    ]
+    assert history_entry(report)["observe_lite"][0]["overhead_vs_off"] == 0.01
+    assert "observe_lite" not in history_entry(_report(0.07))
+
+
+def test_rolling_baseline_keys_on_observe_tier(tmp_path):
+    """A lite-tier run is judged only against lite-tier history."""
+    path = tmp_path / "history.jsonl"
+    for seconds in (0.05, 0.05):
+        append_history(_report(seconds), path)    # observe=off entries
+    lite = _report(0.20)
+    lite["observe"] = "lite"
+    for _ in range(2):
+        append_history(lite, path)
+    history = load_history(path)
+    assert rolling_baseline(history, DEFAULT_CELL, observe="off") == 0.05
+    assert rolling_baseline(history, DEFAULT_CELL, observe="lite") == 0.20
+    assert rolling_baseline(history, DEFAULT_CELL, observe="full") is None
+    # The regression check resolves the pool from the report itself:
+    # 0.06s would be a 20% lite regression but is clean against the
+    # off pool, and vice versa for a slow off run against lite history.
+    for _ in range(3):
+        append_history(_report(0.05), path)
+        append_history(lite, path)
+    history = load_history(path)
+    fresh_lite = _report(0.21)
+    fresh_lite["observe"] = "lite"
+    assert check_history_regression(fresh_lite, history, 0.25) is None
+    slow_off = _report(0.21)
+    error = check_history_regression(slow_off, history, 0.25)
+    assert error is not None and "observe=" not in error
+    breach = _report(0.30)
+    breach["observe"] = "lite"
+    error = check_history_regression(breach, history, 0.25)
+    assert error is not None and "observe=lite" in error
 
 
 def test_history_entry_captures_environment():

@@ -564,7 +564,10 @@ def run_report(
     """
     from repro.sim.setups import ALL_SETUPS
 
-    config = RunConfig.from_env(fast=fast, observe=True)
+    # The report consumes result.obs (attribution + protection audit),
+    # so it pins the full tier regardless of $REPRO_OBSERVE — lite
+    # telemetry has no audit and cannot back the report's gates.
+    config = RunConfig.from_env(fast=fast, observe="full")
     grid = run_figure12(
         setups=ALL_SETUPS if setups is None else setups,
         benchmarks=BENCHMARK_NAMES if benchmarks is None else tuple(benchmarks),

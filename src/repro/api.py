@@ -40,6 +40,15 @@ Observing a run (attribution + protection audit, no trace retention)::
                            config=RunConfig(fast=True, observe=True))
     print(result.obs["profile"]["reconciles"])     # True — bit-exact
     print(result.obs["audit"]["stale_window_dmas"])  # > 0 under defer
+
+Lite telemetry (keeps columnar/events/shards active)::
+
+    from repro.api import MLX_SETUP, Mode, RunConfig, run_benchmark
+
+    result = run_benchmark(MLX_SETUP, Mode.RIOMMU, "stream",
+                           config=RunConfig(fast=True, observe="lite"))
+    print(result.telemetry["profile"]["reconciles"])  # True — bit-exact
+    print(result.telemetry["bursts"])                 # flight-recorder coverage
 """
 
 from __future__ import annotations
@@ -58,15 +67,20 @@ from repro.analysis.dashboard import RunReport, run_report
 from repro.obs import (
     DIFF_SCHEMA,
     EVENT_TYPES,
+    HEARTBEAT_ENV,
+    LITE,
     OBS_SCHEMA,
     OBSERVE_ENV,
+    TELEMETRY_SCHEMA,
     TIMELINE_SCHEMA,
     TRACE,
     CycleProfiler,
     DiffReport,
+    FlightRecorder,
     Log2Histogram,
     MetricsRegistry,
     ProtectionAuditor,
+    RunMonitor,
     RunObserver,
     TimelineSampler,
     Tracer,
@@ -82,9 +96,11 @@ from repro.obs import (
     render_timeline,
     timeline_total,
     validate_jsonl,
+    slo_burn_rate,
     write_chrome_trace,
     write_jsonl,
     write_metrics,
+    write_telemetry,
     write_timeline,
 )
 from repro.sim.multiring import MultiRingStream
@@ -198,6 +214,14 @@ __all__ = [
     "RunReport",
     "observe_requested",
     "run_report",
+    # lite telemetry & live monitoring
+    "HEARTBEAT_ENV",
+    "LITE",
+    "TELEMETRY_SCHEMA",
+    "FlightRecorder",
+    "RunMonitor",
+    "slo_burn_rate",
+    "write_telemetry",
     # timelines & diffing
     "DIFF_SCHEMA",
     "DiffReport",

@@ -116,6 +116,14 @@ def _run_profiled(name: str, fast: bool, jobs: Optional[int], top: int) -> str:
     return f"{text}\n\n--- cProfile: top {max(top, 1)} by cumulative time ---\n{table.getvalue().rstrip()}"
 
 
+def _mode_path(path: str, label: str) -> str:
+    """Insert a run-mode label before the path's extension."""
+    import os
+
+    stem, ext = os.path.splitext(path)
+    return f"{stem}.{label}{ext or '.jsonl'}"
+
+
 def build_parser() -> argparse.ArgumentParser:
     """The CLI argument parser."""
     parser = argparse.ArgumentParser(
@@ -168,6 +176,34 @@ def build_parser() -> argparse.ArgumentParser:
         help="worker processes for grid experiments (figure12, table2, "
         "ablations); 0 = one per CPU, default serial — results are "
         "identical for any value",
+    )
+    parser.add_argument(
+        "--observe",
+        choices=("off", "lite", "full"),
+        default=None,
+        help="telemetry tier (default: $REPRO_OBSERVE, else off) — lite "
+        "keeps the columnar datapath and sharded/grid parallelism "
+        "active (burst-granular counters + flight recorder); full is "
+        "the per-event trace bus, which forces scalar/serial",
+    )
+    parser.add_argument(
+        "--watch",
+        nargs="?",
+        const=1.0,
+        default=None,
+        type=float,
+        metavar="SECS",
+        help="emit live heartbeats (progress, events/sec, ETA, per-"
+        "tenant latency quantiles and SLO burn-rate) to stderr every "
+        "SECS seconds (default 1); implies --observe lite",
+    )
+    parser.add_argument(
+        "--telemetry",
+        metavar="FILE",
+        default=None,
+        help="with 'tenants': dump the run's lite telemetry as "
+        "telemetry/v1 JSONL to FILE (one file per mode, mode label "
+        "inserted before the extension); implies --observe lite",
     )
     parser.add_argument(
         "-o", "--output", metavar="FILE", help="also write the artefact to FILE"
@@ -243,6 +279,25 @@ def main(argv: Optional[Sequence[str]] = None) -> int:
 
     args = build_parser().parse_args(raw)
 
+    # The observe tier rides the environment (like every other knob's
+    # wire format) so analysis entry points and worker processes see it
+    # through RunConfig.from_env().  --watch/--telemetry only make
+    # sense with lite telemetry, so they imply it when --observe is
+    # not given explicitly.
+    observe = args.observe
+    if observe is None and (args.watch is not None or args.telemetry):
+        observe = "lite"
+    if observe is not None:
+        import os
+
+        from repro.config import OBSERVE_ENV
+
+        os.environ[OBSERVE_ENV] = observe
+    if args.watch is not None:
+        from repro.obs.lite import LITE
+
+        LITE.monitor_defaults = {"interval": args.watch}
+
     if args.datapath is not None:
         from repro import datapath
 
@@ -304,6 +359,23 @@ def main(argv: Optional[Sequence[str]] = None) -> int:
         text = result.render()
         print(text)
         print(f"\n[tenants in {time.time() - started:.1f}s]")
+        if args.telemetry:
+            from repro.obs.lite import write_telemetry
+
+            written = 0
+            for mode, run in result.results.items():
+                if run.telemetry is None:
+                    continue
+                path = _mode_path(args.telemetry, mode.label)
+                count = write_telemetry(run.telemetry, path)
+                print(f"telemetry ({mode.label}) written to {path} "
+                      f"({count} records)")
+                written += 1
+            if not written:
+                print(
+                    "no telemetry recorded (runs were not observe=lite)",
+                    file=sys.stderr,
+                )
         if args.output:
             with open(args.output, "w") as handle:
                 handle.write(text + "\n")

@@ -70,6 +70,11 @@ SHARDS_ENV = "REPRO_SHARDS"
 #: Per-run observation knob (exported to grid worker processes).
 OBSERVE_ENV = "REPRO_OBSERVE"
 
+#: The recognised observation levels: nothing, the counters-first lite
+#: telemetry tier (keeps columnar/sharded execution), and the full
+#: per-event trace-bus observer.
+OBSERVE_LEVELS: Tuple[str, ...] = ("off", "lite", "full")
+
 #: Timeline sampling window override, in modelled cycles.
 TIMELINE_WINDOW_ENV = "REPRO_TIMELINE_WINDOW"
 
@@ -212,11 +217,45 @@ def shards_from_env(env: Optional[Mapping[str, str]] = None) -> int:
     return normalize_shards(shards)
 
 
-def observe_from_env(env: Optional[Mapping[str, str]] = None) -> bool:
-    """True when ``REPRO_OBSERVE`` asks for per-run observation."""
+def normalize_observe(observe) -> str:
+    """Normalise an observation request to ``off``/``lite``/``full``.
+
+    Booleans keep their historical meaning (``True`` is the full
+    trace-bus observer, ``False`` is off); the string levels pass
+    through; anything else raises listing the valid levels.
+    """
+    if observe is True:
+        return "full"
+    if observe is False:
+        return "off"
+    if observe in OBSERVE_LEVELS:
+        return observe
+    raise ValueError(
+        f"unknown observe level {observe!r}: "
+        f"expected one of {', '.join(OBSERVE_LEVELS)} (or a bool)"
+    )
+
+
+def observe_from_env(env: Optional[Mapping[str, str]] = None) -> str:
+    """The observation level ``REPRO_OBSERVE`` selects.
+
+    ``""``/``"0"`` mean off and ``"1"`` means full (the historical
+    boolean spellings); the literal levels pass through; anything else
+    raises like the engine parser does.
+    """
     if env is None:
         env = os.environ
-    return env.get(OBSERVE_ENV, "") not in ("", "0")
+    raw = env.get(OBSERVE_ENV, "")
+    if raw in ("", "0"):
+        return "off"
+    if raw == "1":
+        return "full"
+    if raw in OBSERVE_LEVELS:
+        return raw
+    raise ValueError(
+        f"unknown observe level {raw!r} in {OBSERVE_ENV}: "
+        f"expected one of {', '.join(OBSERVE_LEVELS)} (or 0/1)"
+    )
 
 
 def timeline_window_from_env(
@@ -269,11 +308,14 @@ class RunConfig:
     datapath: str = DEFAULT_BUILD
     engine: str = DEFAULT_ENGINE
     shards: int = 1
-    observe: bool = False
+    observe: str = "off"
     timeline_window: Optional[float] = None
     tenancy: Optional[object] = None
 
     def __post_init__(self) -> None:
+        # Booleans normalise to their historical levels, so
+        # ``RunConfig(observe=True)`` keeps meaning the full observer.
+        object.__setattr__(self, "observe", normalize_observe(self.observe))
         if self.datapath not in BUILDS:
             raise ValueError(
                 f"unknown datapath build {self.datapath!r}: "
@@ -326,7 +368,7 @@ class RunConfig:
             DATAPATH_ENV: self.datapath,
             ENGINE_ENV: self.engine,
             SHARDS_ENV: str(self.shards),
-            OBSERVE_ENV: "1" if self.observe else "0",
+            OBSERVE_ENV: self.observe,
         }
         if self.timeline_window is not None:
             out[TIMELINE_WINDOW_ENV] = repr(self.timeline_window)
@@ -434,5 +476,5 @@ def resolve_run_config(
             stacklevel=3,
         )
     if observe is not UNSET and observe is not None:
-        updates["observe"] = bool(observe)
+        updates["observe"] = normalize_observe(observe)
     return replace(config, **updates) if updates else config

@@ -8,6 +8,7 @@ subclass of :class:`IoPageFault`.
 
 from __future__ import annotations
 
+from repro.obs.lite import LITE
 from repro.obs.tracer import TRACE
 
 
@@ -25,6 +26,11 @@ class IoPageFault(RuntimeError):
                 bdf=bdf,
                 iova=iova,
                 message=message,
+            )
+        if LITE.active:
+            # Freeze the flight recorder's last-N rings for post-mortem.
+            LITE.on_fault(
+                type(self).__name__, bdf=bdf, iova=iova, message=message
             )
 
 

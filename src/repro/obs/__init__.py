@@ -7,6 +7,11 @@ into JSONL / Chrome ``trace_event`` / metrics-summary artefacts.
 
 Tracing is strictly observational — enabling it never changes a
 modelled number — and costs one attribute check per site when off.
+
+``LITE`` is the counters-first telemetry tier (see ISSUE 9): burst-
+granular counters, a flight recorder and a live run monitor that
+compose with the columnar datapath and sharded/grid parallelism
+instead of vetoing them — ``RunConfig(observe="lite")``.
 """
 
 from repro.obs.export import (
@@ -31,6 +36,19 @@ from repro.obs.diffing import (
     diff_timelines,
     diff_traces,
     validate_diff_report,
+)
+from repro.obs.lite import (
+    HEARTBEAT_ENV,
+    TELEMETRY_EVENTS,
+    TELEMETRY_SCHEMA,
+    LITE,
+    FlightRecorder,
+    LiteCounters,
+    LiteTelemetry,
+    RunMonitor,
+    slo_burn_rate,
+    validate_telemetry_records,
+    write_telemetry,
 )
 from repro.obs.metrics import (
     Counter,
@@ -65,9 +83,13 @@ from repro.obs.tracer import EVENT_TYPES, TRACE, Tracer, parse_filter
 __all__ = [
     "DIFF_SCHEMA",
     "EVENT_TYPES",
+    "HEARTBEAT_ENV",
+    "LITE",
     "METRICS_SCHEMA",
     "OBS_SCHEMA",
     "OBSERVE_ENV",
+    "TELEMETRY_EVENTS",
+    "TELEMETRY_SCHEMA",
     "TIMELINE_SCHEMA",
     "TIMELINE_WINDOW_ENV",
     "TRACE",
@@ -75,10 +97,14 @@ __all__ = [
     "Counter",
     "CycleProfiler",
     "DiffReport",
+    "FlightRecorder",
     "Histogram",
+    "LiteCounters",
+    "LiteTelemetry",
     "Log2Histogram",
     "MetricsRegistry",
     "ProtectionAuditor",
+    "RunMonitor",
     "RunObserver",
     "TimelineSampler",
     "Tracer",
@@ -97,14 +123,17 @@ __all__ = [
     "read_jsonl",
     "read_timeline",
     "render_timeline",
+    "slo_burn_rate",
     "timeline_total",
     "validate_diff_report",
     "validate_jsonl",
     "validate_records",
+    "validate_telemetry_records",
     "validate_timeline_jsonl",
     "validate_timeline_records",
     "window_cycles_requested",
     "write_chrome_trace",
     "write_jsonl",
     "write_metrics",
+    "write_telemetry",
 ]

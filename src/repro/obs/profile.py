@@ -45,8 +45,8 @@ _COMPONENT_ORDER = tuple(c.value for c in Component)
 
 
 def observe_requested() -> bool:
-    """True when ``REPRO_OBSERVE`` asks for per-run observation."""
-    return observe_from_env()
+    """True when ``REPRO_OBSERVE`` asks for any per-run observation."""
+    return observe_from_env() != "off"
 
 
 class _AccountFold:

@@ -192,20 +192,25 @@ class Tracer:
         self.sinks = tuple(s for s in self.sinks if s is not sink)
         self.active = self.recording or bool(self.sinks)
 
-    def _quarantine(self, sink: TraceSink, error: BaseException) -> None:
+    def _quarantine(
+        self, sink: TraceSink, error: BaseException, etype: str
+    ) -> None:
         """Detach a sink that raised, loudly but non-fatally.
 
         Observation must never corrupt the observed run: the cycle
         charge (or event) that triggered the sink has already been
         applied to its account, so the only safe response is to drop
         the faulty sink, warn, and carry on.  Other sinks keep
-        streaming.
+        streaming.  The warning names the offending sink class and the
+        event type whose delivery raised, so a quarantined profiler or
+        auditor is diagnosable from the warning alone.
         """
         import warnings
 
         self.unsubscribe(sink)
         warnings.warn(
-            f"trace sink {sink!r} raised {error!r} and was detached; "
+            f"trace sink {type(sink).__name__} ({sink!r}) raised {error!r} "
+            f"while handling a {etype!r} event and was detached; "
             "the run continues unobserved by it",
             RuntimeWarning,
             stacklevel=3,
@@ -226,7 +231,7 @@ class Tracer:
             try:
                 sink(self.now, etype, fields)
             except Exception as error:
-                self._quarantine(sink, error)
+                self._quarantine(sink, error, etype)
         if not self.recording:
             return
         f = self.filter
@@ -272,7 +277,7 @@ class Tracer:
             try:
                 sink(ts, "cycle_charge", fields)
             except Exception as error:
-                self._quarantine(sink, error)
+                self._quarantine(sink, error, "cycle_charge")
         if not self.recording:
             return
         f = self.filter

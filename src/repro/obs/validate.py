@@ -2,7 +2,8 @@
 
 Validates any observability artifact the repo emits — trace JSONL
 (``riommu-repro/trace/v1``), timeline JSONL
-(``riommu-repro/timeline/v1``), metrics JSON
+(``riommu-repro/timeline/v1``), lite telemetry JSONL
+(``riommu-repro/telemetry/v1``), bench-history logs, metrics JSON
 (``riommu-repro/trace-metrics/v1``) and serialized diff reports
 (``riommu-repro/diff-report/v1``) — dispatching on the declared
 schema.  Also reachable as ``repro obs validate``.
@@ -11,10 +12,19 @@ Arguments may be files **or directories**: a directory is scanned for
 ``*.jsonl`` / ``*.json`` members (sorted), each validated by its
 schema; members with no recognisable schema are reported as ``SKIP``
 without failing the scan (a directory of mixed artifacts — e.g. a CI
-run's output — validates as a unit).
+run's output — validates as a unit).  A scan that expanded any
+directory ends with a one-line tally: ``N ok / N skipped / N failed``.
 
-Exit status 0 when every artifact is schema-valid, 1 otherwise (each
-problem printed as ``file: message``), 2 on usage errors.
+Exit codes:
+
+===== ==================================================================
+code  meaning
+===== ==================================================================
+0     every validated artifact is schema-valid (skips do not fail)
+1     at least one artifact failed validation (each problem printed
+      as ``file: message``)
+2     usage error (no arguments given)
+===== ==================================================================
 """
 
 from __future__ import annotations
@@ -84,6 +94,10 @@ def _validate_jsonl_payload(path: str, explicit: bool) -> List[str]:
         head = records[0].get("event")
         if head == "timeline_meta":
             return validate_timeline_records(records)
+        if head == "telemetry_meta":
+            from repro.obs.lite import validate_telemetry_records
+
+            return validate_telemetry_records(records)
         if str(records[0].get("schema", "")).startswith("riommu-repro/bench-history/"):
             return _validate_history_records(records)
         if head != "trace_meta" and not explicit:
@@ -138,11 +152,13 @@ def main(argv: Optional[Sequence[str]] = None) -> int:
     if not paths:
         print(
             "usage: python -m repro.obs.validate ARTIFACT|DIR [...]\n"
-            "       (trace/timeline JSONL, metrics JSON, diff reports; "
-            "directories are scanned)"
+            "       (trace/timeline/telemetry JSONL, metrics JSON, diff "
+            "reports; directories are scanned)\n"
+            "exit codes: 0 all valid, 1 validation failures, 2 usage error"
         )
         return 2
-    failures = 0
+    scanned_dir = any(os.path.isdir(path) for path in paths)
+    ok = skipped = failures = 0
     for path, explicit in _expand(paths):
         if os.path.isdir(path):
             failures += 1
@@ -150,13 +166,17 @@ def main(argv: Optional[Sequence[str]] = None) -> int:
             continue
         errors = validate_artifact(path, explicit)
         if errors == [_SKIP]:
+            skipped += 1
             print(f"{path}: SKIP (unrecognized artifact)")
         elif errors:
             failures += 1
             for error in errors:
                 print(f"{path}: {error}")
         else:
+            ok += 1
             print(f"{path}: OK")
+    if scanned_dir:
+        print(f"{ok} ok / {skipped} skipped / {failures} failed")
     return 1 if failures else 0
 
 

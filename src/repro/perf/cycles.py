@@ -25,6 +25,7 @@ import itertools
 from typing import Dict, Iterable, List, Mapping, Optional, Tuple
 
 from repro import datapath as _datapath
+from repro.obs.lite import LITE
 from repro.obs.tracer import TRACE
 
 #: Counter-based charge staging (identical model cycles, fewer Python
@@ -143,6 +144,8 @@ class CycleAccount:
         #: layer tag carried on every emitted ``cycle_charge`` event, so
         #: the attribution profiler can break cycles down per layer
         self._label: Optional[str] = label
+        if LITE.active:
+            LITE.on_account(self)
 
     @property
     def trace_id(self) -> int:
@@ -338,6 +341,11 @@ class CycleAccount:
 
     def reset(self) -> None:
         """Zero the account."""
+        if LITE.active:
+            # Must run before the clears: the lite fold reads the
+            # flushing ``cycles`` property so its warmup totals include
+            # staged charges, exactly like the trace-bus profiler's.
+            LITE.on_reset(self)
         self._staged.clear()
         self._cycles.clear()
         self._events.clear()

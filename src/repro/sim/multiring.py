@@ -89,12 +89,24 @@ class MultiRingStream:
         event heap — domains are independent, so the interleaving (or
         its absence) cannot change any modelled number.
         """
+        from repro.obs.lite import LITE
+
         payloads = []
         for domain in domain_ids:
             actor = StreamActor(self._domain_stream(), setup, mode)
             actor.domain = domain
-            while actor.step():
-                pass
+            if LITE.active:
+                # Prime the monotonic clock like EventSim's heap seeding
+                # does, so burst records carry identical clock readings
+                # on the serial and sharded paths.
+                actor.clock()
+                alive = True
+                while alive:
+                    alive = actor.step()
+                    LITE.on_burst(actor, alive)
+            else:
+                while actor.step():
+                    pass
             payloads.append(_actor_payload(actor))
         return payloads
 

@@ -46,6 +46,10 @@ class RunResult:
     #: multi-tenant scenario; excluded from :meth:`to_dict` for the same
     #: golden-JSON reason
     tenants: Optional[Dict[str, object]] = None
+    #: lite telemetry summary (``riommu-repro/telemetry/v1``) attached
+    #: by ``observe="lite"``; excluded from :meth:`to_dict` for the same
+    #: golden-JSON reason
+    telemetry: Optional[Dict[str, object]] = None
 
     def overhead_per_packet(self) -> float:
         """Map/unmap cycles per packet (everything except PROCESSING)."""

@@ -49,11 +49,15 @@ def run_benchmark(
     which is what grid worker processes see after the parent exports
     its config.
 
-    ``config.observe`` attaches a :class:`~repro.obs.profile.RunObserver`
-    for the duration of the run and stores its summary (cycle
-    attribution, protection audit, latency percentiles) on
-    ``result.obs``.  Observation is strictly observational: every
-    modelled number is bit-identical with it on or off.  Engine and
+    ``config.observe="full"`` attaches a
+    :class:`~repro.obs.profile.RunObserver` for the duration of the run
+    and stores its summary (cycle attribution, protection audit,
+    latency percentiles) on ``result.obs``; ``observe="lite"`` runs the
+    counters-first telemetry tier (:mod:`repro.obs.lite`) instead,
+    storing its summary on ``result.telemetry`` while keeping the
+    columnar datapath and sharded execution active.  Observation is
+    strictly observational: every modelled number is bit-identical
+    with it on or off.  Engine and
     shard choice are equally bit-invisible (see
     :mod:`repro.sim.scheduler`; the parity tests pin this).
 
@@ -78,8 +82,21 @@ def run_with_config(
     straight here.
     """
     bench = make_benchmark(benchmark, config.fast, tenancy=config.tenancy)
-    if not config.observe:
+    if config.observe == "off":
         return _execute(bench, setup, mode, config)
+    if config.observe == "lite":
+        # The counters-first tier: no trace bus, so the columnar
+        # datapath, intra-run sharding and grid parallelism all stay
+        # active (pinned by test).
+        from repro.obs.lite import LITE
+
+        LITE.start(clock_hz=setup.clock_hz)
+        try:
+            result = _execute(bench, setup, mode, config)
+            result.telemetry = LITE.summary(result)
+        finally:
+            LITE.stop()
+        return result
     with RunObserver(
         clock_hz=setup.clock_hz, timeline_window=config.timeline_window
     ) as observer:

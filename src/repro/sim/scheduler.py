@@ -63,6 +63,7 @@ import pickle
 from typing import Dict, List, Optional, Sequence, Tuple
 
 from repro.modes import Mode
+from repro.obs.lite import LITE
 from repro.obs.tracer import TRACE
 from repro.perf.cycles import CycleAccount, MonotonicClock
 from repro.sim.results import RunResult
@@ -198,8 +199,17 @@ class EventSim:
         """Dispatch the earliest event; True while events remain after it."""
         _, actor_index = self.scheduler.pop()
         actor = self.actors[actor_index]
-        if actor.step():
-            self.scheduler.post(actor.clock(), actor_index)
+        alive = actor.step()
+        if alive:
+            now = actor.clock()
+            if LITE.active:
+                # One bounded hook per burst — the lite telemetry
+                # tier's whole hot-path cost (no per-event trace bus);
+                # it reuses the clock read the heap re-post needs.
+                LITE.on_burst(actor, alive, now)
+            self.scheduler.post(now, actor_index)
+        elif LITE.active:
+            LITE.on_burst(actor, alive, actor.clock())
         return not self.finished
 
     def run(self, max_events: Optional[int] = None) -> bool:
@@ -247,6 +257,11 @@ def save_checkpoint(sim: EventSim, path) -> None:
         "events_dispatched": sim.scheduler.events_dispatched,
         "sim": sim,
     }
+    if LITE.active:
+        # Lite telemetry composes with checkpointing: the session-held
+        # state (warmup folds, flight-recorder rings) rides along so a
+        # resumed run's telemetry matches an uninterrupted one.
+        payload["telemetry"] = LITE.checkpoint_state()
     with open(path, "wb") as handle:
         pickle.dump(payload, handle, protocol=pickle.HIGHEST_PROTOCOL)
 
@@ -273,7 +288,10 @@ def load_checkpoint(path) -> EventSim:
             f"but {active_build!r} is active; select the matching build "
             f"(REPRO_DATAPATH={saved_build}) before resuming"
         )
-    return payload["sim"]
+    sim = payload["sim"]
+    if LITE.active and "telemetry" in payload:
+        LITE.restore(payload["telemetry"], sim.actors)
+    return sim
 
 
 # -- sharded execution ------------------------------------------------------
@@ -296,16 +314,42 @@ def shard_plan(workload, shards: int) -> Optional[List[Tuple[int, ...]]]:
 
 
 #: One shard's work order, picklable: (workload, setup name, mode label,
-#: domain indices).  The workload objects are small parameter holders.
-ShardTask = Tuple[object, str, str, Tuple[int, ...]]
+#: domain indices, lite-telemetry flag).  The workload objects are small
+#: parameter holders.
+ShardTask = Tuple[object, str, str, Tuple[int, ...], bool]
 
 
-def _run_shard(task: ShardTask) -> List[Dict[str, object]]:
-    """Execute one shard's domains (the worker-process entry point)."""
+def _run_shard(task: ShardTask) -> Dict[str, object]:
+    """Execute one shard's domains (the worker-process entry point).
+
+    Returns ``{"payloads": [...], "telemetry": [...] | None}``.  Under
+    lite telemetry the shard runs its domains one at a time, capturing
+    each finished domain's counters/rings as picklable state; the
+    parent absorbs the states and merges them in domain order, which
+    equals a serial run's registration order — so sharded lite folds
+    are bit-identical to serial ones.
+    """
     from repro.sim.setups import setup_by_name
 
-    workload, setup_name, mode_label, domain_ids = task
-    return workload.run_domains(setup_by_name(setup_name), Mode(mode_label), domain_ids)
+    workload, setup_name, mode_label, domain_ids, lite = task
+    setup = setup_by_name(setup_name)
+    mode = Mode(mode_label)
+    if not lite:
+        return {
+            "payloads": workload.run_domains(setup, mode, domain_ids),
+            "telemetry": None,
+        }
+    if not LITE.active:
+        # Spawned (rather than forked) worker: open a session of our
+        # own; forked workers inherit the parent's active session.
+        LITE.start()
+    payloads: List[Dict[str, object]] = []
+    states: List[Dict[str, object]] = []
+    for domain in domain_ids:
+        mark = LITE.mark()
+        payloads.extend(workload.run_domains(setup, mode, (domain,)))
+        states.append(LITE.capture_domain(mark, domain))
+    return {"payloads": payloads, "telemetry": states}
 
 
 def run_events(
@@ -329,11 +373,17 @@ def run_events(
     if plan is not None and len(plan) > 1 and not TRACE.active:
         from repro.sim.parallel import parallel_map
 
+        lite = LITE.active
         tasks: List[ShardTask] = [
-            (workload, setup.name, mode.label, domain_ids) for domain_ids in plan
+            (workload, setup.name, mode.label, domain_ids, lite)
+            for domain_ids in plan
         ]
         per_shard = parallel_map(_run_shard, tasks, max_workers=len(plan))
-        payloads = [payload for shard in per_shard for payload in shard]
+        payloads = [payload for shard in per_shard for payload in shard["payloads"]]
+        if lite:
+            LITE.absorb(
+                [state for shard in per_shard for state in shard["telemetry"] or []]
+            )
         return workload.finalize_domains(payloads, setup, mode)
     sim = EventSim(workload, setup, mode)
     sim.run()

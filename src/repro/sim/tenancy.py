@@ -423,11 +423,23 @@ class TenantScenario:
         from the spec), so domains share no runtime state and the shard
         layout cannot change any modelled number.
         """
+        from repro.obs.lite import LITE
+
         payloads = []
         for domain in domain_ids:
             actor = self._build_actor(domain, setup, mode)
-            while actor.step():
-                pass
+            if LITE.active:
+                # Prime the monotonic clock like EventSim's heap seeding
+                # does, so burst records carry identical clock readings
+                # on the serial and sharded paths.
+                actor.clock()
+                alive = True
+                while alive:
+                    alive = actor.step()
+                    LITE.on_burst(actor, alive)
+            else:
+                while actor.step():
+                    pass
             payloads.append(actor.payload())
         return payloads
 

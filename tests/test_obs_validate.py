@@ -210,3 +210,64 @@ def test_explicit_unrecognized_artifact_is_an_error(tmp_path, capsys):
     path.write_text('{"schema": "someone/elses"}')
     assert main([str(path)]) == 1
     assert "unrecognized schema" in capsys.readouterr().out
+
+
+# -- telemetry/v1 dispatch and the scan tally -----------------------------
+
+
+@pytest.fixture()
+def telemetry_path(tmp_path):
+    """A telemetry/v1 JSONL dumped from one lite run."""
+    from repro.config import RunConfig
+    from repro.obs.lite import write_telemetry
+
+    result = run_benchmark(
+        MLX_SETUP,
+        Mode.RIOMMU,
+        "rr",
+        config=RunConfig(fast=True, observe="lite"),
+    )
+    path = tmp_path / "telemetry.jsonl"
+    write_telemetry(result.telemetry, path)
+    return path
+
+
+def test_valid_telemetry_passes(telemetry_path, capsys):
+    assert main([str(telemetry_path)]) == 0
+    assert capsys.readouterr().out.strip() == f"{telemetry_path}: OK"
+
+
+def test_corrupt_telemetry_event_fails(telemetry_path, capsys):
+    def corrupt(record):
+        if record.get("event") == "metrics":
+            record["event"] = "vibes"
+        return record
+
+    _rewrite(telemetry_path, corrupt)
+    assert main([str(telemetry_path)]) == 1
+    assert "unknown telemetry event 'vibes'" in capsys.readouterr().out
+
+
+def test_telemetry_without_profile_fails(telemetry_path, capsys):
+    _rewrite(
+        telemetry_path,
+        lambda record: None if record.get("event") == "profile" else record,
+    )
+    assert main([str(telemetry_path)]) == 1
+    assert "exactly one profile record" in capsys.readouterr().out
+
+
+def test_directory_scan_ends_with_a_tally(telemetry_path, tmp_path, capsys):
+    art_dir = tmp_path / "artifacts"
+    art_dir.mkdir()
+    (art_dir / "telemetry.jsonl").write_text(telemetry_path.read_text())
+    (art_dir / "foreign.jsonl").write_text('{"hello": "world"}\n')
+    (art_dir / "bad.jsonl").write_text(
+        '{"event": "trace_meta"}\n{"event": "warp"}\n'
+    )
+    assert main([str(art_dir)]) == 1
+    out = capsys.readouterr().out
+    assert out.rstrip().splitlines()[-1] == "1 ok / 1 skipped / 1 failed"
+    # Explicit file arguments keep the terse historical output: no tally.
+    assert main([str(telemetry_path)]) == 0
+    assert "ok /" not in capsys.readouterr().out

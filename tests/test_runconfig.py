@@ -52,7 +52,7 @@ def test_defaults_match_the_documented_knob_defaults():
     assert config.datapath == DEFAULT_BUILD
     assert config.engine == DEFAULT_ENGINE
     assert config.shards == 1
-    assert config.observe is False
+    assert config.observe == "off"
     assert config.timeline_window is None
     assert config.tenancy is None
 
@@ -70,6 +70,27 @@ def test_bad_build_and_engine_fail_loudly():
         RunConfig(engine="vroom")
     with pytest.raises(ValueError, match="unknown engine"):
         RunConfig.from_env({ENGINE_ENV: "vroom"})
+
+
+def test_observe_accepts_levels_and_legacy_bools():
+    assert RunConfig(observe="lite").observe == "lite"
+    assert RunConfig(observe="full").observe == "full"
+    assert RunConfig(observe=True).observe == "full"
+    assert RunConfig(observe=False).observe == "off"
+    with pytest.raises(ValueError, match="unknown observe level"):
+        RunConfig(observe="verbose")
+
+
+def test_observe_env_round_trips_every_level():
+    for level in ("off", "lite", "full"):
+        config = RunConfig(observe=level)
+        assert config.to_env()[OBSERVE_ENV] == level
+        assert RunConfig.from_env(config.to_env()).observe == level
+    # The historical boolean wire values still parse.
+    assert RunConfig.from_env({OBSERVE_ENV: "1"}).observe == "full"
+    assert RunConfig.from_env({OBSERVE_ENV: "0"}).observe == "off"
+    with pytest.raises(ValueError, match="REPRO_OBSERVE"):
+        RunConfig.from_env({OBSERVE_ENV: "verbose"})
 
 
 def test_shards_normalize_at_construction():
@@ -105,7 +126,7 @@ def test_to_env_omits_unset_optionals():
     assert TENANCY_ENV not in exported
     assert exported[DATAPATH_ENV] == DEFAULT_BUILD
     assert exported[SHARDS_ENV] == "1"
-    assert exported[OBSERVE_ENV] == "0"
+    assert exported[OBSERVE_ENV] == "off"
 
 
 def test_from_env_reads_the_documented_variables():
@@ -120,7 +141,7 @@ def test_from_env_reads_the_documented_variables():
     assert config.datapath == "scalar"
     assert config.engine == "loop"
     assert config.shards == 3
-    assert config.observe is True
+    assert config.observe == "full"
     assert config.timeline_window == 250000.0
 
 
@@ -186,10 +207,11 @@ def test_none_engine_and_shards_consult_env_without_warning():
 def test_observe_kwarg_merges_silently():
     with warnings.catch_warnings():
         warnings.simplefilter("error", DeprecationWarning)
-        assert resolve_run_config(None, observe=True).observe is True
-        assert resolve_run_config(None, observe=None).observe is False
+        assert resolve_run_config(None, observe=True).observe == "full"
+        assert resolve_run_config(None, observe=None).observe == "off"
+        assert resolve_run_config(None, observe="lite").observe == "lite"
         explicit = resolve_run_config(RunConfig(observe=True), observe=False)
-    assert explicit.observe is False
+    assert explicit.observe == "off"
 
 
 def test_config_argument_passes_through_unchanged():

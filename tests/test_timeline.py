@@ -317,6 +317,30 @@ def test_raising_sink_is_detached_with_warning_and_run_survives():
     assert good == ["map", "unmap"]
 
 
+def test_quarantine_warning_names_the_sink_class_and_raising_event():
+    class ExplodingAuditor:
+        def __call__(self, ts, etype, fields):
+            raise RuntimeError("sink exploded")
+
+    TRACE.subscribe(ExplodingAuditor())
+    with pytest.warns(RuntimeWarning) as caught:
+        TRACE.emit("iotlb_miss", bdf=1)
+    assert len(caught) == 1
+    message = str(caught[0].message)
+    # Diagnosable from the warning alone: which sink, which event.
+    assert "ExplodingAuditor" in message
+    assert "'iotlb_miss'" in message
+    assert "detached" in message
+
+    # The charge fast path reports its fixed event type the same way.
+    from repro.perf.cycles import Component, CycleAccount
+
+    TRACE.subscribe(ExplodingAuditor())
+    with pytest.warns(RuntimeWarning, match="'cycle_charge'") as caught:
+        CycleAccount().charge(Component.MAP_OTHER, 44.0)
+    assert "ExplodingAuditor" in str(caught[0].message)
+
+
 def test_raising_sink_never_corrupts_the_cycle_account():
     from repro.perf.cycles import Component, CycleAccount
 
