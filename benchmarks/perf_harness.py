@@ -72,14 +72,19 @@ OBSERVE_CELLS: Tuple[Tuple[str, str, str], ...] = tuple(
 )
 
 
-def time_call(fn, repeats: int = 3) -> float:
-    """Best-of-``repeats`` wall-clock seconds of ``fn()``."""
-    best = float("inf")
+def time_repeats(fn, repeats: int = 3) -> List[float]:
+    """Wall-clock seconds of each of ``repeats`` calls of ``fn()``."""
+    times: List[float] = []
     for _ in range(max(repeats, 1)):
         started = time.perf_counter()
         fn()
-        best = min(best, time.perf_counter() - started)
-    return best
+        times.append(time.perf_counter() - started)
+    return times
+
+
+def time_call(fn, repeats: int = 3) -> float:
+    """Best-of-``repeats`` wall-clock seconds of ``fn()``."""
+    return min(time_repeats(fn, repeats))
 
 
 def time_representative_cells(
@@ -87,20 +92,30 @@ def time_representative_cells(
     fast: bool = True,
     repeats: int = 3,
 ) -> List[Dict[str, object]]:
-    """Best-of wall-clock for each representative cell, in order."""
+    """Best-of wall-clock for each representative cell, in order.
+
+    Each row records the full per-repeat sample (``repeat_seconds``)
+    and its relative spread (``(max - min) / min``), so history
+    consumers can tell a real regression from timer noise — the
+    0.82–0.94 ``speedup_vs_previous`` swings on unchanged cells were
+    exactly that noise when ``best_of`` was 1.
+    """
     rows: List[Dict[str, object]] = []
     for setup_name, benchmark, mode_label in cells:
-        seconds = time_call(
+        samples = time_repeats(
             lambda: run_cell((setup_name, benchmark, mode_label, fast)), repeats
         )
+        best = min(samples)
         rows.append(
             {
                 "setup": setup_name,
                 "benchmark": benchmark,
                 "mode": mode_label,
                 "fast": fast,
-                "seconds": round(seconds, 4),
+                "seconds": round(best, 4),
                 "best_of": repeats,
+                "repeat_seconds": [round(s, 4) for s in samples],
+                "spread": round((max(samples) - best) / best, 4) if best else 0.0,
             }
         )
     return rows
@@ -278,11 +293,16 @@ def run_harness(
 
     ``quick`` times only the representative cells (skipping the
     serial-vs-parallel grid sweep) — the CI perf-smoke configuration.
+    Non-quick runs force ``best_of`` to at least 3: single-repeat
+    timings polluted the history medians with timer noise, so one-shot
+    sampling is reserved for quick smoke runs.
     ``shard_bench`` adds the intra-run sharding measurement (serial vs
     N-shard wall-clock on the multi-ring cell) to the report; None
     skips it.  ``observe_bench`` adds the lite-telemetry overhead
     column (observe=off vs observe=lite on the stream cells).
     """
+    if not quick:
+        repeats = max(repeats, 3)
     baselines = load_previous_cells(output)
     cells = time_representative_cells(fast=fast, repeats=repeats)
     for row in cells:

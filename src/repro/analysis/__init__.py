@@ -1,6 +1,16 @@
 """Experiment drivers: one module per paper table/figure (E1-E9)."""
 
 from repro.analysis.dashboard import ModeSummary, RunReport, run_report
+from repro.analysis.ablate import (
+    ABLATION_SCHEMA,
+    AblationPlan,
+    AblationReport,
+    build_plan,
+    build_report,
+    execute_plan,
+    select_components,
+    validate_ablation_report,
+)
 from repro.analysis.ablations import (
     BurstSweepResult,
     DeferThresholdResult,
@@ -32,6 +42,9 @@ from repro.analysis.table3 import Table3Result, run_table3
 from repro.analysis.tenancy import TENANCY_MODES, TenancyResult, run_tenants
 
 __all__ = [
+    "ABLATION_SCHEMA",
+    "AblationPlan",
+    "AblationReport",
     "BurstSweepResult",
     "DeferThresholdResult",
     "Figure12Result",
@@ -57,7 +70,12 @@ __all__ = [
     "Table3Result",
     "TenancyResult",
     "ablate_prefetch",
+    "build_plan",
+    "build_report",
+    "execute_plan",
     "format_table",
+    "select_components",
+    "validate_ablation_report",
     "run_figure12_analysis",
     "sweep_alloc_pathology",
     "sweep_burst_length",

@@ -141,6 +141,10 @@ class RunReport:
     #: the multi-tenant interference scenario (balanced preset) run
     #: alongside the grid; ``None`` when the report skipped it
     tenancy: Optional[TenancyResult] = None
+    #: a ranked component-importance report
+    #: (:class:`repro.analysis.ablate.AblationReport`) attached by the
+    #: caller; rendered as an extra section when present
+    ablation: Optional[object] = None
 
     # -- aggregation -----------------------------------------------------
 
@@ -190,6 +194,7 @@ class RunReport:
             self.reconciles
             and self.audit_ok
             and (self.tenancy is None or self.tenancy.passed)
+            and (self.ablation is None or self.ablation.passed)
         )
 
     # -- terminal rendering ----------------------------------------------
@@ -231,6 +236,8 @@ class RunReport:
         sections.append(self._render_audit(summaries))
         if self.tenancy is not None:
             sections.append(self.tenancy.render())
+        if self.ablation is not None:
+            sections.append(self.ablation.render())
         if timelines:
             section = self._render_timelines(summaries)
             if section:
@@ -476,6 +483,9 @@ class RunReport:
                     "<th>p95&micro;s</th><th>p99&micro;s</th><th>Gbps</th>"
                     "<th>SLO (p99)</th></tr>" + "".join(rows) + "</table>"
                 )
+
+        if self.ablation is not None:
+            parts.append(self.ablation.html_section())
 
         parts.append("</body></html>")
         return "\n".join(parts)

@@ -63,7 +63,26 @@ from repro.dma import (
 )
 from repro.kernel.machine import Machine
 from repro.modes import ALL_MODES, BASELINE_MODES, Mode
+from repro.analysis.ablate import (
+    ABLATION_SCHEMA,
+    AblationPlan,
+    AblationReport,
+    build_plan,
+    build_report,
+    execute_plan,
+    select_components,
+    validate_ablation_report,
+)
 from repro.analysis.dashboard import RunReport, run_report
+from repro.sim.components import (
+    ARM_SCHEMA,
+    COMPONENTS,
+    ArmSpec,
+    ComponentSpec,
+    arm_id,
+    register_component,
+    run_arm,
+)
 from repro.obs import (
     DIFF_SCHEMA,
     EVENT_TYPES,
@@ -204,6 +223,22 @@ __all__ = [
     "write_chrome_trace",
     "write_jsonl",
     "write_metrics",
+    # ablation engine
+    "ABLATION_SCHEMA",
+    "ARM_SCHEMA",
+    "AblationPlan",
+    "AblationReport",
+    "ArmSpec",
+    "COMPONENTS",
+    "ComponentSpec",
+    "arm_id",
+    "build_plan",
+    "build_report",
+    "execute_plan",
+    "register_component",
+    "run_arm",
+    "select_components",
+    "validate_ablation_report",
     # attribution, audit & reporting
     "CycleProfiler",
     "Log2Histogram",

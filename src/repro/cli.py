@@ -23,7 +23,8 @@ EXPERIMENTS: Dict[str, str] = {
     "prefetchers": "E8: TLB prefetchers vs rIOTLB (paper section 5.4)",
     "sata": "E9: SATA/Bonnie++ sidebar (paper section 4)",
     "passthrough": "E10: HWpt vs SWpt revalidation (paper section 5.1)",
-    "ablations": "A1-A4: design-choice sensitivity sweeps",
+    "ablations": "A1-A4: design-choice sensitivity sweeps "
+    "(deprecated: use `repro ablate`)",
     "micro": "A5: mode ordering under uncalibrated (MICRO) costs",
     "safety": "A6: stale-DMA window per mode (safety trade-off)",
 }
@@ -262,11 +263,16 @@ def main(argv: Optional[Sequence[str]] = None) -> int:
     raw = list(sys.argv[1:] if argv is None else argv)
 
     # Verbs with their own grammar dispatch before the experiment
-    # parser: `repro diff A B [...]` and `repro obs validate PATH [...]`.
+    # parser: `repro diff A B [...]`, `repro ablate [...]` and
+    # `repro obs validate PATH [...]`.
     if raw and raw[0] == "diff":
         from repro.analysis.diff import main as diff_main
 
         return diff_main(raw[1:])
+    if raw and raw[0] == "ablate":
+        from repro.analysis.ablate import main as ablate_main
+
+        return ablate_main(raw[1:])
     if raw and raw[0] == "obs":
         if len(raw) >= 2 and raw[1] == "validate":
             from repro.obs.validate import main as validate_main
@@ -319,6 +325,8 @@ def main(argv: Optional[Sequence[str]] = None) -> int:
               "(--timeline for sparklines, --html FILE)")
         print(f"{'tenants':<{width}}  S1: multi-tenant IOMMU interference "
               "scenario (--scenario balanced|aggressor|critical|FILE.json)")
+        print(f"{'ablate':<{width}}  ranked component-importance ablation "
+              "over the declared registry (repro ablate --quick)")
         print(f"{'diff':<{width}}  compare two runs/artifacts, localize "
               "the first divergence (repro diff A B)")
         print(f"{'obs':<{width}}  validate observability artifacts "

@@ -42,6 +42,7 @@ class Machine:
         cost_scale: float = 1.0,
         cost_primitives: Optional[PrimitiveCosts] = None,
         cost_overrides: Optional[dict] = None,
+        riommu_prefetch: bool = True,
     ) -> None:
         self.mode = mode
         self.mem = mem if mem is not None else MemorySystem()
@@ -66,7 +67,9 @@ class Machine:
             self.coherency = CoherencyDomain(
                 coherent=mode.coherent_walk, enforce=enforce_coherency
             )
-            self.riommu = RIommuHardware(self.mem, self.coherency)
+            self.riommu = RIommuHardware(
+                self.mem, self.coherency, prefetch_enabled=riommu_prefetch
+            )
             backend = RIommuBackend(self.riommu)
         self.bus = DmaBus(self.mem, backend)
 

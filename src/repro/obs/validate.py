@@ -4,8 +4,9 @@ Validates any observability artifact the repo emits — trace JSONL
 (``riommu-repro/trace/v1``), timeline JSONL
 (``riommu-repro/timeline/v1``), lite telemetry JSONL
 (``riommu-repro/telemetry/v1``), bench-history logs, metrics JSON
-(``riommu-repro/trace-metrics/v1``) and serialized diff reports
-(``riommu-repro/diff-report/v1``) — dispatching on the declared
+(``riommu-repro/trace-metrics/v1``), serialized diff reports
+(``riommu-repro/diff-report/v1``) and ranked ablation reports
+(``riommu-repro/ablation-report/v1``) — dispatching on the declared
 schema.  Also reachable as ``repro obs validate``.
 
 Arguments may be files **or directories**: a directory is scanned for
@@ -52,6 +53,14 @@ def _validate_json_payload(path: str, explicit: bool) -> List[str]:
     schema = payload.get("schema", "") if isinstance(payload, dict) else ""
     if schema == DIFF_SCHEMA:
         return validate_diff_report(payload)
+    if schema.startswith("riommu-repro/ablation-report/"):
+        from repro.analysis.ablate import validate_ablation_report
+
+        return validate_ablation_report(payload)
+    if schema.startswith("riommu-repro/ablation-arm/"):
+        from repro.analysis.ablate import validate_ablation_arm
+
+        return validate_ablation_arm(payload)
     if schema.startswith("riommu-repro/trace-metrics/"):
         missing = [
             key
@@ -153,7 +162,7 @@ def main(argv: Optional[Sequence[str]] = None) -> int:
         print(
             "usage: python -m repro.obs.validate ARTIFACT|DIR [...]\n"
             "       (trace/timeline/telemetry JSONL, metrics JSON, diff "
-            "reports; directories are scanned)\n"
+            "reports,\n        ablation reports; directories are scanned)\n"
             "exit codes: 0 all valid, 1 validation failures, 2 usage error"
         )
         return 2

@@ -57,12 +57,16 @@ class NetperfStream:
     pump_interval: int = 64
     #: extra Machine() arguments (cost policy/overrides for ablations)
     machine_kwargs: Dict = field(default_factory=dict)
+    #: extra NetDriver() arguments (ring sizing/coalescing for ablations)
+    driver_kwargs: Dict = field(default_factory=dict)
 
     def _build(self, setup: Setup, mode: Mode) -> Tuple[Machine, NetDriver]:
         """Construct the machine + driver complex one run (or actor) owns."""
         machine = build_machine(setup, mode, **self.machine_kwargs)
         nic = SimulatedNic(machine.bus, NIC_BDF, setup.nic_profile)
-        driver = NetDriver(machine, nic, coalesce_threshold=setup.stream_burst)
+        driver_kwargs = dict(self.driver_kwargs)
+        driver_kwargs.setdefault("coalesce_threshold", setup.stream_burst)
+        driver = NetDriver(machine, nic, **driver_kwargs)
         driver.fill_rx()
         return machine, driver
 
@@ -213,14 +217,17 @@ class NetperfRR:
     rx_buffer_bytes: int = 64
     #: extra Machine() arguments (cost policy/overrides for ablations)
     machine_kwargs: Dict = field(default_factory=dict)
+    #: extra NetDriver() arguments (ring sizing/coalescing for ablations)
+    driver_kwargs: Dict = field(default_factory=dict)
 
     def _build(self, setup: Setup, mode: Mode) -> Tuple[Machine, NetDriver]:
         """Construct the machine + driver complex one run (or actor) owns."""
         machine = build_machine(setup, mode, **self.machine_kwargs)
         nic = SimulatedNic(machine.bus, NIC_BDF, setup.nic_profile)
-        driver = NetDriver(
-            machine, nic, coalesce_threshold=self.burst, mtu=self.rx_buffer_bytes
-        )
+        driver_kwargs = dict(self.driver_kwargs)
+        driver_kwargs.setdefault("coalesce_threshold", self.burst)
+        driver_kwargs.setdefault("mtu", self.rx_buffer_bytes)
+        driver = NetDriver(machine, nic, **driver_kwargs)
         driver.fill_rx()
         return machine, driver
 

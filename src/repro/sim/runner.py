@@ -82,6 +82,18 @@ def run_with_config(
     straight here.
     """
     bench = make_benchmark(benchmark, config.fast, tenancy=config.tenancy)
+    return run_prepared(bench, setup, mode, config)
+
+
+def run_prepared(bench, setup: Setup, mode: Mode, config: RunConfig) -> RunResult:
+    """Run an already-instantiated workload under ``config``.
+
+    The observe-tier wrapping of :func:`run_with_config` without the
+    registry lookup: callers that perturb a workload's knobs before the
+    run (the ablation engine replaces ``machine_kwargs``/
+    ``driver_kwargs`` on a registry-made instance) come through here so
+    every tier — off, lite, full — behaves exactly as in a plain run.
+    """
     if config.observe == "off":
         return _execute(bench, setup, mode, config)
     if config.observe == "lite":
